@@ -1,0 +1,196 @@
+//! Cache-level and prefetcher descriptions.
+
+use serde::{Deserialize, Serialize};
+
+/// Which execution contexts share a cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SharingScope {
+    /// Private to one core (shared only between its hardware threads).
+    Core,
+    /// Shared by every core on the chip (e.g. Intel L3, Cortex-A15 L2).
+    Chip,
+}
+
+/// Write-miss policy of a cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WriteAllocate {
+    /// Write misses allocate the line (read-for-ownership traffic).
+    Allocate,
+    /// Write misses are forwarded outward without allocating.
+    NoAllocate,
+}
+
+/// Hardware prefetcher attached to a cache level.
+///
+/// The paper models two units: an L1 *next-line streamer* that fetches the
+/// successor of every referenced line, and an L2 *constant-stride*
+/// prefetcher that issues `degree` requests per access (`L2pref`) up to a
+/// maximum distance of `max_distance` lines ahead of the demand stream
+/// (`L2maxpref`, "usually 20 for Intel processors").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PrefetcherConfig {
+    /// No prefetcher at this level.
+    None,
+    /// Next-line streamer: on each demand access to line `l`, fetch `l + 1`.
+    NextLine,
+    /// Constant-stride streamer.
+    Stride {
+        /// Prefetch requests issued per triggering access (`L2pref`).
+        degree: usize,
+        /// Maximum lines of run-ahead past the demand stream (`L2maxpref`).
+        max_distance: usize,
+    },
+}
+
+impl PrefetcherConfig {
+    /// Prefetch degree (`L2pref` in the paper); zero when disabled.
+    pub fn degree(&self) -> usize {
+        match self {
+            PrefetcherConfig::None => 0,
+            PrefetcherConfig::NextLine => 1,
+            PrefetcherConfig::Stride { degree, .. } => *degree,
+        }
+    }
+
+    /// Maximum run-ahead distance in lines (`L2maxpref`); zero when disabled.
+    pub fn max_distance(&self) -> usize {
+        match self {
+            PrefetcherConfig::None => 0,
+            PrefetcherConfig::NextLine => 1,
+            PrefetcherConfig::Stride { max_distance, .. } => *max_distance,
+        }
+    }
+
+    /// Whether any prefetching happens at this level.
+    pub fn is_enabled(&self) -> bool {
+        !matches!(self, PrefetcherConfig::None)
+    }
+}
+
+/// Geometry and behaviour of a single cache level (Table 1 parameters
+/// `LiCLS`, `Liway`, `LiCS`, plus prefetcher and sharing information).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheLevel {
+    /// Line size in bytes (`LiCLS`).
+    pub line_size: usize,
+    /// Associativity (`Liway`).
+    pub associativity: usize,
+    /// Total capacity in bytes (`LiCS`).
+    pub size_bytes: usize,
+    /// Which contexts share this level.
+    pub sharing: SharingScope,
+    /// Write-miss behaviour.
+    pub write_allocate: WriteAllocate,
+    /// Hardware prefetcher attached to this level.
+    pub prefetcher: PrefetcherConfig,
+    /// Access latency in cycles (used as the relative weight `ai` of the
+    /// paper's cost function for the *next* level's hits: a hit in L2
+    /// costs `a2`, etc.).
+    pub latency_cycles: f64,
+}
+
+impl CacheLevel {
+    /// Number of sets: `size / (associativity * line_size)`.
+    pub fn num_sets(&self) -> usize {
+        self.size_bytes / (self.associativity * self.line_size)
+    }
+
+    /// Number of lines the cache can hold.
+    pub fn num_lines(&self) -> usize {
+        self.size_bytes / self.line_size
+    }
+
+    /// Elements of a `dts`-byte type that fit in one line (`lc` in the
+    /// paper, `⌊LiCLS / DTS⌋`).
+    pub fn elems_per_line(&self, dts: usize) -> usize {
+        (self.line_size / dts).max(1)
+    }
+
+    /// Checks geometric consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when any dimension is zero, not a power of two
+    /// where required, or the capacity is not divisible into sets.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.line_size == 0 || !self.line_size.is_power_of_two() {
+            return Err("line size must be a nonzero power of two".into());
+        }
+        if self.associativity == 0 {
+            return Err("associativity must be nonzero".into());
+        }
+        if self.size_bytes == 0 {
+            return Err("capacity must be nonzero".into());
+        }
+        if self.size_bytes % (self.associativity * self.line_size) != 0 {
+            return Err("capacity not divisible by associativity * line size".into());
+        }
+        if self.latency_cycles <= 0.0 {
+            return Err("latency must be positive".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l1() -> CacheLevel {
+        CacheLevel {
+            line_size: 64,
+            associativity: 8,
+            size_bytes: 32 * 1024,
+            sharing: SharingScope::Core,
+            write_allocate: WriteAllocate::Allocate,
+            prefetcher: PrefetcherConfig::NextLine,
+            latency_cycles: 4.0,
+        }
+    }
+
+    #[test]
+    fn geometry() {
+        let c = l1();
+        assert_eq!(c.num_sets(), 64);
+        assert_eq!(c.num_lines(), 512);
+        assert_eq!(c.elems_per_line(4), 16);
+        assert_eq!(c.elems_per_line(8), 8);
+        assert_eq!(c.elems_per_line(128), 1);
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn prefetcher_accessors() {
+        assert_eq!(PrefetcherConfig::None.degree(), 0);
+        assert!(!PrefetcherConfig::None.is_enabled());
+        assert_eq!(PrefetcherConfig::NextLine.degree(), 1);
+        let s = PrefetcherConfig::Stride { degree: 2, max_distance: 20 };
+        assert_eq!(s.degree(), 2);
+        assert_eq!(s.max_distance(), 20);
+        assert!(s.is_enabled());
+    }
+
+    #[test]
+    fn validate_accepts_non_pow2_sets() {
+        // Real LLCs (e.g. the 5930K's 15 MiB L3) have non-power-of-two set
+        // counts; the simulator indexes sets by modulo.
+        let mut c = l1();
+        c.size_bytes = 24 * 1024; // 48 sets
+        assert!(c.validate().is_ok());
+        assert_eq!(c.num_sets(), 48);
+    }
+
+    #[test]
+    fn validate_rejects_zero_assoc() {
+        let mut c = l1();
+        c.associativity = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_indivisible_capacity() {
+        let mut c = l1();
+        c.size_bytes = 1000;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,100 @@
+//! Timing parameters used to convert simulated cache events to time.
+
+use serde::{Deserialize, Serialize};
+
+/// Converts simulated event counts into estimated execution time.
+///
+/// The optimizer itself only needs the *relative* level access costs
+/// (`a2`, `a3` in the paper's `Ctotal = a2·CL1 + a3·CL2`); the simulator
+/// additionally uses memory latency and a per-iteration compute cost to
+/// turn a trace into estimated milliseconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimingModel {
+    /// Core frequency in GHz, used to convert cycles to wall-clock time.
+    pub freq_ghz: f64,
+    /// Latency of a main-memory access in cycles.
+    pub mem_latency_cycles: f64,
+    /// Bandwidth-side cost of one cache-line transfer to/from memory in
+    /// cycles (used for writebacks, prefetch fills and non-temporal
+    /// stores, which overlap with execution instead of stalling it).
+    pub mem_transfer_cycles: f64,
+    /// Cycles of computation per innermost-statement execution for scalar
+    /// code (amortized; captures FMA throughput, address generation, ...).
+    pub compute_cycles_per_iter: f64,
+    /// Fraction of a cache hit's latency that is *exposed* (not hidden by
+    /// out-of-order execution and pipelining). Out-of-order cores overlap
+    /// almost all L1/L2 hit latency with useful work; in-order cores
+    /// expose more.
+    pub hit_exposed_fraction: f64,
+}
+
+impl TimingModel {
+    /// Wall-clock milliseconds for a given number of cycles.
+    pub fn cycles_to_ms(&self, cycles: f64) -> f64 {
+        cycles / (self.freq_ghz * 1e9) * 1e3
+    }
+
+    /// Checks parameter sanity.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when any rate or latency is non-positive or the
+    /// prefetch-hit fraction is outside `[0, 1]`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.freq_ghz <= 0.0 {
+            return Err("frequency must be positive".into());
+        }
+        if self.mem_latency_cycles <= 0.0 {
+            return Err("memory latency must be positive".into());
+        }
+        if self.compute_cycles_per_iter < 0.0 {
+            return Err("compute cost must be nonnegative".into());
+        }
+        if !(0.0..=1.0).contains(&self.hit_exposed_fraction) {
+            return Err("exposed-latency fraction must be in [0, 1]".into());
+        }
+        Ok(())
+    }
+}
+
+impl Default for TimingModel {
+    fn default() -> Self {
+        TimingModel {
+            freq_ghz: 3.5,
+            mem_latency_cycles: 200.0,
+            mem_transfer_cycles: 12.0,
+            compute_cycles_per_iter: 1.0,
+            hit_exposed_fraction: 0.15,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_to_ms_matches_frequency() {
+        let t = TimingModel { freq_ghz: 1.0, ..TimingModel::default() };
+        assert!((t.cycles_to_ms(1e9) - 1000.0).abs() < 1e-9);
+        let t = TimingModel { freq_ghz: 2.0, ..TimingModel::default() };
+        assert!((t.cycles_to_ms(2e9) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_validates() {
+        TimingModel::default().validate().unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_fraction() {
+        let t = TimingModel { hit_exposed_fraction: 1.5, ..TimingModel::default() };
+        assert!(t.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_zero_freq() {
+        let t = TimingModel { freq_ghz: 0.0, ..TimingModel::default() };
+        assert!(t.validate().is_err());
+    }
+}

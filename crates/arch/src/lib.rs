@@ -1,0 +1,218 @@
+//! Architecture descriptions for the palo optimizer and cache simulator.
+//!
+//! This crate models the architecture-specific parameters from Table 1 of
+//! *Loop Transformations Leveraging Hardware Prefetching* (CGO'18):
+//! per-level cache geometry (`LiCLS`, `Liway`, `LiCS`), core counts
+//! (`NCores`, `Nthreads`), SIMD width, and the hardware prefetcher
+//! configuration (L1 next-line streamer and L2 constant-stride prefetcher
+//! with a degree and a maximum distance).
+//!
+//! The three experimental platforms of Table 3 (Intel i7-6700,
+//! Intel i7-5930K, ARM Cortex-A15) are available as [`presets`].
+//!
+//! # Examples
+//!
+//! ```
+//! use palo_arch::presets;
+//!
+//! let arch = presets::intel_i7_5930k();
+//! assert_eq!(arch.l1().size_bytes, 32 * 1024);
+//! assert_eq!(arch.cores, 6);
+//! assert_eq!(arch.l1().line_size, 64);
+//! ```
+
+mod cache;
+mod cost;
+pub mod presets;
+
+pub use cache::{CacheLevel, PrefetcherConfig, SharingScope, WriteAllocate};
+pub use cost::TimingModel;
+
+use serde::{Deserialize, Serialize};
+
+/// A full description of a target architecture.
+///
+/// Holds the cache hierarchy (ordered from L1 outward), core/thread counts
+/// and the SIMD vector width, i.e. every architecture-specific parameter
+/// used by the paper's optimization flow (Table 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Architecture {
+    /// Human-readable platform name, e.g. `"Intel i7-5930K"`.
+    pub name: String,
+    /// Cache levels ordered from the closest to the core (L1) outward.
+    /// Must contain at least two levels (L1 and L2).
+    pub caches: Vec<CacheLevel>,
+    /// Number of physical cores (`NCores`).
+    pub cores: usize,
+    /// Hardware threads per core (`Nthreads`), e.g. 2 with hyper-threading.
+    pub threads_per_core: usize,
+    /// Native SIMD vector width in bytes (e.g. 32 for AVX2, 16 for NEON).
+    pub vector_bytes: usize,
+    /// Whether the ISA supports stores with non-temporal hints
+    /// (`movntps`/`movntdq` on x86). ARMv7 NEON does not.
+    pub supports_nt_stores: bool,
+    /// Timing parameters used to convert simulated events into time.
+    pub timing: TimingModel,
+}
+
+impl Architecture {
+    /// The L1 data cache description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the architecture has no cache levels (which
+    /// [`Architecture::validate`] rejects).
+    pub fn l1(&self) -> &CacheLevel {
+        &self.caches[0]
+    }
+
+    /// The L2 cache description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the architecture has fewer than two cache levels.
+    pub fn l2(&self) -> &CacheLevel {
+        &self.caches[1]
+    }
+
+    /// The last-level (shared) cache, if the platform has more than two
+    /// levels. Returns `None` on two-level hierarchies such as the
+    /// Cortex-A15.
+    pub fn l3(&self) -> Option<&CacheLevel> {
+        if self.caches.len() > 2 {
+            self.caches.last()
+        } else {
+            None
+        }
+    }
+
+    /// Total number of hardware threads (`NCores * Nthreads`).
+    pub fn total_threads(&self) -> usize {
+        self.cores * self.threads_per_core
+    }
+
+    /// Native vector lanes for a data type of `dts` bytes
+    /// (e.g. 8 lanes for f32 under AVX2).
+    pub fn vector_lanes(&self, dts: usize) -> usize {
+        (self.vector_bytes / dts).max(1)
+    }
+
+    /// Checks internal consistency of the description.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message when the hierarchy is empty, a level
+    /// has zero geometry, line sizes shrink going outward, or core/thread
+    /// counts are zero.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.caches.len() < 2 {
+            return Err(format!(
+                "architecture {:?} must describe at least L1 and L2",
+                self.name
+            ));
+        }
+        for (i, c) in self.caches.iter().enumerate() {
+            c.validate()
+                .map_err(|e| format!("cache level L{}: {e}", i + 1))?;
+        }
+        for w in self.caches.windows(2) {
+            if w[1].line_size < w[0].line_size {
+                return Err("outer cache line size smaller than inner".into());
+            }
+            if w[1].size_bytes < w[0].size_bytes {
+                return Err("outer cache smaller than inner".into());
+            }
+        }
+        if self.cores == 0 || self.threads_per_core == 0 {
+            return Err("core/thread counts must be nonzero".into());
+        }
+        if self.vector_bytes == 0 || !self.vector_bytes.is_power_of_two() {
+            return Err("vector width must be a nonzero power of two".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        for arch in [
+            presets::intel_i7_6700(),
+            presets::intel_i7_5930k(),
+            presets::arm_cortex_a15(),
+        ] {
+            arch.validate().unwrap_or_else(|e| panic!("{}: {e}", arch.name));
+        }
+    }
+
+    #[test]
+    fn l3_presence_matches_platforms() {
+        assert!(presets::intel_i7_6700().l3().is_some());
+        assert!(presets::intel_i7_5930k().l3().is_some());
+        assert!(presets::arm_cortex_a15().l3().is_none());
+    }
+
+    #[test]
+    fn table3_parameters() {
+        // Cross-check against Table 3 of the paper.
+        let p = presets::intel_i7_5930k();
+        assert_eq!(p.l1().line_size, 64);
+        assert_eq!(p.l1().associativity, 8);
+        assert_eq!(p.l1().size_bytes, 32 * 1024);
+        assert_eq!(p.l2().associativity, 8);
+        assert_eq!(p.l2().size_bytes, 256 * 1024);
+        assert_eq!(p.cores, 6);
+        assert_eq!(p.threads_per_core, 2);
+
+        let p = presets::intel_i7_6700();
+        assert_eq!(p.cores, 4);
+        assert_eq!(p.threads_per_core, 2);
+
+        let p = presets::arm_cortex_a15();
+        assert_eq!(p.l1().associativity, 2);
+        assert_eq!(p.l2().associativity, 16);
+        assert_eq!(p.l2().size_bytes, 512 * 1024);
+        assert_eq!(p.cores, 4);
+        assert_eq!(p.threads_per_core, 1);
+        assert!(!p.supports_nt_stores);
+    }
+
+    #[test]
+    fn vector_lanes_round_down() {
+        let arch = presets::intel_i7_6700();
+        assert_eq!(arch.vector_lanes(4), 8); // AVX2 f32
+        assert_eq!(arch.vector_lanes(8), 4); // AVX2 f64
+        assert_eq!(arch.vector_lanes(64), 1); // never zero
+    }
+
+    #[test]
+    fn validate_rejects_single_level() {
+        let mut arch = presets::intel_i7_6700();
+        arch.caches.truncate(1);
+        assert!(arch.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_shrinking_outer_cache() {
+        let mut arch = presets::intel_i7_6700();
+        arch.caches[1].size_bytes = 16 * 1024;
+        assert!(arch.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_zero_cores() {
+        let mut arch = presets::intel_i7_6700();
+        arch.cores = 0;
+        assert!(arch.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_vector_width() {
+        let mut arch = presets::intel_i7_6700();
+        arch.vector_bytes = 24;
+        assert!(arch.validate().is_err());
+    }
+}

@@ -1,0 +1,208 @@
+//! An OpenTuner-style stochastic autotuner over the restricted Halide
+//! schedule space the paper describes.
+//!
+//! The paper's autotuner observations (§2, §5.1) that this
+//! reimplementation preserves:
+//!
+//! * it "iteratively run\[s\] an application using different optimization
+//!   configurations" — here each candidate is *measured* on the cache
+//!   simulator ([`palo_exec::estimate_time`]);
+//! * "part of the design space is sometimes actually excluded": candidates
+//!   only tile the *output* dimensions (Fig. 5's observation), with
+//!   power-of-two sizes;
+//! * quality is budget-bound: the number of evaluations stands in for the
+//!   paper's one-hour / one-day wall-clock budgets.
+
+use palo_arch::Architecture;
+use palo_exec::estimate_time;
+use palo_ir::LoopNest;
+use palo_sched::Schedule;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a tuning run.
+#[derive(Debug, Clone)]
+pub struct TuneResult {
+    /// Best schedule found.
+    pub schedule: Schedule,
+    /// Its estimated execution time in milliseconds.
+    pub est_ms: f64,
+    /// Candidates evaluated.
+    pub evals: usize,
+}
+
+/// The stochastic autotuner.
+#[derive(Debug, Clone)]
+pub struct Autotuner {
+    /// Evaluation budget ("1 hour" ≈ 20, "1 day" ≈ 150 in the
+    /// reproduction's experiment mapping).
+    pub budget: usize,
+    /// RNG seed (runs are deterministic given the seed).
+    pub seed: u64,
+}
+
+impl Autotuner {
+    /// A tuner with the given evaluation budget and seed.
+    pub fn new(budget: usize, seed: u64) -> Self {
+        Autotuner { budget, seed }
+    }
+
+    /// Tunes `nest` for `arch`, returning the best schedule found within
+    /// the budget. The first candidate is always the untiled
+    /// parallel+vectorize schedule, so the tuner never returns something
+    /// worse than that.
+    pub fn tune(&self, nest: &LoopNest, arch: &Architecture) -> TuneResult {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let mut best: Option<(f64, Schedule)> = None;
+        let mut evals = 0usize;
+
+        for trial in 0..self.budget.max(1) {
+            let sched = if trial == 0 {
+                crate::basic::baseline(nest, arch)
+            } else {
+                self.random_candidate(nest, arch, &mut rng)
+            };
+            let Ok(lowered) = sched.lower(nest) else { continue };
+            let est = estimate_time(nest, &lowered, arch);
+            evals += 1;
+            if best.as_ref().map_or(true, |(b, _)| est.ms < *b) {
+                best = Some((est.ms, sched));
+            }
+        }
+        let (est_ms, schedule) = best.expect("budget >= 1 evaluates the baseline");
+        TuneResult { schedule, est_ms, evals }
+    }
+
+    /// One random point of the restricted space: power-of-two tiles on
+    /// output dims (possibly untiled), random inter order, intra order
+    /// with the column dim innermost, parallel outermost, vectorized
+    /// column.
+    fn random_candidate(
+        &self,
+        nest: &LoopNest,
+        arch: &Architecture,
+        rng: &mut StdRng,
+    ) -> Schedule {
+        let extents = nest.extents();
+        let n = extents.len();
+        let names: Vec<&str> = nest.vars().iter().map(|v| v.name.as_str()).collect();
+        let out_vars: Vec<usize> =
+            nest.statement().output.var_order().iter().map(|v| v.index()).collect();
+        let col = nest.column_var().map(|v| v.index());
+        let lanes = arch.vector_lanes(nest.dtype().size_bytes());
+
+        let mut s = Schedule::new();
+        let mut tiled: Vec<usize> = Vec::new();
+        let mut tile = extents.clone();
+        for &v in &out_vars {
+            if rng.gen_bool(0.8) && extents[v] >= 4 {
+                let max_pow = (usize::BITS - 1 - extents[v].leading_zeros()) as usize;
+                let p = rng.gen_range(1..=max_pow);
+                let t = (1usize << p).min(extents[v]);
+                if t < extents[v] {
+                    tile[v] = t;
+                    tiled.push(v);
+                    s.split(names[v], &format!("{}_o", names[v]), &format!("{}_i", names[v]), t);
+                }
+            }
+        }
+
+        // Random inter order over the tiled dims.
+        let mut inter = tiled.clone();
+        for i in (1..inter.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            inter.swap(i, j);
+        }
+        let mut order: Vec<String> =
+            inter.iter().map(|&v| format!("{}_o", names[v])).collect();
+        // Reduction loops in random relative position: before or after
+        // the intra tiles (coin flip), column always innermost.
+        let reductions: Vec<usize> = (0..n).filter(|&v| !out_vars.contains(&v)).collect();
+        let red_first = rng.gen_bool(0.5);
+        let mut intra: Vec<usize> = out_vars.clone();
+        if let Some(c) = col {
+            intra.retain(|&v| v != c);
+            intra.push(c);
+        }
+        let intra_names = |v: usize| {
+            if tile[v] < extents[v] {
+                format!("{}_i", names[v])
+            } else {
+                names[v].to_string()
+            }
+        };
+        if red_first {
+            order.extend(reductions.iter().map(|&v| names[v].to_string()));
+            order.extend(intra.iter().map(|&v| intra_names(v)));
+        } else {
+            let (last, rest) = intra.split_last().expect("output has at least one var");
+            order.extend(rest.iter().map(|&v| intra_names(v)));
+            order.extend(reductions.iter().map(|&v| names[v].to_string()));
+            order.push(intra_names(*last));
+        }
+        if order.len() > 1 {
+            let refs: Vec<&str> = order.iter().map(|x| x.as_str()).collect();
+            s.reorder(&refs);
+        }
+        if let Some(c) = col {
+            if lanes > 1 && tile[c] >= lanes {
+                s.vectorize(order.last().expect("nonempty"), lanes);
+            }
+        }
+        if n > 1 {
+            if let Some(first) = order.first() {
+                s.parallel(first);
+            }
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palo_arch::presets;
+    use palo_ir::{DType, NestBuilder};
+
+    fn matmul(n: usize) -> LoopNest {
+        let mut b = NestBuilder::new("matmul", DType::F32);
+        let i = b.var("i", n);
+        let j = b.var("j", n);
+        let k = b.var("k", n);
+        let a = b.array("A", &[n, n]);
+        let bm = b.array("B", &[n, n]);
+        let c = b.array("C", &[n, n]);
+        b.accumulate(c, &[i, j], b.load(a, &[i, k]) * b.load(bm, &[k, j]));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let nest = matmul(64);
+        let arch = presets::intel_i7_6700();
+        let t = Autotuner::new(5, 42);
+        let r1 = t.tune(&nest, &arch);
+        let r2 = t.tune(&nest, &arch);
+        assert_eq!(r1.schedule, r2.schedule);
+        assert_eq!(r1.est_ms, r2.est_ms);
+    }
+
+    #[test]
+    fn bigger_budget_never_worse() {
+        let nest = matmul(96);
+        let arch = presets::intel_i7_6700();
+        let small = Autotuner::new(3, 7).tune(&nest, &arch);
+        let large = Autotuner::new(12, 7).tune(&nest, &arch);
+        assert!(large.est_ms <= small.est_ms + 1e-12);
+        assert_eq!(large.evals, 12);
+    }
+
+    #[test]
+    fn candidates_are_always_lowerable() {
+        let nest = matmul(64);
+        let arch = presets::arm_cortex_a15();
+        let r = Autotuner::new(10, 3).tune(&nest, &arch);
+        assert_eq!(r.evals, 10, "every candidate must lower");
+        r.schedule.lower(&nest).unwrap();
+    }
+}

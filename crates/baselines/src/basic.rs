@@ -1,0 +1,83 @@
+//! The baseline schedule.
+
+use palo_arch::Architecture;
+use palo_ir::LoopNest;
+use palo_sched::Schedule;
+
+/// "The most basic optimization a developer may perform, which usually
+/// includes parallelization of the outer loop and vectorization of the
+/// inner one" (§5.1): the column loop is rotated innermost (as a Halide
+/// developer writing `vectorize(x)` effectively does), the outermost loop
+/// is parallelized, and nothing is tiled.
+pub fn baseline(nest: &LoopNest, arch: &Architecture) -> Schedule {
+    let mut s = Schedule::new();
+    let names: Vec<&str> = nest.vars().iter().map(|v| v.name.as_str()).collect();
+    let n = names.len();
+    let col = nest.column_var().map(|v| v.index());
+
+    // Rotate the column loop innermost, keeping everything else in
+    // program order.
+    let order: Vec<&str> = match col {
+        Some(c) => {
+            let mut o: Vec<&str> =
+                (0..n).filter(|&v| v != c).map(|v| names[v]).collect();
+            o.push(names[c]);
+            o
+        }
+        None => names.clone(),
+    };
+    if n > 1 && order != names {
+        s.reorder(&order);
+    }
+
+    if let Some(c) = col {
+        let lanes = arch.vector_lanes(nest.dtype().size_bytes());
+        if lanes > 1 && nest.extent(palo_ir::VarId(c)) >= lanes {
+            s.vectorize(names[c], lanes);
+        }
+    }
+    if let Some(&outer) = order.first() {
+        if n > 1 {
+            s.parallel(outer);
+        }
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palo_arch::presets;
+    use palo_ir::{DType, NestBuilder};
+
+    fn matmul(n: usize) -> LoopNest {
+        let mut b = NestBuilder::new("matmul", DType::F32);
+        let i = b.var("i", n);
+        let j = b.var("j", n);
+        let k = b.var("k", n);
+        let a = b.array("A", &[n, n]);
+        let bm = b.array("B", &[n, n]);
+        let c = b.array("C", &[n, n]);
+        b.accumulate(c, &[i, j], b.load(a, &[i, k]) * b.load(bm, &[k, j]));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn matmul_baseline_rotates_j_innermost() {
+        let nest = matmul(64);
+        let arch = presets::intel_i7_6700();
+        let low = baseline(&nest, &arch).lower(&nest).unwrap();
+        let names: Vec<_> = low.loops().iter().map(|l| l.name.as_str()).collect();
+        assert_eq!(names, vec!["i", "k", "j"]);
+        assert_eq!(low.vector_lanes(), 8);
+        assert_eq!(low.parallel_loop(), Some(0));
+    }
+
+    #[test]
+    fn small_inner_loop_not_vectorized() {
+        let nest = matmul(4);
+        let arch = presets::intel_i7_6700(); // 8 f32 lanes > 4
+        let low = baseline(&nest, &arch).lower(&nest).unwrap();
+        assert_eq!(low.vector_lanes(), 1);
+    }
+}

@@ -1,0 +1,96 @@
+//! Reimplementations of the TSS and TTS analytical tile-size models
+//! (§5.2, Table 6).
+//!
+//! Both models are expressed by reconfiguring the shared cost machinery
+//! of [`palo_core`]:
+//!
+//! * **TSS** \[Mehta et al., TACO 2013\] exploits reuse in the L1 and L2
+//!   with associativity awareness but "without taking prefetching into
+//!   account": prefetched references are *not* discounted from the cold
+//!   miss counts, and no cache capacity is reserved for prefetch streams.
+//! * **TTS / TurboTiling** \[Mehta et al., ICS 2016\] "optimizes for L2
+//!   and L3 cache while taking advantage of hardware prefetching.
+//!   However, prefetching is not considered in the analytical model":
+//!   the same search is run one level down the hierarchy (L2 plays L1's
+//!   role, the L3 — or memory on two-level platforms — plays L2's), again
+//!   without prefetch discounting. The resulting tiles are characteristically
+//!   larger than TSS's.
+
+use palo_arch::Architecture;
+use palo_core::{temporal, Decision, OptimizerConfig};
+use palo_ir::{LoopNest, NestInfo};
+
+/// TSS tile-size selection: L1+L2 reuse, associativity-aware, no
+/// prefetch modeling.
+pub fn tss(nest: &LoopNest, arch: &Architecture) -> Decision {
+    let config = OptimizerConfig {
+        prefetch_discount: false,
+        halve_l2_sets: false,
+        ..OptimizerConfig::default()
+    };
+    let info = NestInfo::analyze(nest);
+    temporal::optimize(nest, &info, arch, &config)
+}
+
+/// TTS/TurboTiling tile-size selection: L2+L3 reuse, prefetch streams
+/// assumed to fill the LLC but not modeled in the miss estimates.
+pub fn tts(nest: &LoopNest, arch: &Architecture) -> Decision {
+    let shifted = shift_hierarchy(arch);
+    let config = OptimizerConfig {
+        prefetch_discount: false,
+        halve_l2_sets: false,
+        ..OptimizerConfig::default()
+    };
+    let info = NestInfo::analyze(nest);
+    temporal::optimize(nest, &info, &shifted, &config)
+}
+
+/// Builds a pseudo-architecture whose first two levels are the real L2
+/// and L3 (so the level-generic search optimizes one level further out).
+/// On two-level platforms the L2 doubles as both.
+fn shift_hierarchy(arch: &Architecture) -> Architecture {
+    let mut shifted = arch.clone();
+    let caches = &arch.caches;
+    shifted.caches = if caches.len() >= 3 {
+        caches[1..].to_vec()
+    } else {
+        vec![caches[1].clone(), caches[1].clone()]
+    };
+    shifted
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palo_arch::presets;
+    use palo_suite::kernels;
+
+    #[test]
+    fn tss_and_tts_produce_lowerable_schedules() {
+        let nest = kernels::matmul(256).unwrap();
+        let arch = presets::intel_i7_5930k();
+        for d in [tss(&nest, &arch), tts(&nest, &arch)] {
+            d.schedule().lower(&nest).unwrap();
+            assert!(d.tile.iter().any(|&t| t > 1));
+        }
+    }
+
+    #[test]
+    fn tts_tiles_are_at_least_as_large_in_volume() {
+        // TTS targets a bigger cache, so its tile volume should not be
+        // smaller than TSS's.
+        let nest = kernels::matmul(512).unwrap();
+        let arch = presets::intel_i7_5930k();
+        let v_tss: usize = tss(&nest, &arch).tile.iter().product();
+        let v_tts: usize = tts(&nest, &arch).tile.iter().product();
+        assert!(v_tts >= v_tss, "tts {v_tts} < tss {v_tss}");
+    }
+
+    #[test]
+    fn shift_hierarchy_on_arm_reuses_l2() {
+        let arm = presets::arm_cortex_a15();
+        let shifted = shift_hierarchy(&arm);
+        assert_eq!(shifted.caches.len(), 2);
+        assert_eq!(shifted.caches[0].size_bytes, arm.l2().size_bytes);
+    }
+}

@@ -1,0 +1,107 @@
+//! Uniform access to every scheduling technique of the evaluation.
+
+use crate::{auto_scheduler, baseline, tss, tts, Autotuner};
+use palo_arch::Architecture;
+use palo_core::{Optimizer, OptimizerConfig};
+use palo_ir::LoopNest;
+use palo_sched::Schedule;
+use serde::{Deserialize, Serialize};
+
+/// A scheduling technique compared in Figures 4–7 and Table 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Technique {
+    /// The paper's optimizer, NTI disabled ("Proposed").
+    Proposed,
+    /// The paper's optimizer with non-temporal stores ("Proposed+NTI").
+    ProposedNti,
+    /// The Halide-Auto-Scheduler-like heuristic.
+    AutoScheduler,
+    /// Parallel outer + vectorized inner, untiled.
+    Baseline,
+    /// Stochastic search with the given evaluation budget.
+    Autotuner {
+        /// Evaluation budget (the reproduction's stand-in for tuning
+        /// wall-clock).
+        budget: usize,
+    },
+    /// TSS analytical model (§5.2).
+    Tss,
+    /// TTS / TurboTiling analytical model (§5.2).
+    Tts,
+}
+
+impl Technique {
+    /// Display label matching the paper's legends.
+    pub fn label(self) -> String {
+        match self {
+            Technique::Proposed => "Proposed".into(),
+            Technique::ProposedNti => "Proposed+NTI".into(),
+            Technique::AutoScheduler => "Auto-Scheduler".into(),
+            Technique::Baseline => "Baseline".into(),
+            Technique::Autotuner { .. } => "Autotuner".into(),
+            Technique::Tss => "TSS".into(),
+            Technique::Tts => "TTS".into(),
+        }
+    }
+}
+
+/// Produces the schedule of `technique` for `nest` on `arch`.
+///
+/// `seed` feeds the autotuner's RNG and is ignored by the deterministic
+/// techniques.
+pub fn schedule_for(
+    technique: Technique,
+    nest: &LoopNest,
+    arch: &Architecture,
+    seed: u64,
+) -> Schedule {
+    match technique {
+        Technique::Proposed => {
+            let config = OptimizerConfig { enable_nti: false, ..OptimizerConfig::default() };
+            Optimizer::with_config(arch, config).optimize(nest).into_schedule()
+        }
+        Technique::ProposedNti => Optimizer::new(arch).optimize(nest).into_schedule(),
+        Technique::AutoScheduler => auto_scheduler(nest, arch),
+        Technique::Baseline => baseline(nest, arch),
+        Technique::Autotuner { budget } => Autotuner::new(budget, seed).tune(nest, arch).schedule,
+        Technique::Tss => tss(nest, arch).into_schedule(),
+        Technique::Tts => tts(nest, arch).into_schedule(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palo_arch::presets;
+    use palo_suite::kernels;
+
+    #[test]
+    fn all_techniques_schedule_matmul() {
+        let nest = kernels::matmul(128).unwrap();
+        let arch = presets::intel_i7_6700();
+        for t in [
+            Technique::Proposed,
+            Technique::ProposedNti,
+            Technique::AutoScheduler,
+            Technique::Baseline,
+            Technique::Autotuner { budget: 3 },
+            Technique::Tss,
+            Technique::Tts,
+        ] {
+            let s = schedule_for(t, &nest, &arch, 1);
+            s.lower(&nest).unwrap_or_else(|e| panic!("{}: {e}", t.label()));
+        }
+    }
+
+    #[test]
+    fn proposed_nti_differs_only_on_write_only_outputs() {
+        let arch = presets::intel_i7_5930k();
+        // matmul accumulates: NTI must not appear in either variant.
+        let mm = kernels::matmul(128).unwrap();
+        assert!(!schedule_for(Technique::ProposedNti, &mm, &arch, 0).uses_nt_stores());
+        // transpose is write-only: only the NTI variant streams.
+        let tp = kernels::tp(256).unwrap();
+        assert!(schedule_for(Technique::ProposedNti, &tp, &arch, 0).uses_nt_stores());
+        assert!(!schedule_for(Technique::Proposed, &tp, &arch, 0).uses_nt_stores());
+    }
+}

@@ -1,0 +1,64 @@
+//! Ablation of the design choices DESIGN.md §6 calls out:
+//!
+//! 1. prefetch discounting in the miss model (Eq. 2 → Eq. 3),
+//! 2. the halved effective L2 set count,
+//! 3. the `Corder` reorder step,
+//! 4. the Eq. 13 parallel-grain constraint,
+//! 5. non-temporal stores.
+//!
+//! Each switch is disabled in isolation and the resulting schedule is
+//! measured on the simulator for one temporal kernel (matmul) and one
+//! spatial kernel (tpm).
+
+use palo_arch::presets;
+use palo_bench::print_table;
+use palo_core::{Optimizer, OptimizerConfig};
+use palo_exec::estimate_time;
+use palo_suite::kernels;
+
+fn main() {
+    let arch = presets::repro::intel_i7_5930k();
+    let variants: Vec<(&str, OptimizerConfig)> = vec![
+        ("full model (paper)", OptimizerConfig::default()),
+        (
+            "no prefetch discount",
+            OptimizerConfig { prefetch_discount: false, ..OptimizerConfig::default() },
+        ),
+        (
+            "no halved L2 sets",
+            OptimizerConfig { halve_l2_sets: false, ..OptimizerConfig::default() },
+        ),
+        (
+            "no reorder step",
+            OptimizerConfig { reorder_step: false, ..OptimizerConfig::default() },
+        ),
+        (
+            "no parallel-grain constraint",
+            OptimizerConfig { parallel_grain_constraint: false, ..OptimizerConfig::default() },
+        ),
+        ("no NTI", OptimizerConfig { enable_nti: false, ..OptimizerConfig::default() }),
+    ];
+
+    for (bench, nest) in [
+        ("matmul 512", kernels::matmul(512).expect("builds")),
+        ("tpm 1024", kernels::tpm(1024).expect("builds")),
+    ] {
+        let mut rows = Vec::new();
+        for (label, config) in &variants {
+            let d = Optimizer::with_config(&arch, config.clone()).optimize(&nest);
+            let lowered = d.schedule().lower(&nest).expect("schedule lowers");
+            let est = estimate_time(&nest, &lowered, &arch);
+            rows.push(vec![
+                label.to_string(),
+                format!("{:.2}", est.ms),
+                format!("{:?}", d.tile),
+                d.use_nti.to_string(),
+            ]);
+        }
+        print_table(
+            &format!("Ablation — {bench}, Intel 5930K"),
+            &["Variant", "est. ms", "tile", "NTI"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Criterion micro-benchmarks of the infrastructure:
+//!
+//! * `opt_runtime/*` — Table 5's quantity as a statistical benchmark:
+//!   the optimizer's wall-clock per kernel;
+//! * `emu/*` — Algorithm 1's cost;
+//! * `cachesim/stream` — simulator line-touch throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use palo_arch::presets;
+use palo_cachesim::{AccessKind, Hierarchy};
+use palo_core::{emu, EmuParams, Optimizer};
+use palo_suite::kernels;
+
+fn opt_runtime(c: &mut Criterion) {
+    let arch = presets::intel_i7_5930k();
+    let opt = Optimizer::new(&arch);
+    let mut group = c.benchmark_group("opt_runtime");
+    group.sample_size(10);
+    let cases = [
+        ("matmul", kernels::matmul(512).expect("builds")),
+        ("doitgen", kernels::doitgen(64).expect("builds")),
+        ("tpm", kernels::tpm(1024).expect("builds")),
+        ("syr2k", kernels::syr2k(384).expect("builds")),
+    ];
+    for (name, nest) in &cases {
+        group.bench_function(*name, |b| b.iter(|| std::hint::black_box(opt.optimize(nest))));
+    }
+    group.finish();
+}
+
+fn emu_bounds(c: &mut Criterion) {
+    let arch = presets::intel_i7_5930k();
+    let mut group = c.benchmark_group("emu");
+    group.sample_size(20);
+    group.bench_function("l2_bound", |b| {
+        b.iter(|| {
+            emu(&EmuParams {
+                level: arch.l2(),
+                dts: 4,
+                row_len: 256,
+                row_stride: 2048 + 16,
+                threads: 2,
+                addr: 0,
+                l2_pref: 2,
+                l2_max_pref: 20,
+                for_l2: true,
+                halve_l2_sets: true,
+                cap: 1 << 16,
+            })
+        })
+    });
+    group.finish();
+}
+
+fn cachesim_stream(c: &mut Criterion) {
+    let arch = presets::intel_i7_6700();
+    let mut group = c.benchmark_group("cachesim");
+    group.sample_size(10);
+    group.bench_function("stream_1mib", |b| {
+        b.iter(|| {
+            let mut h = Hierarchy::from_architecture(&arch);
+            for addr in (0..1u64 << 20).step_by(64) {
+                h.access(addr, AccessKind::Load);
+            }
+            std::hint::black_box(h.stats().total_accesses)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, opt_runtime, emu_bounds, cachesim_stream);
+criterion_main!(benches);

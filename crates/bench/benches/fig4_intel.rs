@@ -1,0 +1,42 @@
+//! Figure 4: throughput relative to the fastest implementation on the
+//! two Intel platforms, five techniques × twelve benchmarks.
+
+use palo_arch::presets;
+use palo_baselines::Technique;
+use palo_bench::{autotuner_budget_1h, bar, measure_benchmark, print_table};
+use palo_suite::Benchmark;
+
+fn main() {
+    let budget = autotuner_budget_1h();
+    for arch in [presets::repro::intel_i7_6700(), presets::repro::intel_i7_5930k()] {
+        let techniques = [
+            Technique::Proposed,
+            Technique::ProposedNti,
+            Technique::AutoScheduler,
+            Technique::Baseline,
+            Technique::Autotuner { budget },
+        ];
+        let mut rows = Vec::new();
+        for b in Benchmark::all() {
+            let times: Vec<f64> = techniques
+                .iter()
+                .map(|&t| measure_benchmark(b, t, &arch, 0xC60))
+                .collect();
+            let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
+            let mut row = vec![b.name().to_string()];
+            for ms in &times {
+                let rel = best / ms; // throughput (1/s) relative to fastest
+                row.push(format!("{rel:.2} {}", bar(rel, 10)));
+            }
+            rows.push(row);
+        }
+        print_table(
+            &format!(
+                "Figure 4: throughput relative to fastest — {} (autotuner budget {budget})",
+                arch.name
+            ),
+            &["Benchmark", "Proposed", "Proposed+NTI", "Auto-Scheduler", "Baseline", "Autotuner"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,34 @@
+//! Figure 6: the effect of non-temporal stores on the kernels whose
+//! output has no temporal reuse (tp&m, tp, copy, mask), Intel 5930K.
+//!
+//! Throughput is reported relative to the *Proposed non-NTI*
+//! implementation, as in the paper — values above 1.0 for Proposed+NTI
+//! demonstrate the benefit of the new scheduling directive.
+
+use palo_arch::presets;
+use palo_baselines::Technique;
+use palo_bench::{bar, measure_benchmark, print_table};
+use palo_suite::Benchmark;
+
+fn main() {
+    let arch = presets::repro::intel_i7_5930k();
+    let benchmarks = [Benchmark::Tpm, Benchmark::Tp, Benchmark::Copy, Benchmark::Mask];
+    let mut rows = Vec::new();
+    for b in benchmarks {
+        let proposed = measure_benchmark(b, Technique::Proposed, &arch, 0);
+        let nti = measure_benchmark(b, Technique::ProposedNti, &arch, 0);
+        let autos = measure_benchmark(b, Technique::AutoScheduler, &arch, 0);
+        let rel = |ms: f64| proposed / ms;
+        rows.push(vec![
+            b.name().to_string(),
+            format!("{:.2} {}", rel(proposed), bar(rel(proposed) / 1.6, 10)),
+            format!("{:.2} {}", rel(nti), bar(rel(nti) / 1.6, 10)),
+            format!("{:.2} {}", rel(autos), bar(rel(autos) / 1.6, 10)),
+        ]);
+    }
+    print_table(
+        "Figure 6: throughput relative to Proposed (non-NTI), Intel 5930K",
+        &["Benchmark", "Proposed", "Proposed+NTI", "Auto-Scheduler"],
+        &rows,
+    );
+}

@@ -1,0 +1,36 @@
+//! Figure 7: the ARM Cortex-A15 platform (no L3, shared 16-way L2,
+//! one thread per core, no vector NT stores).
+//!
+//! copy and mask are excluded as in the paper (without NT stores all
+//! three implementations are identical). The model correction for the
+//! shared L2 (`L2way / NCores`) is derived automatically from the
+//! level's `SharingScope::Chip`.
+
+use palo_arch::presets;
+use palo_baselines::Technique;
+use palo_bench::{bar, measure_benchmark, print_table};
+use palo_suite::Benchmark;
+
+fn main() {
+    let arch = presets::repro::arm_cortex_a15();
+    let techniques = [Technique::Proposed, Technique::AutoScheduler, Technique::Baseline];
+    let mut rows = Vec::new();
+    for b in Benchmark::all() {
+        if matches!(b, Benchmark::Copy | Benchmark::Mask) {
+            continue;
+        }
+        let times: Vec<f64> =
+            techniques.iter().map(|&t| measure_benchmark(b, t, &arch, 0)).collect();
+        let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let mut row = vec![b.name().to_string()];
+        for ms in &times {
+            row.push(format!("{:.2} {}", best / ms, bar(best / ms, 10)));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Figure 7: throughput relative to fastest — ARM Cortex A15",
+        &["Benchmark", "Proposed", "Auto-Scheduler", "Baseline"],
+        &rows,
+    );
+}

@@ -1,0 +1,38 @@
+//! Table 3: experimental platforms.
+//!
+//! Prints the simulated platform parameters so runs are self-describing;
+//! values must match the paper's Table 3.
+
+use palo_arch::presets;
+use palo_bench::print_table;
+
+fn main() {
+    let archs = [
+        presets::intel_i7_5930k(),
+        presets::intel_i7_6700(),
+        presets::arm_cortex_a15(),
+    ];
+    let mut rows = Vec::new();
+    let field = |name: &str, f: &dyn Fn(&palo_arch::Architecture) -> String| {
+        let mut row = vec![name.to_string()];
+        row.extend(archs.iter().map(|a| f(a)));
+        row
+    };
+    rows.push(field("LCLS", &|a| format!("{}B", a.l1().line_size)));
+    rows.push(field("L1way", &|a| a.l1().associativity.to_string()));
+    rows.push(field("L1CS", &|a| format!("{}KB", a.l1().size_bytes / 1024)));
+    rows.push(field("L2way", &|a| a.l2().associativity.to_string()));
+    rows.push(field("L2CS", &|a| format!("{}KB", a.l2().size_bytes / 1024)));
+    rows.push(field("L3CS", &|a| {
+        a.l3().map(|c| format!("{}MB", c.size_bytes / 1024 / 1024)).unwrap_or("-".into())
+    }));
+    rows.push(field("NCores", &|a| a.cores.to_string()));
+    rows.push(field("Nthreads", &|a| a.threads_per_core.to_string()));
+    rows.push(field("NT stores", &|a| if a.supports_nt_stores { "yes" } else { "no" }.into()));
+
+    print_table(
+        "Table 3: Experimental platforms (simulated)",
+        &["Parameter", "Intel i7 5930k", "Intel i7 6700", "ARM Cortex A15"],
+        &rows,
+    );
+}

@@ -1,0 +1,52 @@
+//! Table 4: average execution time of the best implementation per
+//! benchmark per platform.
+//!
+//! The paper reports the wall-clock of the fastest schedule; here the
+//! fastest *estimated* time across the non-autotuned techniques (the
+//! autotuner never wins in the paper's Table 4 columns and is costly to
+//! run; enable it by unsetting PALO_QUICK and editing TECHNIQUES below).
+
+use palo_arch::presets;
+use palo_baselines::Technique;
+use palo_bench::{measure_benchmark, print_table};
+use palo_suite::Benchmark;
+
+const TECHNIQUES: &[Technique] = &[
+    Technique::ProposedNti,
+    Technique::Proposed,
+    Technique::AutoScheduler,
+    Technique::Baseline,
+];
+
+fn main() {
+    let archs = [
+        presets::repro::intel_i7_6700(),
+        presets::repro::intel_i7_5930k(),
+        presets::repro::arm_cortex_a15(),
+    ];
+    let mut rows = Vec::new();
+    for b in Benchmark::all() {
+        let mut row = vec![b.name().to_string(), b.scaled_size().to_string()];
+        for arch in &archs {
+            // ARM lacks vector NT stores; copy/mask are excluded there as
+            // in the paper.
+            if arch.name.starts_with("ARM") && matches!(b, Benchmark::Copy | Benchmark::Mask) {
+                row.push("-".into());
+                continue;
+            }
+            let best = TECHNIQUES
+                .iter()
+                .map(|&t| measure_benchmark(b, t, arch, 0))
+                .fold(f64::INFINITY, f64::min);
+            row.push(format!("{best:.2}"));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Table 4: estimated execution time (ms) — best implementation (scaled sizes)",
+        &["Benchmark", "Problem size", "Intel i7 6700", "Intel 5930K", "ARM A15"],
+        &rows,
+    );
+    println!("\nNote: absolute values are simulator estimates at the scaled problem");
+    println!("sizes of DESIGN.md §5; compare orderings and ratios, not magnitudes.");
+}

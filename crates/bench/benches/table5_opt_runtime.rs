@@ -1,0 +1,33 @@
+//! Table 5: optimization runtime of the proposed tool per benchmark.
+//!
+//! Wall-clock of `Optimizer::optimize` (median of several runs). The
+//! paper reports milliseconds for most kernels and ~7.6 s for the
+//! convolution layer (many loop levels → many permutations); the same
+//! gradient should appear here.
+
+use palo_arch::presets;
+use palo_bench::print_table;
+use palo_core::Optimizer;
+use palo_suite::Benchmark;
+use std::time::Instant;
+
+fn main() {
+    let arch = presets::intel_i7_5930k();
+    let opt = Optimizer::new(&arch);
+    let mut rows = Vec::new();
+    for b in Benchmark::all() {
+        let nests = b.build_scaled().expect("suite kernels build");
+        let mut samples = Vec::new();
+        for _ in 0..5 {
+            let t0 = Instant::now();
+            for nest in &nests {
+                std::hint::black_box(opt.optimize(nest));
+            }
+            samples.push(t0.elapsed().as_secs_f64());
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        rows.push(vec![b.name().to_string(), format!("{:.3}s", median)]);
+    }
+    print_table("Table 5: optimization runtime", &["Benchmark", "Runtime"], &rows);
+}

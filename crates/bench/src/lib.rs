@@ -1,0 +1,140 @@
+//! Shared harness for the table/figure generators.
+//!
+//! Every bench target in this crate regenerates one table or figure of
+//! the paper (DESIGN.md §4) on the simulator substrate. The helpers here
+//! measure a technique on a benchmark, format tables, and read the
+//! `PALO_QUICK` environment variable that trades fidelity for runtime.
+
+use palo_arch::Architecture;
+use palo_baselines::{schedule_for, Technique};
+use palo_exec::estimate_time;
+use palo_ir::LoopNest;
+use palo_suite::Benchmark;
+
+/// Estimated execution time (ms) of `technique` on a multi-stage
+/// benchmark: stages are scheduled independently and their times summed,
+/// as the paper's per-function Halide tool does.
+///
+/// # Panics
+///
+/// Panics if a technique emits a schedule that fails to lower — that is a
+/// bug in the technique, not an input condition.
+pub fn measure_technique(
+    nests: &[LoopNest],
+    technique: Technique,
+    arch: &Architecture,
+    seed: u64,
+) -> f64 {
+    nests
+        .iter()
+        .map(|nest| {
+            let sched = schedule_for(technique, nest, arch, seed);
+            let lowered = sched
+                .lower(nest)
+                .unwrap_or_else(|e| panic!("{} schedule must lower: {e}", technique.label()));
+            estimate_time(nest, &lowered, arch).ms
+        })
+        .sum()
+}
+
+/// Measures a benchmark at its scaled size.
+///
+/// # Panics
+///
+/// Panics when the benchmark fails to build (a bug in the suite).
+pub fn measure_benchmark(
+    benchmark: Benchmark,
+    technique: Technique,
+    arch: &Architecture,
+    seed: u64,
+) -> f64 {
+    let nests = benchmark.build_scaled().expect("suite kernels build");
+    measure_technique(&nests, technique, arch, seed)
+}
+
+/// Whether the `PALO_QUICK` environment variable asks for reduced
+/// budgets/sizes.
+pub fn quick() -> bool {
+    std::env::var_os("PALO_QUICK").is_some()
+}
+
+/// Autotuner evaluation budget standing in for the paper's one hour.
+pub fn autotuner_budget_1h() -> usize {
+    if quick() {
+        4
+    } else {
+        20
+    }
+}
+
+/// Autotuner evaluation budget standing in for the paper's one day.
+pub fn autotuner_budget_1d() -> usize {
+    if quick() {
+        10
+    } else {
+        100
+    }
+}
+
+/// Prints an aligned ASCII table.
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n== {title} ==");
+    let ncols = headers.len();
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (c, cell) in row.iter().enumerate().take(ncols) {
+            widths[c] = widths[c].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let mut line = String::new();
+        for (c, cell) in cells.iter().enumerate().take(ncols) {
+            line.push_str(&format!("{:width$}  ", cell, width = widths[c]));
+        }
+        line.trim_end().to_string()
+    };
+    println!("{}", fmt_row(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>()));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * ncols));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Renders a value in `[0, 1]` as a unicode bar (for figure-style
+/// relative-throughput output).
+pub fn bar(frac: f64, width: usize) -> String {
+    let frac = frac.clamp(0.0, 1.0);
+    let filled = (frac * width as f64).round() as usize;
+    format!("{}{}", "#".repeat(filled), ".".repeat(width - filled))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palo_arch::presets;
+
+    #[test]
+    fn measure_copy_is_positive() {
+        let ms = measure_benchmark(
+            Benchmark::Copy,
+            Technique::Baseline,
+            &presets::intel_i7_6700(),
+            0,
+        );
+        assert!(ms > 0.0);
+    }
+
+    #[test]
+    fn bar_renders() {
+        assert_eq!(bar(1.0, 4), "####");
+        assert_eq!(bar(0.0, 4), "....");
+        assert_eq!(bar(0.5, 4), "##..");
+        assert_eq!(bar(2.0, 2), "##");
+    }
+
+    #[test]
+    fn budgets_positive() {
+        assert!(autotuner_budget_1h() > 0);
+        assert!(autotuner_budget_1d() > autotuner_budget_1h() / 2);
+    }
+}

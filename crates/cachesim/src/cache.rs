@@ -1,0 +1,233 @@
+//! A single set-associative cache with true-LRU replacement.
+
+/// Result of inserting a line: what fell out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Eviction {
+    /// No line was displaced.
+    None,
+    /// A clean line was displaced.
+    Clean(u64),
+    /// A dirty line was displaced and must be written back.
+    Dirty(u64),
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    /// Line-granular address (byte address >> line_bits).
+    addr: u64,
+    dirty: bool,
+    /// Set when the line was filled by a prefetch and not yet demanded.
+    prefetched: bool,
+}
+
+/// One level of cache, indexed by line address.
+///
+/// Addresses are *line numbers* (byte address divided by the line size);
+/// the hierarchy performs the shift once so all levels share it.
+#[derive(Debug, Clone)]
+pub struct Cache {
+    sets: Vec<Vec<Line>>,
+    ways: usize,
+}
+
+/// Outcome of a lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lookup {
+    /// Whether the line was present.
+    pub hit: bool,
+    /// Whether the hit line had been brought in by a prefetch and this is
+    /// its first demand use.
+    pub first_prefetch_use: bool,
+}
+
+impl Cache {
+    /// Creates a cache with `sets` sets of `ways` lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` or `ways` is zero.
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(sets > 0 && ways > 0, "cache geometry must be nonzero");
+        Cache { sets: vec![Vec::with_capacity(ways); sets], ways }
+    }
+
+    fn set_of(&self, line: u64) -> usize {
+        (line % self.sets.len() as u64) as usize
+    }
+
+    /// Demand access to `line`. On a hit the line becomes most-recent and
+    /// (for writes) dirty. Returns the lookup outcome; on a miss the
+    /// caller is responsible for filling via [`Cache::fill`].
+    pub fn access(&mut self, line: u64, write: bool) -> Lookup {
+        let set = self.set_of(line);
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|l| l.addr == line) {
+            let mut entry = ways.remove(pos);
+            let first_prefetch_use = entry.prefetched;
+            entry.prefetched = false;
+            entry.dirty |= write;
+            ways.push(entry);
+            Lookup { hit: true, first_prefetch_use }
+        } else {
+            Lookup { hit: false, first_prefetch_use: false }
+        }
+    }
+
+    /// Whether `line` is present, without touching LRU state.
+    pub fn probe(&self, line: u64) -> bool {
+        let set = self.set_of(line);
+        self.sets[set].iter().any(|l| l.addr == line)
+    }
+
+    /// Inserts `line` as most-recently-used, evicting the LRU line of its
+    /// set when full. `prefetched` marks prefetch fills; `dirty` marks
+    /// store-allocated or written-back lines.
+    pub fn fill(&mut self, line: u64, dirty: bool, prefetched: bool) -> Eviction {
+        let set = self.set_of(line);
+        let ways = &mut self.sets[set];
+        if let Some(pos) = ways.iter().position(|l| l.addr == line) {
+            // Refill of a present line (e.g. writeback into a lower level):
+            // merge dirtiness, refresh recency.
+            let mut entry = ways.remove(pos);
+            entry.dirty |= dirty;
+            ways.push(entry);
+            return Eviction::None;
+        }
+        let evicted = if ways.len() == self.ways {
+            let victim = ways.remove(0);
+            if victim.dirty {
+                Eviction::Dirty(victim.addr)
+            } else {
+                Eviction::Clean(victim.addr)
+            }
+        } else {
+            Eviction::None
+        };
+        ways.push(Line { addr: line, dirty, prefetched });
+        evicted
+    }
+
+    /// Marks a present line dirty (writeback absorption) without changing
+    /// recency. Returns whether the line was present.
+    pub fn mark_dirty(&mut self, line: u64) -> bool {
+        let set = self.set_of(line);
+        if let Some(l) = self.sets[set].iter_mut().find(|l| l.addr == line) {
+            l.dirty = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of lines currently resident.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().map(|s| s.len()).sum()
+    }
+
+    /// Total line capacity.
+    pub fn capacity(&self) -> usize {
+        self.sets.len() * self.ways
+    }
+
+    /// Drops every resident line.
+    pub fn clear(&mut self) {
+        for s in &mut self.sets {
+            s.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_fill() {
+        let mut c = Cache::new(4, 2);
+        assert!(!c.access(10, false).hit);
+        c.fill(10, false, false);
+        assert!(c.access(10, false).hit);
+        assert!(c.probe(10));
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let mut c = Cache::new(1, 2);
+        c.fill(0, false, false);
+        c.fill(1, false, false);
+        // touch 0 so 1 becomes LRU
+        assert!(c.access(0, false).hit);
+        let ev = c.fill(2, false, false);
+        assert_eq!(ev, Eviction::Clean(1));
+        assert!(c.probe(0));
+        assert!(!c.probe(1));
+    }
+
+    #[test]
+    fn dirty_eviction_reported() {
+        let mut c = Cache::new(1, 1);
+        c.fill(0, true, false);
+        assert_eq!(c.fill(1, false, false), Eviction::Dirty(0));
+    }
+
+    #[test]
+    fn store_hit_marks_dirty() {
+        let mut c = Cache::new(1, 1);
+        c.fill(0, false, false);
+        c.access(0, true);
+        assert_eq!(c.fill(1, false, false), Eviction::Dirty(0));
+    }
+
+    #[test]
+    fn prefetched_flag_cleared_on_first_use() {
+        let mut c = Cache::new(1, 2);
+        c.fill(7, false, true);
+        let l = c.access(7, false);
+        assert!(l.hit && l.first_prefetch_use);
+        let l = c.access(7, false);
+        assert!(l.hit && !l.first_prefetch_use);
+    }
+
+    #[test]
+    fn refill_merges_dirty_without_duplicating() {
+        let mut c = Cache::new(1, 2);
+        c.fill(3, false, false);
+        assert_eq!(c.fill(3, true, false), Eviction::None);
+        assert_eq!(c.occupancy(), 1);
+        assert_eq!(c.fill(4, false, false), Eviction::None);
+        assert_eq!(c.fill(5, false, false), Eviction::Dirty(3));
+    }
+
+    #[test]
+    fn mark_dirty_only_if_present() {
+        let mut c = Cache::new(2, 1);
+        c.fill(0, false, false);
+        assert!(c.mark_dirty(0));
+        assert!(!c.mark_dirty(1));
+    }
+
+    #[test]
+    fn different_sets_do_not_conflict() {
+        let mut c = Cache::new(2, 1);
+        c.fill(0, false, false); // set 0
+        c.fill(1, false, false); // set 1
+        assert!(c.probe(0));
+        assert!(c.probe(1));
+        assert_eq!(c.capacity(), 2);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut c = Cache::new(2, 2);
+        c.fill(0, false, false);
+        c.clear();
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_geometry_panics() {
+        let _ = Cache::new(0, 1);
+    }
+}

@@ -1,0 +1,440 @@
+//! The multi-level hierarchy: caches + prefetchers + statistics.
+
+use crate::cache::{Cache, Eviction};
+use crate::prefetch::StridePrefetcher;
+use crate::stats::HierarchyStats;
+use palo_arch::{Architecture, PrefetcherConfig};
+
+/// Kind of a demand memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Read.
+    Load,
+    /// Write (write-allocate, write-back).
+    Store,
+    /// Write with a non-temporal hint: bypasses allocation, costs one
+    /// bandwidth-side line transfer (write-combining).
+    NtStore,
+}
+
+/// Which part of the hierarchy served a demand access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServedBy {
+    /// 0 = L1, 1 = L2, ...; equal to the number of levels for memory.
+    pub level: usize,
+    /// Whether the serving line had been placed there by a prefetcher.
+    pub prefetched: bool,
+}
+
+/// Feedback-directed prefetch throttling, as real prefetchers implement:
+/// when the recent prefetch-accuracy (first-use hits per issued fill)
+/// drops below a threshold, issuing is duty-cycled down until accuracy
+/// recovers. This prevents pathological streams (e.g. large-stride
+/// column walks whose prefetched lines are evicted before use) from
+/// flooding the memory bus.
+#[derive(Debug, Clone, Default)]
+struct PrefetchThrottle {
+    fills: u32,
+    hits: u32,
+    throttled: bool,
+    duty: u32,
+}
+
+impl PrefetchThrottle {
+    const WINDOW: u32 = 2048;
+    /// Minimum accuracy (percent) to keep prefetching at full rate.
+    const MIN_ACCURACY_PCT: u32 = 15;
+    /// In throttled mode, one in this many prefetches still issues so
+    /// accuracy can be re-probed.
+    const DUTY: u32 = 8;
+
+    fn allow(&mut self) -> bool {
+        if !self.throttled {
+            return true;
+        }
+        self.duty = self.duty.wrapping_add(1);
+        self.duty % Self::DUTY == 0
+    }
+
+    fn on_fill(&mut self) {
+        self.fills += 1;
+        if self.fills >= Self::WINDOW {
+            self.throttled = self.hits * 100 < self.fills * Self::MIN_ACCURACY_PCT;
+            // Exponential decay keeps history without unbounded growth.
+            self.fills /= 2;
+            self.hits /= 2;
+        }
+    }
+
+    fn on_hit(&mut self) {
+        self.hits += 1;
+    }
+}
+
+/// A simulated cache hierarchy with hardware prefetchers.
+///
+/// See the crate docs for the modeled behaviour. All demand traffic goes
+/// through [`Hierarchy::access`]; statistics accumulate in
+/// [`Hierarchy::stats`] until [`Hierarchy::reset_stats`].
+#[derive(Debug, Clone)]
+pub struct Hierarchy {
+    caches: Vec<Cache>,
+    latencies: Vec<f64>,
+    line_bits: u32,
+    l1_next_line: bool,
+    /// Last line that missed L1 (the DCU next-line streamer only triggers
+    /// on ascending sequential misses, not on arbitrary misses).
+    l1_last_miss: u64,
+    l2_stride: Option<StridePrefetcher>,
+    throttle: PrefetchThrottle,
+    stats: HierarchyStats,
+}
+
+impl Hierarchy {
+    /// Builds the hierarchy described by `arch`, one simulated thread.
+    pub fn from_architecture(arch: &Architecture) -> Self {
+        Self::with_effective_sharing(arch, 1, 1)
+    }
+
+    /// Builds the hierarchy as *one thread* of a parallel execution sees
+    /// it: private levels lose `threads_per_core_used`-ths of their
+    /// associativity (hyper-thread sharing), chip-shared levels lose
+    /// `cores_used`-ths — the same effective-capacity corrections the
+    /// paper applies (`Lieway = Liway / Nthreads`, and `L2way / Ncores`
+    /// for the A15's shared L2).
+    pub fn with_effective_sharing(
+        arch: &Architecture,
+        threads_per_core_used: usize,
+        cores_used: usize,
+    ) -> Self {
+        let line_bits = arch.l1().line_size.trailing_zeros();
+        let mut caches = Vec::new();
+        let mut latencies = Vec::new();
+        for level in &arch.caches {
+            let divisor = match level.sharing {
+                palo_arch::SharingScope::Core => threads_per_core_used.max(1),
+                palo_arch::SharingScope::Chip => cores_used.max(1),
+            };
+            let ways = (level.associativity / divisor).max(1);
+            caches.push(Cache::new(level.num_sets(), ways));
+            latencies.push(level.latency_cycles);
+        }
+        let l1_next_line = matches!(arch.l1().prefetcher, PrefetcherConfig::NextLine);
+        let l2_stride = match arch.l2().prefetcher {
+            PrefetcherConfig::Stride { degree, max_distance } => {
+                Some(StridePrefetcher::new(degree, max_distance))
+            }
+            PrefetcherConfig::NextLine => Some(StridePrefetcher::new(1, 1)),
+            PrefetcherConfig::None => None,
+        };
+        let n = caches.len();
+        Hierarchy {
+            caches,
+            latencies,
+            line_bits,
+            l1_next_line,
+            l1_last_miss: u64::MAX,
+            l2_stride,
+            throttle: PrefetchThrottle::default(),
+            stats: HierarchyStats::new(n),
+        }
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &HierarchyStats {
+        &self.stats
+    }
+
+    /// Per-level access latencies (for [`HierarchyStats::memory_cycles`]).
+    pub fn latencies(&self) -> &[f64] {
+        &self.latencies
+    }
+
+    /// Clears counters but keeps cache contents (for warm-up protocols).
+    pub fn reset_stats(&mut self) {
+        self.stats = HierarchyStats::new(self.caches.len());
+    }
+
+    /// Empties every cache and stream table.
+    pub fn flush(&mut self) {
+        for c in &mut self.caches {
+            c.clear();
+        }
+        if let Some(p) = &mut self.l2_stride {
+            p.reset();
+        }
+        self.throttle = PrefetchThrottle::default();
+    }
+
+    /// Number of cache levels.
+    pub fn num_levels(&self) -> usize {
+        self.caches.len()
+    }
+
+    /// Line size in bytes.
+    pub fn line_size(&self) -> usize {
+        1 << self.line_bits
+    }
+
+    /// Performs one demand access at byte address `addr`.
+    pub fn access(&mut self, addr: u64, kind: AccessKind) -> ServedBy {
+        let line = addr >> self.line_bits;
+        self.access_line(line, kind)
+    }
+
+    /// Touches every line overlapping `[addr, addr + bytes)` once — the
+    /// batched entry point used by the trace generator for contiguous
+    /// runs.
+    pub fn access_range(&mut self, addr: u64, bytes: u64, kind: AccessKind) {
+        if bytes == 0 {
+            return;
+        }
+        let first = addr >> self.line_bits;
+        let last = (addr + bytes - 1) >> self.line_bits;
+        for line in first..=last {
+            self.access_line(line, kind);
+        }
+    }
+
+    fn access_line(&mut self, line: u64, kind: AccessKind) -> ServedBy {
+        self.stats.total_accesses += 1;
+        if kind == AccessKind::NtStore {
+            // Non-temporal store: if the line happens to be cached, update
+            // it in place (hardware keeps coherence); otherwise bypass the
+            // hierarchy entirely at one line-transfer of bus cost.
+            if self.caches[0].access(line, true).hit {
+                self.stats.levels[0].demand_hits += 1;
+                return ServedBy { level: 0, prefetched: false };
+            }
+            self.stats.levels[0].demand_misses += 1;
+            self.stats.nt_store_lines += 1;
+            return ServedBy { level: self.caches.len(), prefetched: false };
+        }
+        let write = kind == AccessKind::Store;
+
+        let mut served = None;
+        for (k, cache) in self.caches.iter_mut().enumerate() {
+            let lookup = cache.access(line, write && k == 0);
+            if lookup.hit {
+                self.stats.levels[k].demand_hits += 1;
+                if lookup.first_prefetch_use {
+                    self.stats.levels[k].prefetch_hits += 1;
+                    self.throttle.on_hit();
+                }
+                served = Some(ServedBy { level: k, prefetched: lookup.first_prefetch_use });
+                break;
+            }
+            self.stats.levels[k].demand_misses += 1;
+        }
+        let served = served.unwrap_or_else(|| {
+            self.stats.mem_demand_fills += 1;
+            ServedBy { level: self.caches.len(), prefetched: false }
+        });
+
+        // Fill the line into every level above the serving one.
+        for k in (0..served.level.min(self.caches.len())).rev() {
+            let ev = self.caches[k].fill(line, write && k == 0, false);
+            self.handle_eviction(k, ev);
+        }
+
+        // Prefetchers observe the demand stream.
+        if served.level >= 1 {
+            // L1 missed: the L1 next-line streamer fetches the successor,
+            // and the L2 prefetcher sees the access.
+            let sequential = line == self.l1_last_miss.wrapping_add(1) || line == self.l1_last_miss;
+            self.l1_last_miss = line;
+            if self.l1_next_line && sequential && self.throttle.allow() {
+                self.prefetch_fill(0, line + 1);
+                self.throttle.on_fill();
+            }
+            let prefetches = self
+                .l2_stride
+                .as_mut()
+                .map(|p| p.observe(line))
+                .unwrap_or_default();
+            for pline in prefetches {
+                if !self.throttle.allow() {
+                    continue;
+                }
+                // Stride prefetches land in L2 (and the LLC on the way).
+                for k in (1..self.caches.len()).rev() {
+                    self.prefetch_fill(k, pline);
+                }
+                self.throttle.on_fill();
+            }
+        }
+        served
+    }
+
+    /// Fills `line` into level `k` as a prefetch, accounting bus traffic
+    /// when the line came from memory.
+    fn prefetch_fill(&mut self, k: usize, line: u64) {
+        if self.caches[k].probe(line) {
+            return;
+        }
+        // Where does the prefetched data come from?
+        let in_lower = (k + 1..self.caches.len()).any(|j| self.caches[j].probe(line));
+        if !in_lower {
+            self.stats.mem_prefetch_fills += 1;
+        }
+        self.stats.levels[k].prefetch_fills += 1;
+        let ev = self.caches[k].fill(line, false, true);
+        self.handle_eviction(k, ev);
+    }
+
+    fn handle_eviction(&mut self, k: usize, ev: Eviction) {
+        match ev {
+            Eviction::None | Eviction::Clean(_) => {}
+            Eviction::Dirty(victim) => {
+                self.stats.levels[k].dirty_evictions += 1;
+                // Write back into the next level; from the last level the
+                // line goes to memory.
+                let mut level = k + 1;
+                let mut line = Some(victim);
+                while let Some(v) = line {
+                    if level >= self.caches.len() {
+                        self.stats.mem_writebacks += 1;
+                        line = None;
+                    } else if self.caches[level].mark_dirty(v) {
+                        line = None;
+                    } else {
+                        let ev = self.caches[level].fill(v, true, false);
+                        match ev {
+                            Eviction::Dirty(next) => {
+                                self.stats.levels[level].dirty_evictions += 1;
+                                line = Some(next);
+                                level += 1;
+                            }
+                            _ => line = None,
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palo_arch::presets;
+
+    fn intel() -> Hierarchy {
+        Hierarchy::from_architecture(&presets::intel_i7_6700())
+    }
+
+    #[test]
+    fn first_access_misses_second_hits() {
+        let mut h = intel();
+        let s = h.access(0x1000, AccessKind::Load);
+        assert_eq!(s.level, h.num_levels()); // memory
+        let s = h.access(0x1000, AccessKind::Load);
+        assert_eq!(s.level, 0);
+        assert_eq!(h.stats().levels[0].demand_hits, 1);
+        assert_eq!(h.stats().mem_demand_fills, 1);
+    }
+
+    #[test]
+    fn next_line_prefetch_covers_sequential_stream() {
+        let mut h = intel();
+        h.access(0, AccessKind::Load);
+        // line 1 was prefetched by the L1 streamer
+        let s = h.access(64, AccessKind::Load);
+        assert_eq!(s.level, 0);
+        assert!(s.prefetched);
+        assert_eq!(h.stats().levels[0].prefetch_hits, 1);
+    }
+
+    #[test]
+    fn stride_prefetcher_feeds_l2() {
+        let mut h = intel();
+        // Stride of 4 lines: L1 next-line does not help, L2 stride does.
+        let stride = 4 * 64u64;
+        let mut mem_after_warmup = 0;
+        for i in 0..64u64 {
+            let s = h.access(i * stride, AccessKind::Load);
+            if i >= 8 && s.level >= h.num_levels() {
+                mem_after_warmup += 1;
+            }
+        }
+        assert_eq!(mem_after_warmup, 0, "stride prefetcher should cover the stream");
+        assert!(h.stats().levels[1].prefetch_hits > 40);
+    }
+
+    #[test]
+    fn nt_store_bypasses_and_counts() {
+        let mut h = intel();
+        for i in 0..16u64 {
+            h.access(0x100000 + i * 64, AccessKind::NtStore);
+        }
+        assert_eq!(h.stats().nt_store_lines, 16);
+        assert_eq!(h.stats().mem_demand_fills, 0);
+        // The lines are not cached afterwards.
+        let s = h.access(0x100000, AccessKind::Load);
+        assert_eq!(s.level, h.num_levels());
+    }
+
+    #[test]
+    fn store_allocates_and_writes_back() {
+        let mut h = intel();
+        // Write a working set larger than all caches, then stream past it:
+        // dirty lines must be written back.
+        let llc_bytes = 8 * 1024 * 1024u64;
+        for addr in (0..2 * llc_bytes).step_by(64) {
+            h.access(addr, AccessKind::Store);
+        }
+        assert!(h.stats().mem_writebacks > 0);
+    }
+
+    #[test]
+    fn hit_levels_in_order() {
+        let mut h = intel();
+        h.access(0, AccessKind::Load);
+        // Evict from L1 by filling its set: L1 is 8-way (64 sets), lines
+        // mapping to set 0 are 64 lines apart.
+        let set_stride = 64 * 64u64;
+        for i in 1..=16u64 {
+            h.access(i * set_stride, AccessKind::Load);
+        }
+        let s = h.access(0, AccessKind::Load);
+        assert!(s.level >= 1, "line should have left L1, got {s:?}");
+        assert!(s.level < h.num_levels(), "line should still be in L2/L3");
+    }
+
+    #[test]
+    fn effective_sharing_halves_ways() {
+        let arch = presets::intel_i7_6700();
+        let h1 = Hierarchy::from_architecture(&arch);
+        let h2 = Hierarchy::with_effective_sharing(&arch, 2, 4);
+        assert_eq!(h1.caches[0].capacity(), 2 * h2.caches[0].capacity());
+        // L3 shared by 4 cores
+        assert_eq!(h1.caches[2].capacity(), 4 * h2.caches[2].capacity());
+    }
+
+    #[test]
+    fn reset_and_flush() {
+        let mut h = intel();
+        h.access(0, AccessKind::Load);
+        h.reset_stats();
+        assert_eq!(h.stats().total_accesses, 0);
+        // contents survive reset_stats
+        assert_eq!(h.access(0, AccessKind::Load).level, 0);
+        h.flush();
+        assert_eq!(h.access(0, AccessKind::Load).level, h.num_levels());
+    }
+
+    #[test]
+    fn access_range_touches_each_line_once() {
+        let mut h = intel();
+        h.access_range(32, 256, AccessKind::Load); // lines 0..=4 (5 lines)
+        assert_eq!(h.stats().total_accesses, 5);
+        h.access_range(0, 0, AccessKind::Load);
+        assert_eq!(h.stats().total_accesses, 5);
+    }
+
+    #[test]
+    fn arm_has_two_levels() {
+        let h = Hierarchy::from_architecture(&presets::arm_cortex_a15());
+        assert_eq!(h.num_levels(), 2);
+    }
+}

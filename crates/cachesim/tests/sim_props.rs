@@ -1,0 +1,98 @@
+//! Property tests over the cache simulator.
+
+use palo_arch::presets;
+use palo_cachesim::{AccessKind, Cache, Hierarchy};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// LRU inclusion: on the same trace, a cache with more ways never
+    /// misses where the smaller one hits (per-set stack property).
+    #[test]
+    fn more_ways_never_more_misses(
+        lines in proptest::collection::vec(0u64..512, 1..300),
+    ) {
+        let mut small = Cache::new(16, 2);
+        let mut large = Cache::new(16, 4);
+        let mut misses_small = 0u32;
+        let mut misses_large = 0u32;
+        for &l in &lines {
+            if !small.access(l, false).hit {
+                misses_small += 1;
+                small.fill(l, false, false);
+            }
+            if !large.access(l, false).hit {
+                misses_large += 1;
+                large.fill(l, false, false);
+            }
+        }
+        prop_assert!(misses_large <= misses_small);
+    }
+
+    /// Occupancy never exceeds capacity, and every resident line probes
+    /// true immediately after a fill.
+    #[test]
+    fn occupancy_bounded(
+        lines in proptest::collection::vec(0u64..10_000, 1..500),
+    ) {
+        let mut c = Cache::new(8, 3);
+        for &l in &lines {
+            c.fill(l, false, false);
+            prop_assert!(c.probe(l));
+            prop_assert!(c.occupancy() <= c.capacity());
+        }
+    }
+
+    /// Hierarchy accounting: served levels and memory fills always add up
+    /// to the number of demand accesses, writes included.
+    #[test]
+    fn conservation_of_accesses(
+        ops in proptest::collection::vec((0u64..1_000_000, any::<bool>()), 1..400),
+    ) {
+        let arch = presets::arm_cortex_a15();
+        let mut h = Hierarchy::from_architecture(&arch);
+        for &(addr, write) in &ops {
+            let kind = if write { AccessKind::Store } else { AccessKind::Load };
+            h.access(addr * 4, kind);
+        }
+        let s = h.stats();
+        let served: u64 =
+            s.levels.iter().map(|l| l.demand_hits).sum::<u64>() + s.mem_demand_fills;
+        prop_assert_eq!(served, ops.len() as u64);
+        prop_assert_eq!(s.total_accesses, ops.len() as u64);
+    }
+
+    /// NT stores of a fresh region never read from memory, and their line
+    /// count matches the region size exactly.
+    #[test]
+    fn nt_store_traffic_is_exact(start_page in 0u64..1024, pages in 1u64..16) {
+        let arch = presets::intel_i7_6700();
+        let mut h = Hierarchy::from_architecture(&arch);
+        let base = 0x4000_0000 + start_page * 4096;
+        let bytes = pages * 4096;
+        h.access_range(base, bytes, AccessKind::NtStore);
+        prop_assert_eq!(h.stats().nt_store_lines, bytes / 64);
+        prop_assert_eq!(h.stats().mem_demand_fills, 0);
+    }
+
+    /// Prefetch traffic is bounded: the prefetchers can never fetch more
+    /// than a constant factor of the demand traffic (feedback throttling
+    /// plus bounded degree).
+    #[test]
+    fn prefetch_traffic_bounded(stride in 1u64..128, count in 100u64..2000) {
+        let arch = presets::intel_i7_5930k();
+        let mut h = Hierarchy::from_architecture(&arch);
+        for i in 0..count {
+            h.access(i * stride * 64, AccessKind::Load);
+        }
+        let s = h.stats();
+        let demand = s.total_accesses;
+        // degree 2 stride + 1 next-line = at most ~3x before throttling.
+        prop_assert!(
+            s.mem_prefetch_fills <= 4 * demand + 64,
+            "prefetch {} vs demand {demand}",
+            s.mem_prefetch_fills
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Tile-size candidate generation.
+//!
+//! Algorithm 2 nominally evaluates "all valid tile sizes"; like the
+//! paper's millisecond-class implementation, the search is made tractable
+//! by restricting candidates to divisors of the extent (tiles that divide
+//! evenly avoid tail guards) merged with powers of two, thinned
+//! geometrically to a per-dimension budget.
+
+/// Tile-size candidates for a loop of extent `b`, bounded above by
+/// `bound`, at most `max` values, preferring multiples of `multiple_of`
+/// (the vector width for the column dimension; 1 otherwise).
+///
+/// The returned list is sorted ascending, deduplicated, never empty, and
+/// always contains the largest admissible size.
+pub fn tile_candidates(b: usize, bound: usize, max: usize, multiple_of: usize) -> Vec<usize> {
+    let cap = bound.min(b).max(1);
+    let mut cands: Vec<usize> = Vec::new();
+    for d in 1..=b {
+        if d > cap {
+            break;
+        }
+        if b % d == 0 {
+            cands.push(d);
+        }
+    }
+    let mut p = 1usize;
+    while p <= cap {
+        cands.push(p);
+        p *= 2;
+    }
+    cands.push(cap);
+    cands.sort_unstable();
+    cands.dedup();
+
+    // Prefer vector-width multiples when asked (keep 1 and the cap as
+    // fallbacks so the list never collapses).
+    if multiple_of > 1 {
+        let preferred: Vec<usize> =
+            cands.iter().copied().filter(|&c| c % multiple_of == 0).collect();
+        if !preferred.is_empty() {
+            let mut keep = preferred;
+            if !keep.contains(&cap) {
+                keep.push(cap);
+            }
+            keep.sort_unstable();
+            keep.dedup();
+            cands = keep;
+        }
+    }
+
+    thin_geometric(cands, max.max(2))
+}
+
+/// Keeps at most `max` values, always the first and last, spacing the
+/// kept values geometrically.
+fn thin_geometric(sorted: Vec<usize>, max: usize) -> Vec<usize> {
+    if sorted.len() <= max {
+        return sorted;
+    }
+    let n = sorted.len();
+    let mut out = Vec::with_capacity(max);
+    out.push(sorted[0]);
+    for k in 1..max {
+        // geometric index spacing over the sorted list
+        let idx = (((n - 1) as f64).powf(k as f64 / (max - 1) as f64)).round() as usize;
+        out.push(sorted[idx.min(n - 1)]);
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn divisors_of_power_of_two() {
+        let c = tile_candidates(64, 64, 16, 1);
+        assert_eq!(c, vec![1, 2, 4, 8, 16, 32, 64]);
+    }
+
+    #[test]
+    fn bound_caps_candidates() {
+        let c = tile_candidates(64, 10, 16, 1);
+        assert!(c.iter().all(|&t| t <= 10));
+        assert_eq!(*c.last().unwrap(), 10);
+    }
+
+    #[test]
+    fn prime_extent_gets_power_of_two_fallbacks() {
+        let c = tile_candidates(97, 97, 16, 1);
+        assert!(c.contains(&1));
+        assert!(c.contains(&64));
+        assert!(c.contains(&97));
+    }
+
+    #[test]
+    fn vector_multiples_preferred() {
+        let c = tile_candidates(512, 512, 16, 8);
+        assert!(c.iter().all(|&t| t % 8 == 0 || t == 512), "{c:?}");
+        assert!(c.contains(&512));
+    }
+
+    #[test]
+    fn thinning_respects_budget_and_endpoints() {
+        let c = tile_candidates(4096, 4096, 6, 1);
+        assert!(c.len() <= 6);
+        assert_eq!(c[0], 1);
+        assert_eq!(*c.last().unwrap(), 4096);
+    }
+
+    #[test]
+    fn never_empty() {
+        assert!(!tile_candidates(1, 1, 4, 8).is_empty());
+        assert!(!tile_candidates(3, 1, 4, 1).is_empty());
+    }
+}

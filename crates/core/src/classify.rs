@@ -1,0 +1,129 @@
+//! The classification step (Figure 2 of the paper).
+
+use palo_ir::NestInfo;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of classifying a loop-nest statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Class {
+    /// Input index sets differ from the output's: the nest carries
+    /// temporal reuse and is handed to the temporal optimizer
+    /// (Algorithm 2).
+    Temporal,
+    /// Same index sets but at least one array appears transposed: only
+    /// self-spatial (cache-line) reuse exists; handed to the spatial
+    /// optimizer (Algorithm 3).
+    Spatial,
+    /// Contiguous accesses only (including constant-offset stencils): any
+    /// loop transformation would disturb the streaming prefetchers, so
+    /// only parallelization/vectorization/NTI are applied.
+    ContiguousOnly,
+}
+
+/// Classifies a statement per Figure 2.
+///
+/// The decision tree is:
+/// 1. *diff indices?* — any input access whose index-variable set differs
+///    from the output's ⇒ [`Class::Temporal`];
+/// 2. *transpose?* — any input ordered oppositely to the output ⇒
+///    [`Class::Spatial`];
+/// 3. otherwise ⇒ [`Class::ContiguousOnly`] (this is also where stencil
+///    kernels land, per the paper's discussion of [Kamil et al., MSP'05]).
+pub fn classify(info: &NestInfo) -> Class {
+    if info.has_temporal_reuse() {
+        Class::Temporal
+    } else if info.has_transposed_input() {
+        Class::Spatial
+    } else {
+        Class::ContiguousOnly
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palo_ir::{AffineIndex, BinOp, DType, Expr, LoopNest, NestBuilder, NestInfo};
+
+    fn classify_nest(nest: &LoopNest) -> Class {
+        classify(&NestInfo::analyze(nest))
+    }
+
+    #[test]
+    fn matmul_is_temporal() {
+        let mut b = NestBuilder::new("matmul", DType::F32);
+        let i = b.var("i", 32);
+        let j = b.var("j", 32);
+        let k = b.var("k", 32);
+        let a = b.array("A", &[32, 32]);
+        let bm = b.array("B", &[32, 32]);
+        let c = b.array("C", &[32, 32]);
+        b.accumulate(c, &[i, j], b.load(a, &[i, k]) * b.load(bm, &[k, j]));
+        assert_eq!(classify_nest(&b.build().unwrap()), Class::Temporal);
+    }
+
+    #[test]
+    fn transpose_is_spatial() {
+        let mut b = NestBuilder::new("tp", DType::F32);
+        let y = b.var("y", 32);
+        let x = b.var("x", 32);
+        let a = b.array("A", &[32, 32]);
+        let out = b.array("out", &[32, 32]);
+        let ld = b.load(a, &[x, y]);
+        b.store(out, &[y, x], ld);
+        assert_eq!(classify_nest(&b.build().unwrap()), Class::Spatial);
+    }
+
+    #[test]
+    fn transpose_and_mask_is_spatial() {
+        let mut b = NestBuilder::new("tpm", DType::I32);
+        let y = b.var("y", 32);
+        let x = b.var("x", 32);
+        let a = b.array("A", &[32, 32]);
+        let m = b.array("B", &[32, 32]);
+        let out = b.array("out", &[32, 32]);
+        let rhs = Expr::bin(BinOp::And, b.load(a, &[x, y]), b.load(m, &[y, x]));
+        b.store(out, &[y, x], rhs);
+        assert_eq!(classify_nest(&b.build().unwrap()), Class::Spatial);
+    }
+
+    #[test]
+    fn copy_and_mask_are_contiguous_only() {
+        let mut b = NestBuilder::new("mask", DType::I32);
+        let i = b.var("i", 32);
+        let j = b.var("j", 32);
+        let a = b.array("A", &[32, 32]);
+        let m = b.array("M", &[32, 32]);
+        let out = b.array("out", &[32, 32]);
+        let rhs = Expr::bin(BinOp::And, b.load(a, &[i, j]), b.load(m, &[i, j]));
+        b.store(out, &[i, j], rhs);
+        assert_eq!(classify_nest(&b.build().unwrap()), Class::ContiguousOnly);
+    }
+
+    #[test]
+    fn stencil_is_contiguous_only() {
+        // Per the paper (and [9]), stencils should not be tiled: uniform
+        // access patterns are already covered by the prefetchers.
+        let mut b = NestBuilder::new("blur", DType::F32);
+        let i = b.var("i", 32);
+        let j = b.var("j", 30);
+        let src = b.array("src", &[32, 32]);
+        let dst = b.array("dst", &[32, 32]);
+        let c0 = b.load_expr(src, vec![AffineIndex::var(i), AffineIndex::var(j)]);
+        let c1 = b.load_expr(src, vec![AffineIndex::var(i), AffineIndex::var(j) + 1]);
+        let c2 = b.load_expr(src, vec![AffineIndex::var(i), AffineIndex::var(j) + 2]);
+        b.store(dst, &[i, j], c0 + c1 + c2);
+        assert_eq!(classify_nest(&b.build().unwrap()), Class::ContiguousOnly);
+    }
+
+    #[test]
+    fn syrk_is_temporal() {
+        let mut b = NestBuilder::new("syrk", DType::F32);
+        let i = b.var("i", 32);
+        let j = b.var("j", 32);
+        let k = b.var("k", 32);
+        let a = b.array("A", &[32, 32]);
+        let c = b.array("C", &[32, 32]);
+        b.accumulate(c, &[i, j], b.load(a, &[i, k]) * b.load(a, &[j, k]));
+        assert_eq!(classify_nest(&b.build().unwrap()), Class::Temporal);
+    }
+}

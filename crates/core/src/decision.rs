@@ -1,0 +1,45 @@
+//! The optimizer's output.
+
+use crate::classify::Class;
+use palo_sched::Schedule;
+use serde::{Deserialize, Serialize};
+
+/// Everything the optimizer decided for one nest: the classification, the
+/// tile, the loop orders, the standard optimizations, the predicted model
+/// cost, and the emitted [`Schedule`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Decision {
+    /// Outcome of the classification step.
+    pub class: Class,
+    /// Tile size per original loop variable (`tile[v] == extent[v]` means
+    /// the loop is untiled).
+    pub tile: Vec<usize>,
+    /// Inter-tile loop order, outermost first (variable indices). Empty
+    /// when no loop was tiled.
+    pub inter_order: Vec<usize>,
+    /// Intra-tile loop order, outermost first (variable indices).
+    pub intra_order: Vec<usize>,
+    /// Whether non-temporal stores were selected.
+    pub use_nti: bool,
+    /// Vector lanes of the innermost loop (1 = not vectorized).
+    pub vector_lanes: usize,
+    /// Variable whose (inter-tile) loop is parallelized, if any.
+    pub parallel_var: Option<usize>,
+    /// The model cost of the winning candidate (`Ctotal`, or the spatial
+    /// `CTotal`; 0 for contiguous-only kernels).
+    pub predicted_cost: f64,
+    /// The emitted schedule.
+    pub(crate) sched: Schedule,
+}
+
+impl Decision {
+    /// The schedule to lower and execute.
+    pub fn schedule(&self) -> &Schedule {
+        &self.sched
+    }
+
+    /// Consumes the decision, returning the schedule.
+    pub fn into_schedule(self) -> Schedule {
+        self.sched
+    }
+}

@@ -1,0 +1,259 @@
+//! Algorithm 1: the cache-emulation bound on tile dimensions.
+//!
+//! The algorithm replays the footprint of a growing tile — `maxTi` rows of
+//! `row_len` elements spaced `row_stride` elements apart — against a
+//! set-indexed model of one cache level, and stops as soon as adding the
+//! next row would overflow some set's (thread-effective) associativity,
+//! i.e. as soon as an interference miss becomes possible.
+//!
+//! Prefetcher awareness, per the paper:
+//! * when bounding against the **L1**, every row is inflated by one line
+//!   (the next-line streamer fetches the successor of each row's last
+//!   line): `Ti−1 = ⌈max(Ti−1 + lc, 2·lc) / lc⌉`;
+//! * when bounding against the **L2**, the set count is halved (capacity
+//!   reserved for constant-stride prefetch streams) and, for every line
+//!   within `L2maxpref` of the demand frontier, the `L2pref` lines a
+//!   stride prefetcher would fetch are tested against set fullness too.
+
+use palo_arch::CacheLevel;
+
+/// Inputs of [`emu`] (the parameter list of Algorithm 1).
+#[derive(Debug, Clone)]
+pub struct EmuParams<'a> {
+    /// Geometry of the cache level being emulated.
+    pub level: &'a CacheLevel,
+    /// Data type size in bytes (`DTS`).
+    pub dts: usize,
+    /// Row length in elements (`Ti−1`, the already-chosen inner tile
+    /// width).
+    pub row_len: usize,
+    /// Distance between consecutive rows in elements (`Bi`, the leading
+    /// dimension of the walked array).
+    pub row_stride: usize,
+    /// Hardware threads sharing the level (`Nthreads`) — divides the
+    /// effective associativity.
+    pub threads: usize,
+    /// Start address in elements (`addr`).
+    pub addr: usize,
+    /// Stride-prefetch degree to test (`L2pref`; 0 disables).
+    pub l2_pref: usize,
+    /// Maximum prefetch distance in lines (`L2maxpref`).
+    pub l2_max_pref: usize,
+    /// Use the L2 variant (halved sets, stride-prefetch tests) instead of
+    /// the L1 variant (next-line row inflation).
+    pub for_l2: bool,
+    /// Halve the effective set count in the L2 variant (ablation switch;
+    /// the paper always halves).
+    pub halve_l2_sets: bool,
+    /// Upper cap on the returned bound (the problem size of the dimension
+    /// being bounded).
+    pub cap: usize,
+}
+
+/// Runs Algorithm 1 and returns `maxTi`: the largest number of tile rows
+/// guaranteed not to conflict in the emulated level.
+///
+/// The result is always at least 1 (a single row that itself overflows
+/// the cache is left to the working-set checks) and at most `cap`.
+pub fn emu(p: &EmuParams<'_>) -> usize {
+    let lc = (p.level.line_size / p.dts).max(1);
+    let mut nsets = p.level.num_sets().max(1);
+    let eff_ways = (p.level.associativity / p.threads.max(1)).max(1);
+
+    // Row length in lines, with the L1 next-line inflation.
+    let lines_per_row = if p.for_l2 {
+        if p.halve_l2_sets {
+            nsets = (nsets / 2).max(1);
+        }
+        p.row_len.max(lc).div_ceil(lc)
+    } else {
+        (p.row_len + lc).max(2 * lc).div_ceil(lc)
+    };
+
+    let mut emucache = vec![0u32; nsets];
+    let mut max_ti = 0usize;
+    let mut fetched = 0usize; // `s` in the paper
+
+    'grow: while max_ti < p.cap {
+        let row_start_line = (p.addr + max_ti * p.row_stride) / lc;
+        for i in 0..lines_per_row {
+            let set = (row_start_line + i) % nsets;
+            if emucache[set] >= eff_ways as u32 {
+                break 'grow;
+            }
+            emucache[set] += 1;
+            fetched += 1;
+
+            // Lines a stride prefetcher would inject near the frontier.
+            if p.l2_pref > 0 && fetched.saturating_sub(i) <= p.l2_max_pref {
+                for q in 1..=p.l2_pref {
+                    let pset = (row_start_line + i + q) % nsets;
+                    if emucache[pset] >= eff_ways as u32 {
+                        break 'grow;
+                    }
+                }
+            }
+        }
+        max_ti += 1;
+    }
+    max_ti.max(1)
+}
+
+/// Convenience wrapper: the L1 bound for a tile whose rows are `row_len`
+/// elements long in an array with leading dimension `row_stride`.
+pub fn emu_l1(
+    level: &CacheLevel,
+    dts: usize,
+    row_len: usize,
+    row_stride: usize,
+    threads: usize,
+    cap: usize,
+) -> usize {
+    emu(&EmuParams {
+        level,
+        dts,
+        row_len,
+        row_stride,
+        threads,
+        addr: 0,
+        l2_pref: 0,
+        l2_max_pref: 0,
+        for_l2: false,
+        halve_l2_sets: true,
+        cap,
+    })
+}
+
+/// Convenience wrapper: the L2 bound, testing stride-prefetch injections.
+#[allow(clippy::too_many_arguments)]
+pub fn emu_l2(
+    level: &CacheLevel,
+    dts: usize,
+    row_len: usize,
+    row_stride: usize,
+    threads: usize,
+    l2_pref: usize,
+    l2_max_pref: usize,
+    halve_l2_sets: bool,
+    cap: usize,
+) -> usize {
+    emu(&EmuParams {
+        level,
+        dts,
+        row_len,
+        row_stride,
+        threads,
+        addr: 0,
+        l2_pref,
+        l2_max_pref,
+        for_l2: true,
+        halve_l2_sets,
+        cap,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palo_arch::presets;
+
+    fn l1() -> palo_arch::CacheLevel {
+        presets::intel_i7_5930k().l1().clone()
+    }
+
+    fn l2() -> palo_arch::CacheLevel {
+        presets::intel_i7_5930k().l2().clone()
+    }
+
+    #[test]
+    fn small_rows_allow_many_with_coprime_stride() {
+        // 64-element f32 rows (16 lines + 1 prefetch line) in an array
+        // whose leading dimension is *not* a multiple of the set cycle.
+        // L1: 64 sets, 8 ways = 512 lines.
+        let bound = emu_l1(&l1(), 4, 64, 2048 + 16, 1, 4096);
+        assert!(bound > 8, "bound {bound}");
+        assert!(bound <= 512);
+    }
+
+    #[test]
+    fn power_of_two_leading_dim_bounds_at_associativity() {
+        // A 2048-wide f32 array has a row stride of 128 lines = exactly
+        // two set cycles: every row maps to the same sets, so at most
+        // `ways` rows fit — the conflict Algorithm 1 exists to catch.
+        let bound = emu_l1(&l1(), 4, 64, 2048, 1, 4096);
+        assert!(bound <= 8, "bound {bound}");
+    }
+
+    #[test]
+    fn power_of_two_stride_conflicts_early() {
+        // Rows spaced exactly one set-cycle apart all map to the same
+        // sets: with 8 ways, only ~8 rows fit.
+        // L1: 64 sets * 16 f32/line = 1024 elements per way-cycle.
+        let conflict_stride = 64 * 16;
+        let b_conflict = emu_l1(&l1(), 4, 16, conflict_stride, 1, 4096);
+        let b_coprime = emu_l1(&l1(), 4, 16, conflict_stride + 16, 1, 4096);
+        assert!(
+            b_conflict < b_coprime,
+            "conflicting stride should bound tighter: {b_conflict} vs {b_coprime}"
+        );
+        assert!(b_conflict <= 8, "8-way cache, same-set rows: {b_conflict}");
+    }
+
+    #[test]
+    fn more_threads_tighten_the_bound() {
+        let b1 = emu_l1(&l1(), 4, 64, 2048 + 16, 1, 4096);
+        let b2 = emu_l1(&l1(), 4, 64, 2048 + 16, 2, 4096);
+        assert!(b2 <= b1, "{b2} vs {b1}");
+    }
+
+    #[test]
+    fn halved_l2_sets_tighten_the_bound() {
+        let full = emu_l2(&l2(), 4, 256, 2048 + 16, 1, 2, 20, false, 1 << 20);
+        let halved = emu_l2(&l2(), 4, 256, 2048 + 16, 1, 2, 20, true, 1 << 20);
+        assert!(halved <= full, "{halved} vs {full}");
+        assert!(halved >= 1);
+    }
+
+    #[test]
+    fn cap_respected() {
+        assert_eq!(emu_l1(&l1(), 4, 8, 4096 + 16, 1, 5), 5);
+    }
+
+    #[test]
+    fn result_is_at_least_one() {
+        // A row wider than the whole cache still returns 1.
+        let bound = emu_l1(&l1(), 4, 1 << 20, 1 << 20, 2, 4096);
+        assert!(bound >= 1);
+    }
+
+    #[test]
+    fn l1_variant_inflates_rows_for_next_line_prefetch() {
+        // With rows of exactly one line, the L1 variant books 2 lines per
+        // row (demand + next-line) while the L2 variant books 1; with a
+        // same-set stride the L1 bound must be at most the L2 bound.
+        let stride = 64 * 16;
+        let b_l1 = emu_l1(&l1(), 4, 16, stride, 1, 4096);
+        let b_l2 = emu(&EmuParams {
+            level: &l1(),
+            dts: 4,
+            row_len: 16,
+            row_stride: stride,
+            threads: 1,
+            addr: 0,
+            l2_pref: 0,
+            l2_max_pref: 0,
+            for_l2: true,
+            halve_l2_sets: false,
+            cap: 4096,
+        });
+        assert!(b_l1 <= b_l2, "{b_l1} vs {b_l2}");
+    }
+
+    #[test]
+    fn stride_prefetch_tests_tighten_l2_bound() {
+        // Prefetch injections can only trigger conflicts earlier.
+        let with = emu_l2(&l2(), 4, 512, 512 + 16, 1, 2, 20, true, 1 << 20);
+        let without = emu_l2(&l2(), 4, 512, 512 + 16, 1, 0, 0, true, 1 << 20);
+        assert!(with <= without, "{with} vs {without}");
+    }
+}

@@ -1,0 +1,113 @@
+//! The paper's prefetch-aware loop optimizer.
+//!
+//! This crate implements the optimization flow of *Loop Transformations
+//! Leveraging Hardware Prefetching* (CGO'18), Figure 1:
+//!
+//! 1. **Classification** ([`classify`]) — Figure 2: inspect the index sets
+//!    of the statement to decide between the temporal optimizer, the
+//!    spatial optimizer, or no loop transformation at all.
+//! 2. **Cache emulation** ([`emu`]) — Algorithm 1: bound tile dimensions
+//!    so that no interference (conflict) misses occur, accounting for the
+//!    lines injected by the L1 next-line and L2 constant-stride
+//!    prefetchers.
+//! 3. **Temporal optimizer** ([`temporal`]) — Algorithm 2: joint tile-size
+//!    and loop-order selection minimizing
+//!    `Ctotal = a2·CL1 + a3·CL2` (Eqs. 1–11) with prefetched references
+//!    discounted from the miss estimates, then a reorder step minimizing
+//!    the inter/intra-tile distance `Corder` (Eq. 12).
+//! 4. **Spatial optimizer** ([`spatial`]) — Algorithm 3: tile-size
+//!    selection for transposed kernels driven by the prefetching
+//!    efficiency `Tx / lc` (Eqs. 14–19).
+//! 5. **Post optimizations** ([`post`]) — parallelization (Eq. 13
+//!    constraint), vectorization, and non-temporal stores.
+//!
+//! The entry point is [`Optimizer`], which produces a [`Decision`]
+//! containing the chosen [`palo_sched::Schedule`].
+//!
+//! # Examples
+//!
+//! ```
+//! use palo_arch::presets;
+//! use palo_core::{Class, Optimizer};
+//! use palo_ir::{DType, NestBuilder};
+//!
+//! let mut b = NestBuilder::new("matmul", DType::F32);
+//! let i = b.var("i", 512);
+//! let j = b.var("j", 512);
+//! let k = b.var("k", 512);
+//! let a = b.array("A", &[512, 512]);
+//! let bm = b.array("B", &[512, 512]);
+//! let c = b.array("C", &[512, 512]);
+//! b.accumulate(c, &[i, j], b.load(a, &[i, k]) * b.load(bm, &[k, j]));
+//! let nest = b.build()?;
+//!
+//! let decision = Optimizer::new(&presets::intel_i7_5930k()).optimize(&nest);
+//! assert_eq!(decision.class, Class::Temporal);
+//! assert!(decision.tile.iter().any(|&t| t > 1)); // it tiled something
+//! # Ok::<(), palo_ir::IrError>(())
+//! ```
+
+mod candidates;
+pub mod classify;
+mod config;
+mod decision;
+pub mod emu;
+mod footprint;
+pub mod order;
+pub mod post;
+pub mod spatial;
+pub mod temporal;
+
+pub use classify::{classify, Class};
+pub use config::OptimizerConfig;
+pub use decision::Decision;
+pub use emu::{emu, EmuParams};
+pub use footprint::Footprints;
+
+use palo_arch::Architecture;
+use palo_ir::{LoopNest, NestInfo};
+
+/// The full optimization flow of the paper (Figure 1).
+///
+/// Holds the target [`Architecture`] and an [`OptimizerConfig`] whose
+/// switches expose the design choices called out in DESIGN.md for
+/// ablation (prefetch discounting, halved effective L2, the reorder step,
+/// the parallel-grain constraint, NTI).
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    arch: Architecture,
+    config: OptimizerConfig,
+}
+
+impl Optimizer {
+    /// An optimizer for `arch` with the paper's default configuration.
+    pub fn new(arch: &Architecture) -> Self {
+        Optimizer { arch: arch.clone(), config: OptimizerConfig::default() }
+    }
+
+    /// An optimizer with an explicit configuration (ablation switches).
+    pub fn with_config(arch: &Architecture, config: OptimizerConfig) -> Self {
+        Optimizer { arch: arch.clone(), config }
+    }
+
+    /// The target architecture.
+    pub fn arch(&self) -> &Architecture {
+        &self.arch
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &OptimizerConfig {
+        &self.config
+    }
+
+    /// Runs the full flow on `nest` and returns the scheduling decision.
+    pub fn optimize(&self, nest: &LoopNest) -> Decision {
+        let info = NestInfo::analyze(nest);
+        let class = classify(&info);
+        match class {
+            Class::Temporal => temporal::optimize(nest, &info, &self.arch, &self.config),
+            Class::Spatial => spatial::optimize(nest, &info, &self.arch, &self.config),
+            Class::ContiguousOnly => post::passthrough(nest, &info, &self.arch, &self.config),
+        }
+    }
+}

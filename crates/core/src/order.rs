@@ -1,0 +1,124 @@
+//! The loop-permutation cost `Corder` (Eq. 12) and permutation
+//! enumeration for Step 2 of Algorithm 2.
+
+/// Trip count of the inter-tile loop of variable `v`.
+pub fn inter_trip(v: usize, tile: &[usize], extents: &[usize]) -> f64 {
+    (extents[v] as f64 / tile[v] as f64).ceil().max(1.0)
+}
+
+/// Computes `Corder` for a full nest `[inter..., intra...]`
+/// (outermost first): for every variable, the product of the trip counts
+/// of the loops strictly between its inter-tile and intra-tile loops,
+/// summed over variables.
+///
+/// For the paper's nest `(ii, kk, jj, i, k, j)` on matmul this yields
+/// `TiTk + (Bj/Tj)·Ti + (Bj/Tj)(Bk/Tk)` (Eq. 12).
+pub fn corder(inter: &[usize], intra: &[usize], tile: &[usize], extents: &[usize]) -> f64 {
+    debug_assert_eq!(inter.len(), intra.len());
+    let n = inter.len();
+    // trips of the full loop list
+    let trips: Vec<f64> = inter
+        .iter()
+        .map(|&v| inter_trip(v, tile, extents))
+        .chain(intra.iter().map(|&v| tile[v] as f64))
+        .collect();
+    let mut total = 0.0;
+    for v in 0..extents.len() {
+        let a = inter.iter().position(|&x| x == v);
+        let b = intra.iter().position(|&x| x == v);
+        let (a, b) = match (a, b) {
+            (Some(a), Some(b)) => (a, n + b),
+            _ => continue,
+        };
+        let mut dist = 1.0;
+        for t in &trips[a + 1..b] {
+            dist *= t;
+        }
+        total += dist;
+    }
+    total
+}
+
+/// All permutations of `items` (Heap's algorithm, collected).
+pub fn permutations(items: &[usize]) -> Vec<Vec<usize>> {
+    let mut out = Vec::new();
+    let mut work = items.to_vec();
+    heap(&mut work, items.len(), &mut out);
+    out
+}
+
+fn heap(work: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
+    if k <= 1 {
+        out.push(work.clone());
+        return;
+    }
+    for i in 0..k {
+        heap(work, k - 1, out);
+        if k % 2 == 0 {
+            work.swap(i, k - 1);
+        } else {
+            work.swap(0, k - 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matmul_corder_matches_eq_12() {
+        // vars: i=0, j=1, k=2; B = 2048 each; T = (32, 512, 64).
+        let tile = [32usize, 512, 64];
+        let extents = [2048usize, 2048, 2048];
+        // nest (ii, kk, jj, i, k, j)
+        let inter = [0usize, 2, 1];
+        let intra = [0usize, 2, 1];
+        let got = corder(&inter, &intra, &tile, &extents);
+        let bi = 2048.0 / 32.0;
+        let _ = bi;
+        let bj_tj = 2048.0 / 512.0;
+        let bk_tk = 2048.0 / 64.0;
+        let ti = 32.0;
+        let tk = 64.0;
+        // j: loops between jj and j are i, k -> Ti*Tk
+        // k: loops between kk and k are jj, i -> (Bj/Tj)*Ti
+        // i: loops between ii and i are kk, jj -> (Bk/Tk)*(Bj/Tj)
+        let expect = ti * tk + bj_tj * ti + bk_tk * bj_tj;
+        assert!((got - expect).abs() < 1e-9, "{got} vs {expect}");
+    }
+
+    #[test]
+    fn adjacent_pairs_minimize_distance() {
+        // Nest (ii, i, jj, j): i's loops adjacent (distance 1 = empty
+        // product), j's adjacent; compare to (ii, jj, i, j).
+        let tile = [4usize, 4];
+        let extents = [64usize, 64];
+        let tight = corder(&[0, 1], &[0, 1], &tile, &extents);
+        let loose = corder(&[1, 0], &[0, 1], &tile, &extents);
+        // tight: full list (ii, jj, i, j): i distance = trips(jj)... both
+        // computed over the same list shape; just assert ordering holds
+        // for a case where it must.
+        assert!(tight <= loose, "{tight} vs {loose}");
+    }
+
+    #[test]
+    fn untiled_vars_contribute_unit_trips() {
+        let tile = [64usize, 8];
+        let extents = [64usize, 64];
+        assert_eq!(inter_trip(0, &tile, &extents), 1.0);
+        assert_eq!(inter_trip(1, &tile, &extents), 8.0);
+    }
+
+    #[test]
+    fn permutations_count() {
+        assert_eq!(permutations(&[0, 1, 2]).len(), 6);
+        assert_eq!(permutations(&[0]).len(), 1);
+        let perms = permutations(&[0, 1, 2, 3]);
+        assert_eq!(perms.len(), 24);
+        let mut dedup = perms.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 24);
+    }
+}

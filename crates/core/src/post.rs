@@ -1,0 +1,259 @@
+//! Standard optimizations (§3.4): parallelization, vectorization,
+//! non-temporal stores — and the emission of the final schedule.
+
+use crate::classify::Class;
+use crate::config::OptimizerConfig;
+use crate::decision::Decision;
+use palo_arch::Architecture;
+use palo_ir::{LoopNest, NestInfo};
+use palo_sched::Schedule;
+
+/// Whether the statement qualifies for non-temporal stores: the output is
+/// never read back (no temporal reuse of the output data) and the target
+/// supports NT stores.
+pub fn nti_eligible(info: &NestInfo, arch: &Architecture, config: &OptimizerConfig) -> bool {
+    config.enable_nti && arch.supports_nt_stores && !info.output_is_read
+}
+
+/// Emits the schedule for a tiling decision and assembles the
+/// [`Decision`].
+///
+/// * Tiled loops are split into `{name}_o` / `{name}_i`.
+/// * The final order is the inter-tile loops (tiled variables only, in
+///   `inter_order`) followed by the intra-tile loops (`intra_order`).
+/// * The innermost loop is vectorized when it walks the column dimension
+///   and its extent covers the native vector width.
+/// * The outermost inter-tile loop is parallelized; when its trip count
+///   cannot feed every hardware thread (Eq. 13) and a second inter-tile
+///   loop exists, the two are fused first (§3.2, last paragraph).
+#[allow(clippy::too_many_arguments)]
+pub fn emit(
+    nest: &LoopNest,
+    arch: &Architecture,
+    class: Class,
+    tile: Vec<usize>,
+    inter_order: Vec<usize>,
+    intra_order: Vec<usize>,
+    use_nti: bool,
+    predicted_cost: f64,
+) -> Decision {
+    let extents = nest.extents();
+    let names: Vec<&str> = nest.vars().iter().map(|v| v.name.as_str()).collect();
+    let tiled: Vec<usize> =
+        inter_order.iter().copied().filter(|&v| tile[v] < extents[v]).collect();
+
+    let mut sched = Schedule::new();
+    for &v in &tiled {
+        sched.split(
+            names[v],
+            &format!("{}_o", names[v]),
+            &format!("{}_i", names[v]),
+            tile[v],
+        );
+    }
+
+    // Full loop order, outermost first.
+    let mut order: Vec<String> = Vec::new();
+    for &v in &tiled {
+        order.push(format!("{}_o", names[v]));
+    }
+    for &v in &intra_order {
+        if tile[v] < extents[v] {
+            order.push(format!("{}_i", names[v]));
+        } else {
+            order.push(names[v].to_string());
+        }
+    }
+    if order.len() > 1 {
+        let refs: Vec<&str> = order.iter().map(|s| s.as_str()).collect();
+        sched.reorder(&refs);
+    }
+
+    // Vectorize the innermost loop when it walks the column dimension.
+    let mut vector_lanes = 1usize;
+    if let (Some(&inner_var), Some(col)) = (intra_order.last(), nest.column_var()) {
+        let lanes = arch.vector_lanes(nest.dtype().size_bytes());
+        if inner_var == col.index() && lanes > 1 && tile[inner_var] >= lanes {
+            sched.vectorize(order.last().expect("nonempty order"), lanes);
+            vector_lanes = lanes;
+        }
+    }
+
+    // Parallelize the outermost inter-tile loop, fusing when too coarse.
+    let threads = arch.total_threads();
+    let mut parallel_var = None;
+    if let Some(&p) = tiled.first() {
+        let trips = extents[p].div_ceil(tile[p]);
+        // Fuse the outer inter-tile loops "when possible" (§3.2): always
+        // worthwhile when the outermost trip count alone cannot feed the
+        // threads with well-balanced chunks.
+        if trips < 4 * threads && tiled.len() >= 2 {
+            let a = format!("{}_o", names[tiled[0]]);
+            let b = format!("{}_o", names[tiled[1]]);
+            sched.fuse(&a, &b, "par_fused");
+            sched.parallel("par_fused");
+        } else {
+            sched.parallel(&format!("{}_o", names[p]));
+        }
+        parallel_var = Some(p);
+    } else if nest.vars().len() > 1 {
+        // Nothing tiled: parallelize the outermost loop directly.
+        let p = intra_order.first().copied().unwrap_or(0);
+        if extents[p] >= 2 {
+            let name = if tile[p] < extents[p] {
+                format!("{}_i", names[p])
+            } else {
+                names[p].to_string()
+            };
+            sched.parallel(&name);
+            parallel_var = Some(p);
+        }
+    }
+
+    if use_nti {
+        sched.store_nt();
+    }
+
+    Decision {
+        class,
+        tile,
+        inter_order,
+        intra_order,
+        use_nti,
+        vector_lanes,
+        parallel_var,
+        predicted_cost,
+        sched,
+    }
+}
+
+/// The no-transformation path of Figure 2: contiguous kernels keep their
+/// program order and only get parallelization, vectorization and (when
+/// the output is write-only) non-temporal stores.
+pub fn passthrough(
+    nest: &LoopNest,
+    info: &NestInfo,
+    arch: &Architecture,
+    config: &OptimizerConfig,
+) -> Decision {
+    let n = nest.vars().len();
+    let intra_order: Vec<usize> = (0..n).collect();
+    let use_nti = nti_eligible(info, arch, config);
+    emit(
+        nest,
+        arch,
+        Class::ContiguousOnly,
+        nest.extents(),
+        Vec::new(),
+        intra_order,
+        use_nti,
+        0.0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palo_arch::presets;
+    use palo_ir::{DType, NestBuilder};
+
+    fn copy_nest(n: usize) -> LoopNest {
+        let mut b = NestBuilder::new("copy", DType::F32);
+        let i = b.var("i", n);
+        let j = b.var("j", n);
+        let src = b.array("src", &[n, n]);
+        let dst = b.array("dst", &[n, n]);
+        let ld = b.load(src, &[i, j]);
+        b.store(dst, &[i, j], ld);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn passthrough_copy_gets_par_vec_nti() {
+        let nest = copy_nest(1024);
+        let info = NestInfo::analyze(&nest);
+        let arch = presets::intel_i7_5930k();
+        let d = passthrough(&nest, &info, &arch, &OptimizerConfig::default());
+        assert_eq!(d.class, Class::ContiguousOnly);
+        assert!(d.use_nti);
+        assert_eq!(d.vector_lanes, 8);
+        assert_eq!(d.parallel_var, Some(0));
+        let lowered = d.schedule().lower(&nest).unwrap();
+        assert!(lowered.nt_store());
+        assert_eq!(lowered.vector_lanes(), 8);
+        assert_eq!(lowered.parallel_loop(), Some(0));
+    }
+
+    #[test]
+    fn passthrough_on_arm_has_no_nti() {
+        let nest = copy_nest(256);
+        let info = NestInfo::analyze(&nest);
+        let d = passthrough(&nest, &info, &presets::arm_cortex_a15(), &OptimizerConfig::default());
+        assert!(!d.use_nti);
+    }
+
+    #[test]
+    fn emit_tiles_and_lowers() {
+        let nest = copy_nest(1024);
+        let arch = presets::intel_i7_6700();
+        let d = emit(
+            &nest,
+            &arch,
+            Class::Spatial,
+            vec![64, 128],
+            vec![0, 1],
+            vec![0, 1],
+            false,
+            1.0,
+        );
+        let lowered = d.schedule().lower(&nest).unwrap();
+        // i_o (trip 16) cannot feed 8 threads with balanced chunks, so the
+        // two inter-tile loops are fused: par_fused, i_i, j_i.
+        assert_eq!(lowered.loops().len(), 3);
+        assert_eq!(lowered.loops()[0].name, "par_fused");
+        assert_eq!(lowered.loops()[0].trip, 16 * 8);
+        assert_eq!(lowered.loops()[2].name, "j_i");
+        assert_eq!(lowered.vector_lanes(), 8);
+        assert_eq!(lowered.parallel_loop(), Some(0));
+    }
+
+    #[test]
+    fn emit_fuses_when_parallel_grain_too_coarse() {
+        // 6-core, 12-thread 5930K; outer trips = 4 < 12 -> fuse.
+        let nest = copy_nest(256);
+        let arch = presets::intel_i7_5930k();
+        let d = emit(
+            &nest,
+            &arch,
+            Class::Spatial,
+            vec![64, 64],
+            vec![0, 1],
+            vec![0, 1],
+            false,
+            1.0,
+        );
+        let lowered = d.schedule().lower(&nest).unwrap();
+        assert_eq!(lowered.loops()[0].name, "par_fused");
+        assert_eq!(lowered.loops()[0].trip, 16);
+        assert_eq!(lowered.parallel_loop(), Some(0));
+    }
+
+    #[test]
+    fn untiled_vars_keep_their_names() {
+        let nest = copy_nest(128);
+        let arch = presets::intel_i7_6700();
+        let d = emit(
+            &nest,
+            &arch,
+            Class::Temporal,
+            vec![16, 128], // j untiled
+            vec![0, 1],
+            vec![0, 1],
+            false,
+            1.0,
+        );
+        let lowered = d.schedule().lower(&nest).unwrap();
+        let names: Vec<_> = lowered.loops().iter().map(|l| l.name.as_str()).collect();
+        assert_eq!(names, vec!["i_o", "i_i", "j"]);
+    }
+}

@@ -1,0 +1,215 @@
+//! Algorithm 3: the spatial-locality optimizer.
+//!
+//! For kernels with no temporal reuse but a transposed input (Fig. 2),
+//! tiling targets *cache-line* reuse: the cost of each input array is its
+//! per-tile row count times the number of tiles, weighted by the
+//! *prefetching efficiency* `Twidth / lc` (Eqs. 14–17). The working sets
+//! charge transposed accesses a full line per touched row
+//! (`wsL1 = lc·Tx + Tx`, Eq. 18; `wsL2 = Σ tile footprints`, Eq. 19), and
+//! Algorithm 1 bounds the tile height against the L2 with the
+//! stride-prefetch tests enabled.
+
+use crate::candidates::tile_candidates;
+use crate::classify::Class;
+use crate::config::OptimizerConfig;
+use crate::decision::Decision;
+use crate::emu::emu_l2;
+use crate::footprint::Footprints;
+use crate::post;
+use palo_arch::Architecture;
+use palo_ir::{AccessPattern, LoopNest, NestInfo};
+
+/// Runs the spatial optimizer on a nest classified [`Class::Spatial`].
+pub fn optimize(
+    nest: &LoopNest,
+    info: &NestInfo,
+    arch: &Architecture,
+    config: &OptimizerConfig,
+) -> Decision {
+    let Some(col) = nest.column_var().map(|v| v.index()) else {
+        return post::passthrough(nest, info, arch, config);
+    };
+    let extents = nest.extents();
+    let n = extents.len();
+    // The row dimension: the output variable just outside the column
+    // subscript (2-D kernels in the paper; extra dims stay untiled).
+    let out_order = nest.statement().output.var_order();
+    let Some(row) = out_order.iter().rev().map(|v| v.index()).find(|&v| v != col) else {
+        return post::passthrough(nest, info, arch, config);
+    };
+
+    let dts = nest.dtype().size_bytes();
+    let fp = Footprints::new(nest, arch.l1().line_size);
+    let lc = fp.lc();
+    let lanes = arch.vector_lanes(dts);
+    let threads = arch.total_threads();
+
+    let l1_budget = (arch.l1().size_bytes / dts / arch.threads_per_core.max(1)) as f64;
+    let l2_div = match arch.l2().sharing {
+        palo_arch::SharingScope::Core => arch.threads_per_core.max(1),
+        palo_arch::SharingScope::Chip => arch.cores.max(1),
+    };
+    let mut l2_budget = (arch.l2().size_bytes / dts / l2_div) as f64;
+    if config.halve_l2_sets {
+        l2_budget /= 2.0;
+    }
+    let l2pref = arch.l2().prefetcher.degree();
+    let l2maxpref = arch.l2().prefetcher.max_distance();
+
+    // Input shapes only (the output streams out, typically via NT stores).
+    let inputs: Vec<usize> =
+        (0..fp.shapes().len()).filter(|&a| !fp.shapes()[a].is_output).collect();
+
+    let width_cands =
+        tile_candidates(extents[col], extents[col], config.max_candidates_per_dim, lanes);
+
+    let mut best: Option<(f64, Vec<usize>)> = None;
+    for &tw in &width_cands {
+        // Bound the tile height against the L2 (Algorithm 1, L2 variant).
+        let cap = emu_l2(
+            arch.l2(),
+            dts,
+            tw,
+            extents[col],
+            arch.threads_per_core,
+            l2pref,
+            l2maxpref,
+            config.halve_l2_sets,
+            extents[row],
+        );
+        for &th in &tile_candidates(extents[row], cap, config.max_candidates_per_dim, 1) {
+            let mut tile = extents.clone();
+            tile[col] = tw;
+            tile[row] = th;
+
+            // Working sets (Eqs. 18–19 generalized): transposed inputs pay
+            // a full line per row they touch in one column sweep.
+            let mut col_slice = vec![1usize; n];
+            col_slice[col] = tw;
+            let ws_l1: f64 = inputs
+                .iter()
+                .map(|&a| fp.lines(a, &col_slice) * lc as f64)
+                .sum();
+            let ws_l2: f64 = inputs.iter().map(|&a| fp.elems(a, &tile)).sum();
+            if ws_l1 > l1_budget || ws_l2 > l2_budget {
+                continue;
+            }
+            if config.parallel_grain_constraint {
+                let trips = (extents[row] as f64 / th as f64).ceil()
+                    * (extents[col] as f64 / tw as f64).ceil();
+                if trips < threads as f64 {
+                    continue;
+                }
+            }
+
+            // CTotal = Σ inputs rows(tile) × ntiles × (Tw / lc) (Eqs. 15, 17).
+            let ntiles: f64 = (0..n)
+                .map(|v| (extents[v] as f64 / tile[v] as f64).ceil())
+                .product();
+            let eff = tw as f64 / lc as f64;
+            let c_total: f64 = inputs
+                .iter()
+                .map(|&a| fp.misses(a, &tile, config.prefetch_discount) * ntiles * eff)
+                .sum();
+            if best.as_ref().map_or(true, |(bc, _)| c_total < *bc) {
+                best = Some((c_total, tile));
+            }
+        }
+    }
+
+    let Some((cost, tile)) = best else {
+        return post::passthrough(nest, info, arch, config);
+    };
+
+    // Order per Listing 2: untiled outer vars, then row_o, col_o,
+    // row_i, col_i — intra walks the output tile row-major so that stores
+    // stream and the transposed input is swept column-by-column.
+    let inter_order: Vec<usize> = (0..n)
+        .filter(|&v| v != row && v != col)
+        .chain([row, col])
+        .collect();
+    let intra_order = inter_order.clone();
+    let use_nti = post::nti_eligible(info, arch, config);
+    post::emit(nest, arch, Class::Spatial, tile, inter_order, intra_order, use_nti, cost)
+}
+
+/// Whether the nest has a transposed input (sanity helper used by tests
+/// and the harness).
+pub fn has_transposed_input(info: &NestInfo) -> bool {
+    info.input_patterns.iter().any(|p| *p == AccessPattern::Transposed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palo_arch::presets;
+    use palo_ir::{BinOp, DType, Expr, NestBuilder, NestInfo};
+
+    fn tpm(nm: usize) -> LoopNest {
+        let mut b = NestBuilder::new("tpm", DType::I32);
+        let y = b.var("y", nm);
+        let x = b.var("x", nm);
+        let a = b.array("A", &[nm, nm]);
+        let m = b.array("B", &[nm, nm]);
+        let out = b.array("out", &[nm, nm]);
+        let rhs = Expr::bin(BinOp::And, b.load(a, &[x, y]), b.load(m, &[y, x]));
+        b.store(out, &[y, x], rhs);
+        b.build().unwrap()
+    }
+
+    fn tp(nm: usize) -> LoopNest {
+        let mut b = NestBuilder::new("tp", DType::F32);
+        let y = b.var("y", nm);
+        let x = b.var("x", nm);
+        let a = b.array("A", &[nm, nm]);
+        let out = b.array("out", &[nm, nm]);
+        let ld = b.load(a, &[x, y]);
+        b.store(out, &[y, x], ld);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn tpm_tiles_tall_and_narrow() {
+        let nest = tpm(1024);
+        let info = NestInfo::analyze(&nest);
+        let arch = presets::intel_i7_5930k();
+        let d = optimize(&nest, &info, &arch, &OptimizerConfig::default());
+        assert_eq!(d.class, Class::Spatial);
+        let (ty, tx) = (d.tile[0], d.tile[1]);
+        // The model favors maximum height, minimum width (Eq. 15):
+        assert!(ty >= tx, "tile height {ty} should be >= width {tx}");
+        assert!(tx < 1024, "width must actually be tiled");
+        assert!(d.use_nti, "write-only output on x86 should use NT stores");
+        d.schedule().lower(&nest).unwrap();
+    }
+
+    #[test]
+    fn tp_is_tiled_and_vectorized() {
+        let nest = tp(1024);
+        let info = NestInfo::analyze(&nest);
+        let arch = presets::intel_i7_6700();
+        let d = optimize(&nest, &info, &arch, &OptimizerConfig::default());
+        assert!(d.vector_lanes > 1);
+        assert!(d.parallel_var.is_some());
+        let low = d.schedule().lower(&nest).unwrap();
+        assert!(low.nt_store());
+    }
+
+    #[test]
+    fn arm_tp_has_no_nti() {
+        let nest = tp(512);
+        let info = NestInfo::analyze(&nest);
+        let d = optimize(&nest, &info, &presets::arm_cortex_a15(), &OptimizerConfig::default());
+        assert!(!d.use_nti);
+        d.schedule().lower(&nest).unwrap();
+    }
+
+    #[test]
+    fn width_is_a_multiple_of_lanes_when_possible() {
+        let nest = tp(1024);
+        let info = NestInfo::analyze(&nest);
+        let arch = presets::intel_i7_6700();
+        let d = optimize(&nest, &info, &arch, &OptimizerConfig::default());
+        assert_eq!(d.tile[1] % 8, 0, "tile {:?}", d.tile);
+    }
+}

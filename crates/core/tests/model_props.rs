@@ -1,0 +1,115 @@
+//! Property tests over the analytical model's building blocks.
+
+use palo_arch::presets;
+use palo_core::{emu, EmuParams, Footprints};
+use palo_ir::{DType, LoopNest, NestBuilder};
+use proptest::prelude::*;
+
+fn matmul(n: usize) -> LoopNest {
+    let mut b = NestBuilder::new("mm", DType::F32);
+    let i = b.var("i", n);
+    let j = b.var("j", n);
+    let k = b.var("k", n);
+    let a = b.array("A", &[n, n]);
+    let bm = b.array("B", &[n, n]);
+    let c = b.array("C", &[n, n]);
+    b.accumulate(c, &[i, j], b.load(a, &[i, k]) * b.load(bm, &[k, j]));
+    b.build().expect("valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Footprint measures are consistent: rows ≤ lines ≤ elems, and the
+    /// prefetch-discounted miss count never exceeds the undiscounted one.
+    #[test]
+    fn footprint_measure_ordering(
+        ti in 1usize..64, tj in 1usize..64, tk in 1usize..64,
+    ) {
+        let nest = matmul(64);
+        let fp = Footprints::new(&nest, 64);
+        let sizes = [ti, tj, tk];
+        for a in 0..fp.shapes().len() {
+            let rows = fp.rows(a, &sizes);
+            let lines = fp.lines(a, &sizes);
+            let elems = fp.elems(a, &sizes);
+            prop_assert!(rows <= lines + 1e-9);
+            prop_assert!(lines <= elems + 1e-9);
+            prop_assert!(fp.misses(a, &sizes, true) <= fp.misses(a, &sizes, false) + 1e-9);
+        }
+    }
+
+    /// Footprints grow monotonically with every tile dimension.
+    #[test]
+    fn footprint_monotone_in_tile(
+        ti in 1usize..32, tj in 1usize..32, tk in 1usize..32,
+        grow in 0usize..3,
+    ) {
+        let nest = matmul(64);
+        let fp = Footprints::new(&nest, 64);
+        let small = [ti, tj, tk];
+        let mut big = small;
+        big[grow] += 1;
+        for a in 0..fp.shapes().len() {
+            prop_assert!(fp.elems(a, &small) <= fp.elems(a, &big) + 1e-9);
+            prop_assert!(fp.lines(a, &small) <= fp.lines(a, &big) + 1e-9);
+            prop_assert!(fp.rows(a, &small) <= fp.rows(a, &big) + 1e-9);
+        }
+    }
+
+    /// Algorithm 1: the bound never exceeds the cap, is at least 1, and
+    /// shrinks (weakly) as rows get longer.
+    #[test]
+    fn emu_bound_monotone_in_row_length(
+        row_len in 1usize..256,
+        stride_extra in 1usize..64,
+        cap in 1usize..2048,
+    ) {
+        let arch = presets::intel_i7_5930k();
+        let mk = |len: usize| {
+            emu(&EmuParams {
+                level: arch.l1(),
+                dts: 4,
+                row_len: len,
+                row_stride: 2048 + stride_extra,
+                threads: 1,
+                addr: 0,
+                l2_pref: 0,
+                l2_max_pref: 0,
+                for_l2: false,
+                halve_l2_sets: true,
+                cap,
+            })
+        };
+        let b1 = mk(row_len);
+        let b2 = mk(row_len + 16);
+        prop_assert!(b1 >= 1 && b1 <= cap);
+        prop_assert!(b2 <= b1, "longer rows must not loosen the bound: {b2} > {b1}");
+    }
+
+    /// The emitted schedule of the optimizer always lowers, for any
+    /// rectangular matmul-like shape.
+    #[test]
+    fn optimizer_schedules_always_lower(
+        ni in 8usize..96, nj in 8usize..96, nk in 8usize..96,
+    ) {
+        let mut b = NestBuilder::new("pmm", DType::F32);
+        let i = b.var("i", ni);
+        let j = b.var("j", nj);
+        let k = b.var("k", nk);
+        let a = b.array("A", &[ni, nk]);
+        let bm = b.array("B", &[nk, nj]);
+        let c = b.array("C", &[ni, nj]);
+        b.accumulate(c, &[i, j], b.load(a, &[i, k]) * b.load(bm, &[k, j]));
+        let nest = b.build().expect("valid");
+        for arch in [presets::intel_i7_6700(), presets::arm_cortex_a15()] {
+            let d = palo_core::Optimizer::new(&arch).optimize(&nest);
+            let lowered = d.schedule().lower(&nest);
+            prop_assert!(lowered.is_ok(), "{:?} on {}", lowered.err(), arch.name);
+            // tiles are within bounds
+            for (v, &t) in d.tile.iter().enumerate() {
+                prop_assert!(t >= 1 && t <= nest.extents()[v]);
+            }
+        }
+    }
+}

@@ -1,0 +1,110 @@
+//! Array storage for compute-mode execution.
+
+use palo_ir::{ArrayId, LoopNest};
+
+/// One `f64` buffer per array of a nest (values are interpreted per the
+/// nest's dtype at the operator level).
+///
+/// For reduction kernels, schedule equivalence is checked bit-exactly, so
+/// the default initialization uses small integers: sums of small integers
+/// in `f64` are exact under any association order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Buffers {
+    data: Vec<Vec<f64>>,
+}
+
+impl Buffers {
+    /// Allocates buffers for every array of `nest`, filled with a
+    /// deterministic pattern of small integers (0..=7) derived from
+    /// `seed`.
+    pub fn for_nest(nest: &LoopNest, seed: u64) -> Self {
+        let data = nest
+            .arrays()
+            .iter()
+            .enumerate()
+            .map(|(ai, decl)| {
+                let mut state = seed ^ (ai as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                (0..decl.len())
+                    .map(|_| {
+                        // xorshift64*
+                        state ^= state << 13;
+                        state ^= state >> 7;
+                        state ^= state << 17;
+                        (state % 8) as f64
+                    })
+                    .collect()
+            })
+            .collect();
+        Buffers { data }
+    }
+
+    /// Allocates zero-filled buffers.
+    pub fn zeroed(nest: &LoopNest) -> Self {
+        Buffers {
+            data: nest.arrays().iter().map(|d| vec![0.0; d.len()]).collect(),
+        }
+    }
+
+    /// The buffer of one array.
+    pub fn array(&self, id: ArrayId) -> &[f64] {
+        &self.data[id.index()]
+    }
+
+    /// Mutable buffer of one array.
+    pub fn array_mut(&mut self, id: ArrayId) -> &mut [f64] {
+        &mut self.data[id.index()]
+    }
+
+    /// Number of arrays.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether there are no arrays.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    pub(crate) fn raw(&mut self) -> &mut [Vec<f64>] {
+        &mut self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palo_ir::{DType, NestBuilder};
+
+    fn nest() -> LoopNest {
+        let mut b = NestBuilder::new("t", DType::F32);
+        let i = b.var("i", 4);
+        let a = b.array("A", &[4, 4]);
+        let c = b.array("C", &[4]);
+        let ld = b.load_expr(a, vec![i.into(), i.into()]);
+        b.store(c, &[i], ld);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn deterministic_and_small() {
+        let n = nest();
+        let b1 = Buffers::for_nest(&n, 1);
+        let b2 = Buffers::for_nest(&n, 1);
+        assert_eq!(b1, b2);
+        let b3 = Buffers::for_nest(&n, 2);
+        assert_ne!(b1, b3);
+        assert!(b1.array(palo_ir::ArrayId(0)).iter().all(|&v| (0.0..8.0).contains(&v)));
+    }
+
+    #[test]
+    fn shapes_match_arrays() {
+        let n = nest();
+        let b = Buffers::for_nest(&n, 0);
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+        assert_eq!(b.array(palo_ir::ArrayId(0)).len(), 16);
+        assert_eq!(b.array(palo_ir::ArrayId(1)).len(), 4);
+        let z = Buffers::zeroed(&n);
+        assert!(z.array(palo_ir::ArrayId(0)).iter().all(|&v| v == 0.0));
+    }
+}

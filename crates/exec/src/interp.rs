@@ -1,0 +1,192 @@
+//! Compute-mode interpreter.
+
+use crate::buffers::Buffers;
+use palo_ir::{BinOp, DType, Expr, LoopNest, Statement, UnOp};
+use palo_sched::{LoweredNest, Schedule};
+
+/// Executes `lowered` (a scheduled version of `nest`) over `bufs`.
+///
+/// Parallel loops are executed sequentially — a legal schedule's parallel
+/// loops carry no loop-carried dependence on distinct output elements, so
+/// the values are identical.
+pub fn run(nest: &LoopNest, lowered: &LoweredNest, bufs: &mut Buffers) {
+    let stmt = nest.statement();
+    let strides: Vec<Vec<usize>> = nest.arrays().iter().map(|a| a.strides()).collect();
+    let dtype = nest.dtype();
+    lowered.for_each_point(|point| {
+        exec_stmt(stmt, dtype, point, &strides, bufs);
+    });
+}
+
+/// Executes `nest` in program order (the reference semantics).
+pub fn run_reference(nest: &LoopNest, bufs: &mut Buffers) {
+    let lowered = Schedule::new().lower(nest).expect("empty schedule always lowers");
+    run(nest, &lowered, bufs);
+}
+
+fn exec_stmt(
+    stmt: &Statement,
+    dtype: DType,
+    point: &[i64],
+    strides: &[Vec<usize>],
+    bufs: &mut Buffers,
+) {
+    let value = eval(&stmt.rhs, dtype, point, strides, bufs);
+    let out = &stmt.output;
+    let off = out
+        .linear_offset(point, &strides[out.array.index()])
+        .expect("validated nest has in-bounds subscripts");
+    bufs.raw()[out.array.index()][off] = value;
+}
+
+fn eval(e: &Expr, dtype: DType, point: &[i64], strides: &[Vec<usize>], bufs: &Buffers) -> f64 {
+    match e {
+        Expr::Load(a) => {
+            let off = a
+                .linear_offset(point, &strides[a.array.index()])
+                .expect("validated nest has in-bounds subscripts");
+            bufs.array(a.array)[off]
+        }
+        Expr::Const(c) => *c,
+        Expr::Bin(op, l, r) => {
+            let lv = eval(l, dtype, point, strides, bufs);
+            let rv = eval(r, dtype, point, strides, bufs);
+            match op {
+                BinOp::Add => lv + rv,
+                BinOp::Sub => lv - rv,
+                BinOp::Mul => lv * rv,
+                BinOp::Max => lv.max(rv),
+                BinOp::Min => lv.min(rv),
+                BinOp::And => ((lv as i64) & (rv as i64)) as f64,
+            }
+        }
+        Expr::Un(op, inner) => {
+            let v = eval(inner, dtype, point, strides, bufs);
+            match op {
+                UnOp::Neg => -v,
+                UnOp::Abs => v.abs(),
+            }
+        }
+        Expr::GeIndicator(l, r) => {
+            if l.eval(point) >= r.eval(point) {
+                1.0
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palo_ir::{ArrayId, DType, NestBuilder};
+
+    fn matmul(n: usize) -> LoopNest {
+        let mut b = NestBuilder::new("matmul", DType::F32);
+        let i = b.var("i", n);
+        let j = b.var("j", n);
+        let k = b.var("k", n);
+        let a = b.array("A", &[n, n]);
+        let bm = b.array("B", &[n, n]);
+        let c = b.array("C", &[n, n]);
+        b.accumulate(c, &[i, j], b.load(a, &[i, k]) * b.load(bm, &[k, j]));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn reference_matmul_matches_manual() {
+        let nest = matmul(4);
+        let mut bufs = Buffers::for_nest(&nest, 42);
+        // Save inputs to compute expected result.
+        let a: Vec<f64> = bufs.array(ArrayId(0)).to_vec();
+        let b: Vec<f64> = bufs.array(ArrayId(1)).to_vec();
+        let c0: Vec<f64> = bufs.array(ArrayId(2)).to_vec();
+        run_reference(&nest, &mut bufs);
+        for i in 0..4 {
+            for j in 0..4 {
+                let mut expect = c0[i * 4 + j];
+                for k in 0..4 {
+                    expect += a[i * 4 + k] * b[k * 4 + j];
+                }
+                assert_eq!(bufs.array(ArrayId(2))[i * 4 + j], expect);
+            }
+        }
+    }
+
+    #[test]
+    fn tiled_schedule_is_equivalent() {
+        let nest = matmul(8);
+        let mut s = Schedule::new();
+        s.split("i", "ii", "it", 3) // non-dividing on purpose
+            .split("j", "jj", "jt", 4)
+            .split("k", "kk", "kt", 8)
+            .reorder(&["ii", "kk", "jj", "it", "kt", "jt"]);
+        let lowered = s.lower(&nest).unwrap();
+
+        let mut reference = Buffers::for_nest(&nest, 7);
+        let mut scheduled = reference.clone();
+        run_reference(&nest, &mut reference);
+        run(&nest, &lowered, &mut scheduled);
+        assert_eq!(reference, scheduled);
+    }
+
+    #[test]
+    fn guard_indicator_executes_triangular() {
+        // out[i] = sum_k (k >= i) * A[i][k]  — upper-triangular row sums
+        let mut b = NestBuilder::new("tri", DType::F32);
+        let i = b.var("i", 4);
+        let k = b.var("k", 4);
+        let a = b.array("A", &[4, 4]);
+        let out = b.array("out", &[4]);
+        let guard = palo_ir::ExprBuilder::ge(k, i);
+        let term = guard * b.load(a, &[i, k]);
+        b.accumulate(out, &[i], term);
+        let nest = b.build().unwrap();
+        let mut bufs = Buffers::zeroed(&nest);
+        for v in bufs.array_mut(ArrayId(0)) {
+            *v = 1.0;
+        }
+        run_reference(&nest, &mut bufs);
+        assert_eq!(bufs.array(ArrayId(1)), &[4.0, 3.0, 2.0, 1.0]);
+    }
+
+    #[test]
+    fn max_min_neg_abs_operators() {
+        use palo_ir::{BinOp, Expr, UnOp};
+        let mut b = NestBuilder::new("ops", DType::F32);
+        let i = b.var("i", 3);
+        let a = b.array("A", &[3]);
+        let bb = b.array("B", &[3]);
+        let out = b.array("out", &[3]);
+        // out = max(A, B) + min(A, B) - abs(-A)  ==  A + B - |A|
+        let max = Expr::bin(BinOp::Max, b.load(a, &[i]), b.load(bb, &[i]));
+        let min = Expr::bin(BinOp::Min, b.load(a, &[i]), b.load(bb, &[i]));
+        let neg = Expr::Un(UnOp::Neg, Box::new(b.load(a, &[i])));
+        let abs = Expr::Un(UnOp::Abs, Box::new(neg));
+        b.store(out, &[i], max + min - abs);
+        let nest = b.build().unwrap();
+        let mut bufs = Buffers::zeroed(&nest);
+        bufs.array_mut(ArrayId(0)).copy_from_slice(&[3.0, 1.0, 5.0]);
+        bufs.array_mut(ArrayId(1)).copy_from_slice(&[2.0, 4.0, 5.0]);
+        run_reference(&nest, &mut bufs);
+        assert_eq!(bufs.array(ArrayId(2)), &[2.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn and_operator_masks_bits() {
+        let mut b = NestBuilder::new("mask", DType::I32);
+        let i = b.var("i", 4);
+        let a = b.array("A", &[4]);
+        let m = b.array("M", &[4]);
+        let out = b.array("out", &[4]);
+        let rhs = Expr::bin(BinOp::And, b.load(a, &[i]), b.load(m, &[i]));
+        b.store(out, &[i], rhs);
+        let nest = b.build().unwrap();
+        let mut bufs = Buffers::zeroed(&nest);
+        bufs.array_mut(ArrayId(0)).copy_from_slice(&[0b1100 as i32 as f64, 7.0, 5.0, 15.0]);
+        bufs.array_mut(ArrayId(1)).copy_from_slice(&[0b1010 as i32 as f64, 3.0, 4.0, 8.0]);
+        run_reference(&nest, &mut bufs);
+        assert_eq!(bufs.array(ArrayId(2)), &[8.0, 3.0, 4.0, 8.0]);
+    }
+}

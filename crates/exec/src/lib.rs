@@ -1,0 +1,51 @@
+//! Execution of lowered loop nests: a compute-mode interpreter for
+//! correctness and a trace-mode address generator for performance
+//! estimation.
+//!
+//! The paper measures schedules by compiling them with Halide and timing
+//! the binaries on real machines. Here a schedule's effect is measured in
+//! two complementary ways:
+//!
+//! * **Compute mode** ([`interp`]): the lowered nest is interpreted over
+//!   real buffers. Every legal schedule of a nest must produce the same
+//!   values as the program-order nest — this is how the test-suite proves
+//!   schedule lowering correct.
+//! * **Trace mode** ([`trace`]): the lowered nest is walked without
+//!   touching data; the address stream of every array reference is fed to
+//!   the [`palo_cachesim`] hierarchy with contiguous runs batched to line
+//!   granularity. [`timing`] converts the resulting statistics plus a
+//!   compute estimate (vector lanes, parallel speedup) into estimated
+//!   milliseconds — the number every figure of the reproduction reports.
+//!
+//! # Examples
+//!
+//! ```
+//! use palo_arch::presets;
+//! use palo_exec::{estimate_time, Buffers};
+//! use palo_ir::{DType, NestBuilder};
+//! use palo_sched::Schedule;
+//!
+//! let mut b = NestBuilder::new("copy", DType::F32);
+//! let i = b.var("i", 64);
+//! let j = b.var("j", 64);
+//! let src = b.array("src", &[64, 64]);
+//! let dst = b.array("dst", &[64, 64]);
+//! let ld = b.load(src, &[i, j]);
+//! b.store(dst, &[i, j], ld);
+//! let nest = b.build()?;
+//!
+//! let lowered = Schedule::new().lower(&nest)?;
+//! let est = estimate_time(&nest, &lowered, &presets::intel_i7_6700());
+//! assert!(est.ms > 0.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod buffers;
+mod interp;
+mod timing;
+mod trace;
+
+pub use buffers::Buffers;
+pub use interp::{run, run_reference};
+pub use timing::{estimate_time, estimate_time_with, TimeEstimate};
+pub use trace::{trace_into, TraceOptions};

@@ -1,0 +1,242 @@
+//! Affine index expressions over loop variables.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, Sub};
+
+/// Identifier of a loop variable, an index into [`crate::LoopNest::vars`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct VarId(pub usize);
+
+impl VarId {
+    /// The underlying index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// An affine combination of loop variables plus a constant offset:
+/// `Σ coeff·var + offset`.
+///
+/// Every array subscript in the paper's kernels is of this form — plain
+/// variables (`A[i][k]`), transposed variables (`A[x][y]` under an
+/// `out[y][x]` output), and convolution windows (`in[x + rx]`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AffineIndex {
+    /// `(variable, coefficient)` terms; kept sorted by variable and free of
+    /// zero coefficients.
+    terms: Vec<(VarId, i64)>,
+    /// Constant offset.
+    offset: i64,
+}
+
+impl AffineIndex {
+    /// The constant expression `offset`.
+    pub fn constant(offset: i64) -> Self {
+        AffineIndex { terms: Vec::new(), offset }
+    }
+
+    /// The single-variable expression `var`.
+    pub fn var(var: VarId) -> Self {
+        AffineIndex { terms: vec![(var, 1)], offset: 0 }
+    }
+
+    /// Builds from raw terms, normalizing (merging duplicates, dropping
+    /// zeros, sorting by variable).
+    pub fn from_terms(terms: impl IntoIterator<Item = (VarId, i64)>, offset: i64) -> Self {
+        let mut out = AffineIndex { terms: Vec::new(), offset };
+        for (v, c) in terms {
+            out.add_term(v, c);
+        }
+        out
+    }
+
+    fn add_term(&mut self, var: VarId, coeff: i64) {
+        if coeff == 0 {
+            return;
+        }
+        match self.terms.binary_search_by_key(&var, |&(v, _)| v) {
+            Ok(pos) => {
+                self.terms[pos].1 += coeff;
+                if self.terms[pos].1 == 0 {
+                    self.terms.remove(pos);
+                }
+            }
+            Err(pos) => self.terms.insert(pos, (var, coeff)),
+        }
+    }
+
+    /// The normalized `(variable, coefficient)` terms, sorted by variable.
+    pub fn terms(&self) -> &[(VarId, i64)] {
+        &self.terms
+    }
+
+    /// The constant offset.
+    pub fn offset(&self) -> i64 {
+        self.offset
+    }
+
+    /// Coefficient of `var` (zero when absent).
+    pub fn coeff(&self, var: VarId) -> i64 {
+        self.terms
+            .binary_search_by_key(&var, |&(v, _)| v)
+            .map(|pos| self.terms[pos].1)
+            .unwrap_or(0)
+    }
+
+    /// Whether the expression mentions `var`.
+    pub fn uses(&self, var: VarId) -> bool {
+        self.coeff(var) != 0
+    }
+
+    /// Variables appearing with nonzero coefficient.
+    pub fn vars(&self) -> impl Iterator<Item = VarId> + '_ {
+        self.terms.iter().map(|&(v, _)| v)
+    }
+
+    /// Whether this is a constant (no variable terms).
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Whether this is exactly one variable with coefficient 1 and no
+    /// offset.
+    pub fn as_single_var(&self) -> Option<VarId> {
+        match (self.terms.as_slice(), self.offset) {
+            (&[(v, 1)], 0) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Evaluates the expression for a point of the iteration space, where
+    /// `point[v.index()]` is the value of variable `v`.
+    pub fn eval(&self, point: &[i64]) -> i64 {
+        let mut acc = self.offset;
+        for &(v, c) in &self.terms {
+            acc += c * point[v.index()];
+        }
+        acc
+    }
+
+    /// Inclusive (min, max) value over the rectangular domain where each
+    /// variable `v` ranges over `0..extents[v.index()]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any referenced variable's extent is zero.
+    pub fn range(&self, extents: &[usize]) -> (i64, i64) {
+        let mut lo = self.offset;
+        let mut hi = self.offset;
+        for &(v, c) in &self.terms {
+            let ext = extents[v.index()];
+            assert!(ext > 0, "extent of referenced variable must be nonzero");
+            let span = c * (ext as i64 - 1);
+            if span >= 0 {
+                hi += span;
+            } else {
+                lo += span;
+            }
+        }
+        (lo, hi)
+    }
+}
+
+impl From<VarId> for AffineIndex {
+    fn from(v: VarId) -> Self {
+        AffineIndex::var(v)
+    }
+}
+
+impl From<i64> for AffineIndex {
+    fn from(c: i64) -> Self {
+        AffineIndex::constant(c)
+    }
+}
+
+impl Add for AffineIndex {
+    type Output = AffineIndex;
+    fn add(self, rhs: AffineIndex) -> AffineIndex {
+        let mut out = self;
+        out.offset += rhs.offset;
+        for (v, c) in rhs.terms {
+            out.add_term(v, c);
+        }
+        out
+    }
+}
+
+impl Add<i64> for AffineIndex {
+    type Output = AffineIndex;
+    fn add(self, rhs: i64) -> AffineIndex {
+        let mut out = self;
+        out.offset += rhs;
+        out
+    }
+}
+
+impl Sub for AffineIndex {
+    type Output = AffineIndex;
+    fn sub(self, rhs: AffineIndex) -> AffineIndex {
+        let mut out = self;
+        out.offset -= rhs.offset;
+        for (v, c) in rhs.terms {
+            out.add_term(v, -c);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_merges_and_drops_zero() {
+        let e = AffineIndex::from_terms([(VarId(1), 2), (VarId(0), 1), (VarId(1), -2)], 3);
+        assert_eq!(e.terms(), &[(VarId(0), 1)]);
+        assert_eq!(e.offset(), 3);
+    }
+
+    #[test]
+    fn single_var_detection() {
+        assert_eq!(AffineIndex::var(VarId(2)).as_single_var(), Some(VarId(2)));
+        assert_eq!((AffineIndex::var(VarId(2)) + 1).as_single_var(), None);
+        let sum = AffineIndex::var(VarId(0)) + AffineIndex::var(VarId(1));
+        assert_eq!(sum.as_single_var(), None);
+        assert_eq!(AffineIndex::constant(0).as_single_var(), None);
+    }
+
+    #[test]
+    fn eval_and_range() {
+        // x + rx over x in 0..4, rx in 0..3
+        let e = AffineIndex::var(VarId(0)) + AffineIndex::var(VarId(1));
+        assert_eq!(e.eval(&[2, 1]), 3);
+        assert_eq!(e.range(&[4, 3]), (0, 5));
+
+        // 2x - 1
+        let e = AffineIndex::from_terms([(VarId(0), 2)], -1);
+        assert_eq!(e.range(&[4, 3]), (-1, 5));
+
+        // -x
+        let e = AffineIndex::from_terms([(VarId(0), -1)], 0);
+        assert_eq!(e.range(&[4, 3]), (-3, 0));
+    }
+
+    #[test]
+    fn add_sub_ops() {
+        let x = AffineIndex::var(VarId(0));
+        let y = AffineIndex::var(VarId(1));
+        let e = x.clone() + y.clone() - x;
+        assert_eq!(e, y);
+    }
+
+    #[test]
+    fn uses_and_coeff() {
+        let e = AffineIndex::from_terms([(VarId(0), 3)], 2);
+        assert!(e.uses(VarId(0)));
+        assert!(!e.uses(VarId(1)));
+        assert_eq!(e.coeff(VarId(0)), 3);
+        assert_eq!(e.coeff(VarId(9)), 0);
+        assert!(!e.is_constant());
+        assert!(AffineIndex::constant(5).is_constant());
+    }
+}

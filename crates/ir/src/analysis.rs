@@ -1,0 +1,268 @@
+//! Static analyses over loop nests used by the classifier and the cost
+//! models: index-set comparison, transposition detection, and per-variable
+//! access strides.
+
+use crate::access::Access;
+use crate::affine::VarId;
+use crate::nest::LoopNest;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Memory-stride behaviour of one access with respect to one loop
+/// variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InnermostStride {
+    /// The access does not depend on the variable (stride 0 — temporal
+    /// reuse carried by that loop).
+    Invariant,
+    /// Consecutive iterations touch adjacent elements (stride 1).
+    Contiguous,
+    /// Constant non-unit stride in elements.
+    Strided(i64),
+}
+
+/// How one input access relates to the output access — the patterns the
+/// paper's classification step (Fig. 2) distinguishes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AccessPattern {
+    /// Same index variables in the same order (constant offsets allowed):
+    /// the access streams along with the output (copy/mask/stencil style).
+    Aligned,
+    /// Same index variables but in a different order: the access is
+    /// transposed relative to the output.
+    Transposed,
+    /// Different index-variable set from the output: the loop nest carries
+    /// temporal reuse for this access.
+    DifferentIndices,
+}
+
+/// Summary of the analyses the optimizer needs, computed once per nest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NestInfo {
+    /// Index variables of the output access.
+    pub output_vars: BTreeSet<VarId>,
+    /// Pattern of each input access (in [`crate::Statement::inputs`]
+    /// order) relative to the output.
+    pub input_patterns: Vec<AccessPattern>,
+    /// Variables that do not appear in the output subscripts (reduction
+    /// dimensions such as `k` in matmul).
+    pub reduction_vars: Vec<VarId>,
+    /// Whether the output is also read by the statement (accumulation).
+    pub output_is_read: bool,
+    /// Whether every input access uses only constant-offset variants of
+    /// the output indices (stencil shape).
+    pub is_stencil_like: bool,
+}
+
+impl NestInfo {
+    /// Runs all analyses on a nest.
+    pub fn analyze(nest: &LoopNest) -> Self {
+        let out = &nest.statement().output;
+        let output_vars = out.var_set();
+        let out_order = out.var_order();
+
+        let mut input_patterns = Vec::new();
+        let mut is_stencil_like = true;
+        for acc in nest.statement().inputs() {
+            let p = classify_access(acc, &output_vars, &out_order);
+            if p != AccessPattern::Aligned {
+                is_stencil_like = false;
+            }
+            input_patterns.push(p);
+        }
+        // A bare store with no inputs is trivially aligned but not a
+        // stencil in any useful sense; keep the flag meaning "all inputs
+        // aligned and at least one has a nonzero offset or there are
+        // none": the classifier only needs "no reuse, no transpose".
+
+        let reduction_vars = (0..nest.vars().len())
+            .map(VarId)
+            .filter(|v| !output_vars.contains(v))
+            .collect();
+
+        NestInfo {
+            output_vars,
+            input_patterns,
+            reduction_vars,
+            output_is_read: nest.statement().output_is_read(),
+            is_stencil_like,
+        }
+    }
+
+    /// Whether any input access indexes with a variable set different from
+    /// the output's — the paper's trigger for the temporal optimizer.
+    pub fn has_temporal_reuse(&self) -> bool {
+        self.input_patterns.iter().any(|p| *p == AccessPattern::DifferentIndices)
+    }
+
+    /// Whether any input access appears transposed relative to the output
+    /// — the paper's trigger for the spatial optimizer.
+    pub fn has_transposed_input(&self) -> bool {
+        self.input_patterns.iter().any(|p| *p == AccessPattern::Transposed)
+    }
+}
+
+fn classify_access(
+    acc: &Access,
+    output_vars: &BTreeSet<VarId>,
+    out_order: &[VarId],
+) -> AccessPattern {
+    let vars = acc.var_set();
+    if vars != *output_vars {
+        // "Unique indices in the input arrays different from the ones in
+        // the output array" (Fig. 2) — reduction-style reuse. An input
+        // using a strict subset (e.g. a broadcast vector) also revisits
+        // its data across the missing dimensions.
+        return AccessPattern::DifferentIndices;
+    }
+    let in_order = acc.var_order();
+    if is_inverted(&in_order, out_order) {
+        AccessPattern::Transposed
+    } else {
+        AccessPattern::Aligned
+    }
+}
+
+/// Whether `a` and `b` order any pair of common variables oppositely.
+fn is_inverted(a: &[VarId], b: &[VarId]) -> bool {
+    let pos = |order: &[VarId], v: VarId| order.iter().position(|&x| x == v);
+    for (i, &u) in a.iter().enumerate() {
+        for &v in &a[i + 1..] {
+            if let (Some(bu), Some(bv)) = (pos(b, u), pos(b, v)) {
+                if (bu < bv) != (i < pos(a, v).unwrap()) {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Stride in elements of `acc` when `var` increases by one, given the
+/// accessed array's row-major element strides.
+pub fn stride_of(acc: &Access, var: VarId, array_strides: &[usize]) -> InnermostStride {
+    let mut stride: i64 = 0;
+    for (ix, &s) in acc.indices.iter().zip(array_strides) {
+        stride += ix.coeff(var) * s as i64;
+    }
+    match stride {
+        0 => InnermostStride::Invariant,
+        1 => InnermostStride::Contiguous,
+        s => InnermostStride::Strided(s),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::NestBuilder;
+    use crate::dtype::DType;
+    use crate::expr::{BinOp, Expr};
+    use crate::AffineIndex;
+
+    fn matmul() -> LoopNest {
+        let mut b = NestBuilder::new("matmul", DType::F32);
+        let i = b.var("i", 64);
+        let j = b.var("j", 64);
+        let k = b.var("k", 64);
+        let a = b.array("A", &[64, 64]);
+        let bm = b.array("B", &[64, 64]);
+        let c = b.array("C", &[64, 64]);
+        b.accumulate(c, &[i, j], b.load(a, &[i, k]) * b.load(bm, &[k, j]));
+        b.build().unwrap()
+    }
+
+    fn transpose_mask() -> LoopNest {
+        let mut b = NestBuilder::new("tpm", DType::I32);
+        let y = b.var("y", 64);
+        let x = b.var("x", 64);
+        let a = b.array("A", &[64, 64]);
+        let m = b.array("B", &[64, 64]);
+        let out = b.array("out", &[64, 64]);
+        let rhs = Expr::bin(BinOp::And, b.load(a, &[x, y]), b.load(m, &[y, x]));
+        b.store(out, &[y, x], rhs);
+        b.build().unwrap()
+    }
+
+    fn copy() -> LoopNest {
+        let mut b = NestBuilder::new("copy", DType::F32);
+        let i = b.var("i", 64);
+        let j = b.var("j", 64);
+        let src = b.array("src", &[64, 64]);
+        let dst = b.array("dst", &[64, 64]);
+        let ld = b.load(src, &[i, j]);
+        b.store(dst, &[i, j], ld);
+        b.build().unwrap()
+    }
+
+    fn stencil() -> LoopNest {
+        let mut b = NestBuilder::new("blur", DType::F32);
+        let i = b.var("i", 64);
+        let j = b.var("j", 62);
+        let src = b.array("src", &[64, 64]);
+        let dst = b.array("dst", &[64, 64]);
+        let c0 = b.load_expr(src, vec![AffineIndex::var(i), AffineIndex::var(j)]);
+        let c1 = b.load_expr(src, vec![AffineIndex::var(i), AffineIndex::var(j) + 1]);
+        let c2 = b.load_expr(src, vec![AffineIndex::var(i), AffineIndex::var(j) + 2]);
+        b.store(dst, &[i, j], c0 + c1 + c2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn matmul_is_temporal() {
+        let info = NestInfo::analyze(&matmul());
+        assert!(info.has_temporal_reuse());
+        assert!(info.output_is_read);
+        assert_eq!(info.reduction_vars, vec![VarId(2)]);
+        assert!(!info.is_stencil_like);
+    }
+
+    #[test]
+    fn tpm_is_spatial() {
+        let info = NestInfo::analyze(&transpose_mask());
+        assert!(!info.has_temporal_reuse());
+        assert!(info.has_transposed_input());
+        assert!(!info.output_is_read);
+        // A[x][y] transposed, B[y][x] aligned
+        assert_eq!(
+            info.input_patterns,
+            vec![AccessPattern::Transposed, AccessPattern::Aligned]
+        );
+    }
+
+    #[test]
+    fn copy_is_contiguous_only() {
+        let info = NestInfo::analyze(&copy());
+        assert!(!info.has_temporal_reuse());
+        assert!(!info.has_transposed_input());
+        assert!(info.is_stencil_like);
+    }
+
+    #[test]
+    fn stencil_offsets_stay_aligned() {
+        let info = NestInfo::analyze(&stencil());
+        assert!(!info.has_temporal_reuse());
+        assert!(!info.has_transposed_input());
+        assert!(info.is_stencil_like);
+    }
+
+    #[test]
+    fn strides() {
+        let m = matmul();
+        let strides = m.array(crate::ArrayId(1)).strides(); // B
+        let b_acc = m.statement().rhs.loads()[2].clone(); // B[k][j]
+        assert_eq!(stride_of(&b_acc, VarId(1), &strides), InnermostStride::Contiguous);
+        assert_eq!(stride_of(&b_acc, VarId(2), &strides), InnermostStride::Strided(64));
+        assert_eq!(stride_of(&b_acc, VarId(0), &strides), InnermostStride::Invariant);
+    }
+
+    #[test]
+    fn inversion_detection() {
+        let a = [VarId(0), VarId(1)];
+        let b = [VarId(1), VarId(0)];
+        assert!(is_inverted(&a, &b));
+        assert!(!is_inverted(&a, &a));
+        // disjoint orders are not inverted
+        assert!(!is_inverted(&[VarId(0)], &[VarId(1)]));
+    }
+}

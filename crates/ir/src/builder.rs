@@ -1,0 +1,171 @@
+//! Ergonomic construction of loop nests.
+
+use crate::access::{Access, ArrayDecl, ArrayId};
+use crate::affine::{AffineIndex, VarId};
+use crate::dtype::DType;
+use crate::error::IrError;
+use crate::expr::{BinOp, Expr};
+use crate::nest::{LoopNest, LoopVar, Statement};
+
+/// Incrementally builds a [`LoopNest`].
+///
+/// Declare loop variables outermost-first with [`NestBuilder::var`], arrays
+/// with [`NestBuilder::array`], then set the statement with
+/// [`NestBuilder::store`] / [`NestBuilder::accumulate`] and finish with
+/// [`NestBuilder::build`].
+///
+/// # Examples
+///
+/// The transposition-and-masking kernel of the paper's Listing 2:
+///
+/// ```
+/// use palo_ir::{DType, NestBuilder, BinOp, Expr};
+///
+/// let mut b = NestBuilder::new("tpm", DType::I32);
+/// let y = b.var("y", 4096);
+/// let x = b.var("x", 4096);
+/// let a = b.array("A", &[4096, 4096]);
+/// let m = b.array("B", &[4096, 4096]);
+/// let out = b.array("out", &[4096, 4096]);
+/// let rhs = Expr::bin(BinOp::And, b.load(a, &[x, y]), b.load(m, &[y, x]));
+/// b.store(out, &[y, x], rhs);
+/// let nest = b.build()?;
+/// assert_eq!(nest.name(), "tpm");
+/// # Ok::<(), palo_ir::IrError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct NestBuilder {
+    name: String,
+    dtype: DType,
+    vars: Vec<LoopVar>,
+    arrays: Vec<ArrayDecl>,
+    stmt: Option<Statement>,
+}
+
+impl NestBuilder {
+    /// Starts a nest with the given kernel name and element type.
+    pub fn new(name: impl Into<String>, dtype: DType) -> Self {
+        NestBuilder {
+            name: name.into(),
+            dtype,
+            vars: Vec::new(),
+            arrays: Vec::new(),
+            stmt: None,
+        }
+    }
+
+    /// Declares the next (one level deeper) loop variable.
+    pub fn var(&mut self, name: impl Into<String>, extent: usize) -> VarId {
+        self.vars.push(LoopVar { name: name.into(), extent });
+        VarId(self.vars.len() - 1)
+    }
+
+    /// Declares an array with row-major `dims`.
+    pub fn array(&mut self, name: impl Into<String>, dims: &[usize]) -> ArrayId {
+        self.arrays.push(ArrayDecl { name: name.into(), dims: dims.to_vec() });
+        ArrayId(self.arrays.len() - 1)
+    }
+
+    /// A load expression `array[vars...]` with plain-variable subscripts.
+    pub fn load(&self, array: ArrayId, vars: &[VarId]) -> Expr {
+        Expr::Load(Access::new(
+            array,
+            vars.iter().map(|&v| AffineIndex::var(v)).collect(),
+        ))
+    }
+
+    /// A load expression with arbitrary affine subscripts.
+    pub fn load_expr(&self, array: ArrayId, indices: Vec<AffineIndex>) -> Expr {
+        Expr::Load(Access::new(array, indices))
+    }
+
+    /// Sets the statement `array[vars...] = rhs` (plain-variable output
+    /// subscripts). Replaces any previously set statement.
+    pub fn store(&mut self, array: ArrayId, vars: &[VarId], rhs: Expr) {
+        self.store_expr(array, vars.iter().map(|&v| AffineIndex::var(v)).collect(), rhs);
+    }
+
+    /// Sets the statement with arbitrary affine output subscripts.
+    pub fn store_expr(&mut self, array: ArrayId, indices: Vec<AffineIndex>, rhs: Expr) {
+        self.stmt = Some(Statement { output: Access::new(array, indices), rhs });
+    }
+
+    /// Sets the accumulation statement
+    /// `array[vars...] = array[vars...] + rhs`.
+    pub fn accumulate(&mut self, array: ArrayId, vars: &[VarId], rhs: Expr) {
+        let out = self.load(array, vars);
+        self.store(array, vars, Expr::bin(BinOp::Add, out, rhs));
+    }
+
+    /// Finishes and validates the nest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::MissingStatement`] when no statement was set, or
+    /// any validation error from [`LoopNest::new`].
+    pub fn build(self) -> Result<LoopNest, IrError> {
+        let stmt = self.stmt.ok_or(IrError::MissingStatement)?;
+        LoopNest::new(self.name, self.dtype, self.vars, self.arrays, stmt)
+    }
+}
+
+/// Free-function expression helpers usable without a builder.
+pub mod helpers {
+    use super::*;
+
+    /// A constant expression.
+    pub fn constant(v: f64) -> Expr {
+        Expr::Const(v)
+    }
+
+    /// `1.0` when `lhs >= rhs` else `0.0` — the rectangularization guard
+    /// used by triangular kernels.
+    pub fn ge(lhs: impl Into<AffineIndex>, rhs: impl Into<AffineIndex>) -> Expr {
+        Expr::GeIndicator(lhs.into(), rhs.into())
+    }
+}
+
+/// Re-export of expression helpers under a short name.
+pub use helpers as ExprBuilder;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_statement_is_an_error() {
+        let b = NestBuilder::new("empty", DType::F32);
+        assert!(matches!(b.build(), Err(IrError::MissingStatement)));
+    }
+
+    #[test]
+    fn accumulate_reads_output() {
+        let mut b = NestBuilder::new("acc", DType::F32);
+        let i = b.var("i", 4);
+        let a = b.array("A", &[4]);
+        let c = b.array("C", &[4]);
+        let ld = b.load(a, &[i]);
+        b.accumulate(c, &[i], ld);
+        let nest = b.build().unwrap();
+        assert!(nest.statement().output_is_read());
+    }
+
+    #[test]
+    fn store_replaces_previous_statement() {
+        let mut b = NestBuilder::new("replace", DType::F32);
+        let i = b.var("i", 4);
+        let a = b.array("A", &[4]);
+        let c = b.array("C", &[4]);
+        let ld = b.load(a, &[i]);
+        b.store(c, &[i], ld.clone());
+        b.store(c, &[i], ld + Expr::Const(1.0));
+        let nest = b.build().unwrap();
+        assert_eq!(nest.statement().rhs.op_count(), 1);
+    }
+
+    #[test]
+    fn ge_helper_builds_indicator() {
+        let g = helpers::ge(AffineIndex::var(VarId(0)), 3i64);
+        assert!(matches!(g, Expr::GeIndicator(..)));
+    }
+}

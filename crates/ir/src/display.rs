@@ -1,0 +1,110 @@
+//! Pretty-printing of nests as C-like pseudocode.
+
+use crate::access::Access;
+use crate::affine::AffineIndex;
+use crate::expr::{BinOp, Expr, UnOp};
+use crate::nest::LoopNest;
+use std::fmt;
+
+impl fmt::Display for LoopNest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "// {} ({})", self.name(), self.dtype())?;
+        for (depth, v) in self.vars().iter().enumerate() {
+            let pad = "  ".repeat(depth);
+            writeln!(f, "{pad}for {} in 0..{} {{", v.name, v.extent)?;
+        }
+        let pad = "  ".repeat(self.vars().len());
+        writeln!(
+            f,
+            "{pad}{} = {};",
+            self.fmt_access(&self.statement().output),
+            self.fmt_expr(&self.statement().rhs)
+        )?;
+        for depth in (0..self.vars().len()).rev() {
+            writeln!(f, "{}}}", "  ".repeat(depth))?;
+        }
+        Ok(())
+    }
+}
+
+impl LoopNest {
+    fn fmt_index(&self, ix: &AffineIndex) -> String {
+        let mut parts = Vec::new();
+        for &(v, c) in ix.terms() {
+            let name = &self.vars()[v.index()].name;
+            match c {
+                1 => parts.push(name.clone()),
+                -1 => parts.push(format!("-{name}")),
+                c => parts.push(format!("{c}*{name}")),
+            }
+        }
+        if ix.offset() != 0 || parts.is_empty() {
+            parts.push(ix.offset().to_string());
+        }
+        parts.join(" + ").replace("+ -", "- ")
+    }
+
+    fn fmt_access(&self, a: &Access) -> String {
+        let name = &self.array(a.array).name;
+        let subs: Vec<String> =
+            a.indices.iter().map(|ix| format!("[{}]", self.fmt_index(ix))).collect();
+        format!("{name}{}", subs.join(""))
+    }
+
+    fn fmt_expr(&self, e: &Expr) -> String {
+        match e {
+            Expr::Load(a) => self.fmt_access(a),
+            Expr::Const(c) => format!("{c}"),
+            Expr::Bin(op, l, r) => {
+                let sym = match op {
+                    BinOp::Add => "+",
+                    BinOp::Sub => "-",
+                    BinOp::Mul => "*",
+                    BinOp::And => "&",
+                    BinOp::Max => return format!("max({}, {})", self.fmt_expr(l), self.fmt_expr(r)),
+                    BinOp::Min => return format!("min({}, {})", self.fmt_expr(l), self.fmt_expr(r)),
+                };
+                format!("({} {sym} {})", self.fmt_expr(l), self.fmt_expr(r))
+            }
+            Expr::Un(UnOp::Neg, e) => format!("(-{})", self.fmt_expr(e)),
+            Expr::Un(UnOp::Abs, e) => format!("abs({})", self.fmt_expr(e)),
+            Expr::GeIndicator(l, r) => {
+                format!("({} >= {} ? 1 : 0)", self.fmt_index(l), self.fmt_index(r))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::builder::NestBuilder;
+    use crate::dtype::DType;
+
+    #[test]
+    fn matmul_prints_like_c() {
+        let mut b = NestBuilder::new("matmul", DType::F32);
+        let i = b.var("i", 4);
+        let j = b.var("j", 4);
+        let k = b.var("k", 4);
+        let a = b.array("A", &[4, 4]);
+        let bm = b.array("B", &[4, 4]);
+        let c = b.array("C", &[4, 4]);
+        b.accumulate(c, &[i, j], b.load(a, &[i, k]) * b.load(bm, &[k, j]));
+        let s = b.build().unwrap().to_string();
+        assert!(s.contains("for i in 0..4"));
+        assert!(s.contains("C[i][j] = (C[i][j] + (A[i][k] * B[k][j]));"));
+    }
+
+    #[test]
+    fn offsets_print() {
+        use crate::AffineIndex;
+        let mut b = NestBuilder::new("shift", DType::F32);
+        let i = b.var("i", 4);
+        let src = b.array("s", &[8]);
+        let dst = b.array("d", &[4]);
+        let ld = b.load_expr(src, vec![AffineIndex::var(i) + 2]);
+        b.store(dst, &[i], ld);
+        let s = b.build().unwrap().to_string();
+        assert!(s.contains("s[i + 2]"), "{s}");
+    }
+}

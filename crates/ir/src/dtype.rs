@@ -1,0 +1,80 @@
+//! Element data types.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Element type of an array (`DTS` in the paper is [`DType::size_bytes`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DType {
+    /// 32-bit IEEE float.
+    F32,
+    /// 64-bit IEEE float.
+    F64,
+    /// 32-bit signed integer.
+    I32,
+    /// 64-bit signed integer.
+    I64,
+    /// 8-bit unsigned integer.
+    U8,
+    /// 16-bit unsigned integer.
+    U16,
+}
+
+impl DType {
+    /// Size of one element in bytes (`DTS`).
+    pub fn size_bytes(self) -> usize {
+        match self {
+            DType::U8 => 1,
+            DType::U16 => 2,
+            DType::F32 | DType::I32 => 4,
+            DType::F64 | DType::I64 => 8,
+        }
+    }
+
+    /// Whether values of this type are integers (bitwise ops allowed).
+    pub fn is_integer(self) -> bool {
+        matches!(self, DType::I32 | DType::I64 | DType::U8 | DType::U16)
+    }
+}
+
+impl fmt::Display for DType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            DType::F32 => "f32",
+            DType::F64 => "f64",
+            DType::I32 => "i32",
+            DType::I64 => "i64",
+            DType::U8 => "u8",
+            DType::U16 => "u16",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes() {
+        assert_eq!(DType::F32.size_bytes(), 4);
+        assert_eq!(DType::F64.size_bytes(), 8);
+        assert_eq!(DType::I32.size_bytes(), 4);
+        assert_eq!(DType::I64.size_bytes(), 8);
+        assert_eq!(DType::U8.size_bytes(), 1);
+        assert_eq!(DType::U16.size_bytes(), 2);
+    }
+
+    #[test]
+    fn integerness() {
+        assert!(!DType::F32.is_integer());
+        assert!(DType::I32.is_integer());
+        assert!(DType::U8.is_integer());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(DType::F32.to_string(), "f32");
+        assert_eq!(DType::U16.to_string(), "u16");
+    }
+}

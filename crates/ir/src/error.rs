@@ -1,0 +1,97 @@
+//! IR construction and validation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while building or validating a loop nest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// A loop variable was declared with extent 0.
+    EmptyLoop {
+        /// Name of the offending variable.
+        var: String,
+    },
+    /// An array was declared with a zero-sized dimension.
+    EmptyArray {
+        /// Name of the offending array.
+        array: String,
+    },
+    /// An access has the wrong number of subscripts for its array.
+    RankMismatch {
+        /// Name of the accessed array.
+        array: String,
+        /// Number of declared dimensions.
+        expected: usize,
+        /// Number of subscripts in the access.
+        found: usize,
+    },
+    /// A subscript can take values outside the array dimension.
+    OutOfBounds {
+        /// Name of the accessed array.
+        array: String,
+        /// Offending dimension index.
+        dim: usize,
+        /// Inclusive subscript range over the iteration domain.
+        range: (i64, i64),
+        /// Declared extent of that dimension.
+        extent: usize,
+    },
+    /// The nest was built without a statement.
+    MissingStatement,
+    /// A referenced variable or array does not belong to this nest.
+    UnknownId {
+        /// Description of the dangling reference.
+        what: String,
+    },
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::EmptyLoop { var } => write!(f, "loop variable {var:?} has extent 0"),
+            IrError::EmptyArray { array } => {
+                write!(f, "array {array:?} has a zero-sized dimension")
+            }
+            IrError::RankMismatch { array, expected, found } => write!(
+                f,
+                "access to {array:?} has {found} subscripts but the array has {expected} dimensions"
+            ),
+            IrError::OutOfBounds { array, dim, range, extent } => write!(
+                f,
+                "subscript {dim} of {array:?} spans {range:?} but the extent is {extent}"
+            ),
+            IrError::MissingStatement => write!(f, "loop nest has no statement"),
+            IrError::UnknownId { what } => write!(f, "unknown reference: {what}"),
+        }
+    }
+}
+
+impl Error for IrError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = IrError::RankMismatch { array: "A".into(), expected: 2, found: 3 };
+        let s = e.to_string();
+        assert!(s.contains("A"));
+        assert!(s.contains('3'));
+        assert!(s.contains('2'));
+
+        let e = IrError::OutOfBounds {
+            array: "B".into(),
+            dim: 1,
+            range: (0, 99),
+            extent: 64,
+        };
+        assert!(e.to_string().contains("extent is 64"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<IrError>();
+    }
+}

@@ -1,0 +1,147 @@
+//! Right-hand-side computation expressions.
+
+use crate::access::Access;
+use crate::affine::AffineIndex;
+use serde::{Deserialize, Serialize};
+
+/// Binary operators available in statement right-hand sides.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Elementwise maximum.
+    Max,
+    /// Elementwise minimum.
+    Min,
+    /// Bitwise AND (the masking operator of the paper's Listing 2);
+    /// on float data it is applied to the raw bits.
+    And,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Negation.
+    Neg,
+    /// Absolute value.
+    Abs,
+}
+
+/// A computation expression tree.
+///
+/// Loads are the leaves the paper's classifier inspects; arithmetic
+/// structure only matters to the compute-mode interpreter. `GeIndicator`
+/// evaluates to 1 or 0 and is how triangular kernels (trmm, syrk) guard
+/// their rectangularized iteration space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// A load from an array.
+    Load(Access),
+    /// A floating-point constant (bit-cast for integer dtypes).
+    Const(f64),
+    /// Binary operation.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Unary operation.
+    Un(UnOp, Box<Expr>),
+    /// `1.0` when `lhs >= rhs` at the current iteration point, else `0.0`.
+    GeIndicator(AffineIndex, AffineIndex),
+}
+
+impl Expr {
+    /// All loads in the expression, in evaluation order.
+    pub fn loads(&self) -> Vec<&Access> {
+        let mut out = Vec::new();
+        self.collect_loads(&mut out);
+        out
+    }
+
+    fn collect_loads<'a>(&'a self, out: &mut Vec<&'a Access>) {
+        match self {
+            Expr::Load(a) => out.push(a),
+            Expr::Const(_) | Expr::GeIndicator(..) => {}
+            Expr::Bin(_, l, r) => {
+                l.collect_loads(out);
+                r.collect_loads(out);
+            }
+            Expr::Un(_, e) => e.collect_loads(out),
+        }
+    }
+
+    /// Number of arithmetic operations in one evaluation (used by the
+    /// timing model's compute estimate).
+    pub fn op_count(&self) -> usize {
+        match self {
+            Expr::Load(_) | Expr::Const(_) => 0,
+            Expr::GeIndicator(..) => 1,
+            Expr::Bin(_, l, r) => 1 + l.op_count() + r.op_count(),
+            Expr::Un(_, e) => 1 + e.op_count(),
+        }
+    }
+
+    /// Convenience constructor for a binary node.
+    pub fn bin(op: BinOp, lhs: Expr, rhs: Expr) -> Expr {
+        Expr::Bin(op, Box::new(lhs), Box::new(rhs))
+    }
+}
+
+impl std::ops::Add for Expr {
+    type Output = Expr;
+    fn add(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Add, self, rhs)
+    }
+}
+
+impl std::ops::Sub for Expr {
+    type Output = Expr;
+    fn sub(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Sub, self, rhs)
+    }
+}
+
+impl std::ops::Mul for Expr {
+    type Output = Expr;
+    fn mul(self, rhs: Expr) -> Expr {
+        Expr::bin(BinOp::Mul, self, rhs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::access::ArrayId;
+    use crate::affine::VarId;
+
+    fn load(id: usize) -> Expr {
+        Expr::Load(Access::new(ArrayId(id), vec![AffineIndex::var(VarId(0))]))
+    }
+
+    #[test]
+    fn loads_in_order() {
+        let e = load(0) * load(1) + load(2);
+        let ids: Vec<_> = e.loads().iter().map(|a| a.array).collect();
+        assert_eq!(ids, vec![ArrayId(0), ArrayId(1), ArrayId(2)]);
+    }
+
+    #[test]
+    fn op_count() {
+        let e = load(0) * load(1) + load(2);
+        assert_eq!(e.op_count(), 2);
+        assert_eq!(Expr::Const(1.0).op_count(), 0);
+        let g = Expr::GeIndicator(AffineIndex::var(VarId(0)), AffineIndex::constant(1));
+        assert_eq!(g.op_count(), 1);
+        assert_eq!(Expr::Un(UnOp::Neg, Box::new(load(0))).op_count(), 1);
+    }
+
+    #[test]
+    fn operator_sugar_builds_nodes() {
+        let e = load(0) - load(1);
+        match e {
+            Expr::Bin(BinOp::Sub, ..) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

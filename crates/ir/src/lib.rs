@@ -1,0 +1,55 @@
+//! Loop-nest intermediate representation for the palo optimizer.
+//!
+//! The paper's optimizer consumes an *algorithmic description* of a loop
+//! nest — in the original work a Halide function definition. This crate is
+//! the Halide-replacement substrate: a small IR that carries exactly the
+//! information the classifier and the analytical models inspect:
+//!
+//! * loop variables with rectangular bounds (`Bi`, Table 1),
+//! * arrays with row-major layout and a data-type size (`DTS`),
+//! * a single innermost statement whose operand accesses are affine
+//!   functions of the loop variables (sufficient for every kernel in the
+//!   paper's evaluation, including convolution windows `x + rx` and
+//!   transposed accesses `A[x][y]`).
+//!
+//! # Examples
+//!
+//! Building the paper's running example (matrix multiplication,
+//! Listing 1):
+//!
+//! ```
+//! use palo_ir::{DType, NestBuilder};
+//!
+//! let mut b = NestBuilder::new("matmul", DType::F32);
+//! let i = b.var("i", 2048);
+//! let j = b.var("j", 2048);
+//! let k = b.var("k", 2048);
+//! let a = b.array("A", &[2048, 2048]);
+//! let bm = b.array("B", &[2048, 2048]);
+//! let c = b.array("C", &[2048, 2048]);
+//! b.accumulate(c, &[i, j], b.load(a, &[i, k]) * b.load(bm, &[k, j]));
+//! let nest = b.build()?;
+//!
+//! assert_eq!(nest.vars().len(), 3);
+//! assert_eq!(nest.statement().inputs().count(), 3); // C, A, B loads
+//! # Ok::<(), palo_ir::IrError>(())
+//! ```
+
+mod access;
+mod affine;
+mod analysis;
+mod builder;
+mod display;
+mod dtype;
+mod error;
+mod expr;
+mod nest;
+
+pub use access::{Access, ArrayDecl, ArrayId};
+pub use affine::{AffineIndex, VarId};
+pub use analysis::{stride_of, AccessPattern, InnermostStride, NestInfo};
+pub use builder::{ExprBuilder, NestBuilder};
+pub use dtype::DType;
+pub use error::IrError;
+pub use expr::{BinOp, Expr, UnOp};
+pub use nest::{LoopNest, LoopVar, Statement};

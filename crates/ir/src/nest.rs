@@ -1,0 +1,277 @@
+//! Loop nests and statements.
+
+use crate::access::{Access, ArrayDecl, ArrayId};
+use crate::affine::VarId;
+use crate::dtype::DType;
+use crate::error::IrError;
+use crate::expr::Expr;
+use serde::{Deserialize, Serialize};
+
+/// A loop variable with its rectangular extent (`Bi`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoopVar {
+    /// Name used in diagnostics and pretty-printing.
+    pub name: String,
+    /// Trip count; the variable ranges over `0..extent`.
+    pub extent: usize,
+}
+
+/// The innermost statement of a nest: `output = rhs`, executed at every
+/// point of the iteration space.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Statement {
+    /// The stored-to access.
+    pub output: Access,
+    /// The computed value.
+    pub rhs: Expr,
+}
+
+impl Statement {
+    /// All input (load) accesses of the right-hand side, in evaluation
+    /// order. Includes a load of the output array when the statement is an
+    /// accumulation (`C = C + ...`).
+    pub fn inputs(&self) -> impl Iterator<Item = &Access> {
+        self.rhs.loads().into_iter()
+    }
+
+    /// Whether the output array is also read by the right-hand side
+    /// (i.e. the statement is a reduction/accumulation). Such outputs have
+    /// temporal reuse and must not use non-temporal stores.
+    pub fn output_is_read(&self) -> bool {
+        self.rhs.loads().iter().any(|a| a.array == self.output.array)
+    }
+}
+
+/// A perfect loop nest around a single statement.
+///
+/// Loops are stored outermost-first in *program order*; the optimizer is
+/// free to reorder them (that is the point of the paper). The iteration
+/// domain is the full rectangle `Π 0..extent`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoopNest {
+    name: String,
+    dtype: DType,
+    vars: Vec<LoopVar>,
+    arrays: Vec<ArrayDecl>,
+    stmt: Statement,
+}
+
+impl LoopNest {
+    /// Assembles and validates a nest. Prefer [`crate::NestBuilder`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`IrError`] when a loop or array is empty, an access has
+    /// the wrong rank, a subscript can exceed its dimension, or an id does
+    /// not refer to this nest.
+    pub fn new(
+        name: impl Into<String>,
+        dtype: DType,
+        vars: Vec<LoopVar>,
+        arrays: Vec<ArrayDecl>,
+        stmt: Statement,
+    ) -> Result<Self, IrError> {
+        let nest = LoopNest { name: name.into(), dtype, vars, arrays, stmt };
+        nest.validate()?;
+        Ok(nest)
+    }
+
+    /// Kernel name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Element type of every array in the nest.
+    pub fn dtype(&self) -> DType {
+        self.dtype
+    }
+
+    /// Loop variables, outermost-first in program order.
+    pub fn vars(&self) -> &[LoopVar] {
+        &self.vars
+    }
+
+    /// Declared arrays.
+    pub fn arrays(&self) -> &[ArrayDecl] {
+        &self.arrays
+    }
+
+    /// The innermost statement.
+    pub fn statement(&self) -> &Statement {
+        &self.stmt
+    }
+
+    /// Extent of a loop variable.
+    pub fn extent(&self, var: VarId) -> usize {
+        self.vars[var.index()].extent
+    }
+
+    /// Extents of all loop variables, indexed by [`VarId`].
+    pub fn extents(&self) -> Vec<usize> {
+        self.vars.iter().map(|v| v.extent).collect()
+    }
+
+    /// Declaration of an array.
+    pub fn array(&self, id: ArrayId) -> &ArrayDecl {
+        &self.arrays[id.index()]
+    }
+
+    /// Total number of iteration points.
+    pub fn iteration_count(&self) -> u128 {
+        self.vars.iter().map(|v| v.extent as u128).product()
+    }
+
+    /// The loop variable that walks the contiguous (last) dimension of the
+    /// *output* array — the paper's "leading (column) dimension" whose
+    /// bound is `Bc`. `None` when the output's innermost subscript is not a
+    /// plain variable.
+    pub fn column_var(&self) -> Option<VarId> {
+        self.stmt.output.innermost_var()
+    }
+
+    /// Every access in the statement: output first, then inputs in
+    /// evaluation order.
+    pub fn accesses(&self) -> Vec<&Access> {
+        let mut v = vec![&self.stmt.output];
+        v.extend(self.stmt.rhs.loads());
+        v
+    }
+
+    fn validate(&self) -> Result<(), IrError> {
+        for v in &self.vars {
+            if v.extent == 0 {
+                return Err(IrError::EmptyLoop { var: v.name.clone() });
+            }
+        }
+        for a in &self.arrays {
+            if a.dims.iter().any(|&d| d == 0) {
+                return Err(IrError::EmptyArray { array: a.name.clone() });
+            }
+        }
+        let extents = self.extents();
+        for acc in self.accesses() {
+            let decl = self
+                .arrays
+                .get(acc.array.index())
+                .ok_or_else(|| IrError::UnknownId { what: format!("array {:?}", acc.array) })?;
+            if acc.indices.len() != decl.dims.len() {
+                return Err(IrError::RankMismatch {
+                    array: decl.name.clone(),
+                    expected: decl.dims.len(),
+                    found: acc.indices.len(),
+                });
+            }
+            for (dim, ix) in acc.indices.iter().enumerate() {
+                for v in ix.vars() {
+                    if v.index() >= self.vars.len() {
+                        return Err(IrError::UnknownId { what: format!("variable {v:?}") });
+                    }
+                }
+                let range = ix.range(&extents);
+                if range.0 < 0 || range.1 >= decl.dims[dim] as i64 {
+                    return Err(IrError::OutOfBounds {
+                        array: decl.name.clone(),
+                        dim,
+                        range,
+                        extent: decl.dims[dim],
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::affine::AffineIndex;
+    use crate::builder::NestBuilder;
+
+    fn matmul(n: usize) -> LoopNest {
+        let mut b = NestBuilder::new("matmul", DType::F32);
+        let i = b.var("i", n);
+        let j = b.var("j", n);
+        let k = b.var("k", n);
+        let a = b.array("A", &[n, n]);
+        let bm = b.array("B", &[n, n]);
+        let c = b.array("C", &[n, n]);
+        b.accumulate(c, &[i, j], b.load(a, &[i, k]) * b.load(bm, &[k, j]));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn matmul_basics() {
+        let m = matmul(16);
+        assert_eq!(m.vars().len(), 3);
+        assert_eq!(m.iteration_count(), 16 * 16 * 16);
+        assert_eq!(m.column_var(), Some(VarId(1))); // j
+        assert!(m.statement().output_is_read());
+        assert_eq!(m.accesses().len(), 4); // store C + loads C, A, B
+    }
+
+    #[test]
+    fn non_accumulating_output_not_read() {
+        let mut b = NestBuilder::new("copy", DType::F32);
+        let i = b.var("i", 8);
+        let j = b.var("j", 8);
+        let src = b.array("src", &[8, 8]);
+        let dst = b.array("dst", &[8, 8]);
+        let ld = b.load(src, &[i, j]);
+        b.store(dst, &[i, j], ld);
+        let nest = b.build().unwrap();
+        assert!(!nest.statement().output_is_read());
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_window() {
+        // in[x + rx] with in too small
+        let mut b = NestBuilder::new("conv", DType::F32);
+        let x = b.var("x", 8);
+        let rx = b.var("rx", 3);
+        let input = b.array("in", &[8]); // needs 10
+        let out = b.array("out", &[8]);
+        let ix = AffineIndex::var(x) + AffineIndex::var(rx);
+        let ld = Expr::Load(Access::new(input, vec![ix]));
+        b.store_expr(out, vec![AffineIndex::var(x).into()], ld + b.load(out, &[x]));
+        match b.build() {
+            Err(IrError::OutOfBounds { array, .. }) => assert_eq!(array, "in"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_rank_mismatch() {
+        let mut b = NestBuilder::new("bad", DType::F32);
+        let i = b.var("i", 4);
+        let a = b.array("A", &[4, 4]);
+        let out = b.array("out", &[4]);
+        let ld = b.load(a, &[i]); // rank 1 access to rank 2 array
+        b.store(out, &[i], ld);
+        assert!(matches!(b.build(), Err(IrError::RankMismatch { .. })));
+    }
+
+    #[test]
+    fn rejects_empty_loop() {
+        let mut b = NestBuilder::new("bad", DType::F32);
+        let i = b.var("i", 0);
+        let a = b.array("A", &[1]);
+        let ld = b.load(a, &[i]);
+        b.store(a, &[i], ld);
+        assert!(matches!(b.build(), Err(IrError::EmptyLoop { .. })));
+    }
+
+    #[test]
+    fn column_var_none_for_compound_innermost() {
+        let mut b = NestBuilder::new("weird", DType::F32);
+        let x = b.var("x", 4);
+        let r = b.var("r", 2);
+        let a = b.array("A", &[8]);
+        let out = b.array("out", &[8]);
+        let ix = AffineIndex::var(x) + AffineIndex::var(r);
+        let ld = Expr::Load(Access::new(a, vec![ix.clone()]));
+        b.store_expr(out, vec![ix], ld);
+        let nest = b.build().unwrap();
+        assert_eq!(nest.column_var(), None);
+    }
+}

@@ -1,0 +1,145 @@
+//! Schedule directives.
+
+use serde::{Deserialize, Serialize};
+
+/// A single scheduling transformation, in the spirit of Halide's
+/// scheduling language.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Directive {
+    /// Split loop `var` into `outer` and `inner` with `inner` of size
+    /// `factor`. Non-dividing factors are legal: the lowered nest guards
+    /// the tail iterations.
+    Split {
+        /// Name of the loop being split.
+        var: String,
+        /// Name for the new outer (inter-tile) loop.
+        outer: String,
+        /// Name for the new inner (intra-tile) loop.
+        inner: String,
+        /// Inner extent (tile size).
+        factor: usize,
+    },
+    /// Reorder the loops so that `order` (outermost first) is the new
+    /// nesting. Must name every current loop exactly once.
+    Reorder {
+        /// New loop order, outermost first.
+        order: Vec<String>,
+    },
+    /// Fuse two *adjacent* loops `outer` and `inner` into one loop named
+    /// `fused` with the product trip count — used by the paper to merge
+    /// outer inter-tile loops before parallelizing.
+    Fuse {
+        /// The outer of the two adjacent loops.
+        outer: String,
+        /// The inner of the two adjacent loops.
+        inner: String,
+        /// Name of the fused loop.
+        fused: String,
+    },
+    /// Execute the named loop with SIMD vectors of `lanes` lanes.
+    Vectorize {
+        /// Loop to vectorize (must be the innermost loop at lowering).
+        var: String,
+        /// Vector lanes.
+        lanes: usize,
+    },
+    /// Distribute the named loop over worker threads.
+    Parallel {
+        /// Loop to parallelize.
+        var: String,
+    },
+    /// Emit the output's stores with a non-temporal hint, bypassing the
+    /// cache (the scheduling directive this paper adds to Halide).
+    StoreNt,
+}
+
+/// An ordered list of [`Directive`]s applied to a loop nest.
+///
+/// Built with the fluent methods below, then applied with
+/// [`Schedule::lower`].
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    directives: Vec<Directive>,
+}
+
+impl Schedule {
+    /// An empty schedule (lowers to the program-order nest).
+    pub fn new() -> Self {
+        Schedule::default()
+    }
+
+    /// The directive list in application order.
+    pub fn directives(&self) -> &[Directive] {
+        &self.directives
+    }
+
+    /// Appends a [`Directive::Split`].
+    pub fn split(&mut self, var: &str, outer: &str, inner: &str, factor: usize) -> &mut Self {
+        self.directives.push(Directive::Split {
+            var: var.into(),
+            outer: outer.into(),
+            inner: inner.into(),
+            factor,
+        });
+        self
+    }
+
+    /// Appends a [`Directive::Reorder`].
+    pub fn reorder(&mut self, order: &[&str]) -> &mut Self {
+        self.directives.push(Directive::Reorder {
+            order: order.iter().map(|s| s.to_string()).collect(),
+        });
+        self
+    }
+
+    /// Appends a [`Directive::Fuse`].
+    pub fn fuse(&mut self, outer: &str, inner: &str, fused: &str) -> &mut Self {
+        self.directives.push(Directive::Fuse {
+            outer: outer.into(),
+            inner: inner.into(),
+            fused: fused.into(),
+        });
+        self
+    }
+
+    /// Appends a [`Directive::Vectorize`].
+    pub fn vectorize(&mut self, var: &str, lanes: usize) -> &mut Self {
+        self.directives.push(Directive::Vectorize { var: var.into(), lanes });
+        self
+    }
+
+    /// Appends a [`Directive::Parallel`].
+    pub fn parallel(&mut self, var: &str) -> &mut Self {
+        self.directives.push(Directive::Parallel { var: var.into() });
+        self
+    }
+
+    /// Appends a [`Directive::StoreNt`].
+    pub fn store_nt(&mut self) -> &mut Self {
+        self.directives.push(Directive::StoreNt);
+        self
+    }
+
+    /// Whether the schedule requests non-temporal stores.
+    pub fn uses_nt_stores(&self) -> bool {
+        self.directives.iter().any(|d| matches!(d, Directive::StoreNt))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fluent_building() {
+        let mut s = Schedule::new();
+        s.split("i", "i_o", "i_i", 32).reorder(&["i_o", "i_i"]).parallel("i_o").store_nt();
+        assert_eq!(s.directives().len(), 4);
+        assert!(s.uses_nt_stores());
+    }
+
+    #[test]
+    fn empty_schedule_has_no_nt() {
+        assert!(!Schedule::new().uses_nt_stores());
+    }
+}

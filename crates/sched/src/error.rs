@@ -1,0 +1,78 @@
+//! Scheduling errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while lowering a [`crate::Schedule`] onto a nest.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SchedError {
+    /// A directive names a loop that does not (or no longer does) exist.
+    UnknownLoop {
+        /// The missing loop name.
+        name: String,
+    },
+    /// A split/fuse would create a loop name that already exists.
+    DuplicateLoop {
+        /// The clashing name.
+        name: String,
+    },
+    /// A reorder does not name every live loop exactly once.
+    BadReorder {
+        /// Diagnostic detail.
+        detail: String,
+    },
+    /// Fuse operands are not adjacent (outer immediately outside inner).
+    NotAdjacent {
+        /// The outer loop name.
+        outer: String,
+        /// The inner loop name.
+        inner: String,
+    },
+    /// A split factor or vector width of zero.
+    ZeroFactor {
+        /// The directive kind that carried the zero.
+        what: &'static str,
+    },
+    /// Vectorize applied to a loop that is not innermost at the end of
+    /// lowering.
+    VectorizeNotInnermost {
+        /// The loop name.
+        name: String,
+    },
+}
+
+impl fmt::Display for SchedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedError::UnknownLoop { name } => write!(f, "unknown loop {name:?}"),
+            SchedError::DuplicateLoop { name } => write!(f, "loop name {name:?} already exists"),
+            SchedError::BadReorder { detail } => write!(f, "invalid reorder: {detail}"),
+            SchedError::NotAdjacent { outer, inner } => {
+                write!(f, "loops {outer:?} and {inner:?} are not adjacent; cannot fuse")
+            }
+            SchedError::ZeroFactor { what } => write!(f, "{what} factor must be nonzero"),
+            SchedError::VectorizeNotInnermost { name } => {
+                write!(f, "vectorized loop {name:?} is not the innermost loop")
+            }
+        }
+    }
+}
+
+impl Error for SchedError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages() {
+        assert!(SchedError::UnknownLoop { name: "z".into() }.to_string().contains("z"));
+        assert!(SchedError::BadReorder { detail: "dup".into() }.to_string().contains("dup"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<SchedError>();
+    }
+}

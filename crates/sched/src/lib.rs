@@ -1,0 +1,48 @@
+//! Schedule language and lowering for the palo optimizer.
+//!
+//! Halide separates an algorithm from its *schedule* — the set of loop
+//! transformations applied to it. This crate is the schedule half of the
+//! substitution: a list of [`Directive`]s (`split`, `reorder`,
+//! `vectorize`, `parallel`, `fuse`, and the paper's new `store_nt`
+//! non-temporal-store directive) that is *lowered* onto a
+//! [`palo_ir::LoopNest`] to produce a [`LoweredNest`] — the concrete loop
+//! structure that the executor walks.
+//!
+//! # Examples
+//!
+//! The schedule of the paper's Listing 3 (matmul split 512×32, reordered,
+//! vectorized by 8, parallelized):
+//!
+//! ```
+//! use palo_ir::{DType, NestBuilder};
+//! use palo_sched::Schedule;
+//!
+//! let mut b = NestBuilder::new("matmul", DType::F32);
+//! let i = b.var("i", 2048);
+//! let j = b.var("j", 2048);
+//! let k = b.var("k", 2048);
+//! let a = b.array("A", &[2048, 2048]);
+//! let bm = b.array("B", &[2048, 2048]);
+//! let c = b.array("C", &[2048, 2048]);
+//! b.accumulate(c, &[i, j], b.load(a, &[i, k]) * b.load(bm, &[k, j]));
+//! let nest = b.build()?;
+//!
+//! let mut s = Schedule::new();
+//! s.split("j", "j_o", "j_i", 512)
+//!     .split("i", "i_o", "i_i", 32)
+//!     .reorder(&["j_o", "i_o", "k", "i_i", "j_i"])
+//!     .vectorize("j_i", 8)
+//!     .parallel("j_o");
+//! let lowered = s.lower(&nest)?;
+//! assert_eq!(lowered.loops().len(), 5);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod directive;
+mod error;
+mod lower;
+mod print;
+
+pub use directive::{Directive, Schedule};
+pub use error::SchedError;
+pub use lower::{Contribution, LoopKind, LoweredLoop, LoweredNest};

@@ -1,0 +1,485 @@
+//! Lowering a schedule onto a nest.
+
+use crate::directive::{Directive, Schedule};
+use crate::error::SchedError;
+use palo_ir::{LoopNest, VarId};
+use serde::{Deserialize, Serialize};
+
+/// How a lowered loop's index contributes to an original loop variable.
+///
+/// The value added to `var` is `((idx / divisor) % modulus) * stride`.
+/// Plain (unfused) loops have `divisor == 1` and `modulus == trip`, so the
+/// contribution reduces to `idx * stride`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Contribution {
+    /// The original loop variable this contributes to.
+    pub var: VarId,
+    /// Multiplier applied to the (divided, wrapped) index.
+    pub stride: usize,
+    /// Pre-division (used by fused loops).
+    pub divisor: usize,
+    /// Wrap-around modulus (used by fused loops).
+    pub modulus: usize,
+}
+
+impl Contribution {
+    /// The contribution of this loop at index `idx`.
+    pub fn value(&self, idx: usize) -> usize {
+        ((idx / self.divisor) % self.modulus) * self.stride
+    }
+}
+
+/// Execution strategy of one lowered loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LoopKind {
+    /// Ordinary sequential loop.
+    Serial,
+    /// Distributed over worker threads.
+    Parallel,
+    /// Executed with SIMD vectors of the given lane count.
+    Vectorized(usize),
+}
+
+/// One concrete loop of the lowered nest.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LoweredLoop {
+    /// Loop name (schedule-visible).
+    pub name: String,
+    /// Trip count.
+    pub trip: usize,
+    /// Execution strategy.
+    pub kind: LoopKind,
+    /// Contributions to original loop variables.
+    pub contribs: Vec<Contribution>,
+}
+
+impl LoweredLoop {
+    fn simple(name: String, var: VarId, trip: usize, stride: usize) -> Self {
+        LoweredLoop {
+            name,
+            trip,
+            kind: LoopKind::Serial,
+            contribs: vec![Contribution { var, stride, divisor: 1, modulus: trip }],
+        }
+    }
+}
+
+/// The result of lowering: a concrete loop structure over the original
+/// statement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoweredNest {
+    loops: Vec<LoweredLoop>,
+    nt_store: bool,
+    needs_guard: bool,
+    extents: Vec<usize>,
+}
+
+impl LoweredNest {
+    /// The loops, outermost first.
+    pub fn loops(&self) -> &[LoweredLoop] {
+        &self.loops
+    }
+
+    /// Whether output stores carry the non-temporal hint.
+    pub fn nt_store(&self) -> bool {
+        self.nt_store
+    }
+
+    /// Whether some split does not divide its extent, so iteration points
+    /// must be guarded against the original bounds.
+    pub fn needs_guard(&self) -> bool {
+        self.needs_guard
+    }
+
+    /// Extents of the original loop variables (indexed by [`VarId`]).
+    pub fn extents(&self) -> &[usize] {
+        &self.extents
+    }
+
+    /// Total lowered iteration points (including guarded-out tail points).
+    pub fn total_points(&self) -> u128 {
+        self.loops.iter().map(|l| l.trip as u128).product()
+    }
+
+    /// Reconstructs original variable values for one lowered index vector
+    /// (`indices[d]` is the index of loop `d`). Returns `false` when the
+    /// point lies in a guarded-out tail.
+    pub fn point(&self, indices: &[usize], out: &mut [i64]) -> bool {
+        debug_assert_eq!(indices.len(), self.loops.len());
+        debug_assert_eq!(out.len(), self.extents.len());
+        out.fill(0);
+        for (l, &idx) in self.loops.iter().zip(indices) {
+            for c in &l.contribs {
+                out[c.var.index()] += c.value(idx) as i64;
+            }
+        }
+        out.iter().zip(&self.extents).all(|(&v, &e)| (v as usize) < e)
+    }
+
+    /// Visits every in-bounds iteration point in lowered order.
+    ///
+    /// Intended for tests and small problems; the executor implements its
+    /// own walker with per-loop batching.
+    pub fn for_each_point(&self, mut f: impl FnMut(&[i64])) {
+        let n = self.loops.len();
+        let mut idx = vec![0usize; n];
+        let mut point = vec![0i64; self.extents.len()];
+        if n == 0 {
+            if self.point(&idx, &mut point) {
+                f(&point);
+            }
+            return;
+        }
+        'outer: loop {
+            if self.point(&idx, &mut point) {
+                f(&point);
+            }
+            // odometer increment
+            let mut d = n;
+            loop {
+                if d == 0 {
+                    break 'outer;
+                }
+                d -= 1;
+                idx[d] += 1;
+                if idx[d] < self.loops[d].trip {
+                    break;
+                }
+                idx[d] = 0;
+            }
+        }
+    }
+
+    /// The innermost loop's vector lanes, or 1 when not vectorized.
+    pub fn vector_lanes(&self) -> usize {
+        match self.loops.last().map(|l| l.kind) {
+            Some(LoopKind::Vectorized(lanes)) => lanes,
+            _ => 1,
+        }
+    }
+
+    /// Index of the outermost parallel loop, if any.
+    pub fn parallel_loop(&self) -> Option<usize> {
+        self.loops.iter().position(|l| l.kind == LoopKind::Parallel)
+    }
+}
+
+impl Schedule {
+    /// Applies the schedule to `nest`, producing the concrete loop
+    /// structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SchedError`] when a directive names an unknown loop,
+    /// introduces a duplicate name, reorders with a non-permutation, fuses
+    /// non-adjacent loops, uses a zero factor, or vectorizes a loop that
+    /// does not end up innermost.
+    pub fn lower(&self, nest: &LoopNest) -> Result<LoweredNest, SchedError> {
+        let mut loops: Vec<LoweredLoop> = nest
+            .vars()
+            .iter()
+            .enumerate()
+            .map(|(i, v)| LoweredLoop::simple(v.name.clone(), VarId(i), v.extent, 1))
+            .collect();
+        let mut nt_store = false;
+        let mut needs_guard = false;
+
+        let find = |loops: &[LoweredLoop], name: &str| -> Result<usize, SchedError> {
+            loops
+                .iter()
+                .position(|l| l.name == name)
+                .ok_or_else(|| SchedError::UnknownLoop { name: name.to_string() })
+        };
+        let check_free = |loops: &[LoweredLoop], name: &str| -> Result<(), SchedError> {
+            if loops.iter().any(|l| l.name == name) {
+                Err(SchedError::DuplicateLoop { name: name.to_string() })
+            } else {
+                Ok(())
+            }
+        };
+
+        for d in self.directives() {
+            match d {
+                Directive::Split { var, outer, inner, factor } => {
+                    if *factor == 0 {
+                        return Err(SchedError::ZeroFactor { what: "split" });
+                    }
+                    let pos = find(&loops, var)?;
+                    if outer != var {
+                        check_free(&loops, outer)?;
+                    }
+                    if inner != var || inner == outer {
+                        check_free(&loops, inner)?;
+                    }
+                    let old = loops[pos].clone();
+                    if old.contribs.len() != 1 || old.contribs[0].divisor != 1 {
+                        return Err(SchedError::BadReorder {
+                            detail: format!("cannot split fused loop {var:?}"),
+                        });
+                    }
+                    let c = old.contribs[0];
+                    let outer_trip = old.trip.div_ceil(*factor);
+                    if outer_trip * factor != old.trip {
+                        needs_guard = true;
+                    }
+                    let outer_loop = LoweredLoop::simple(
+                        outer.clone(),
+                        c.var,
+                        outer_trip,
+                        c.stride * factor,
+                    );
+                    let inner_loop =
+                        LoweredLoop::simple(inner.clone(), c.var, *factor, c.stride);
+                    loops.splice(pos..=pos, [outer_loop, inner_loop]);
+                }
+                Directive::Reorder { order } => {
+                    if order.len() != loops.len() {
+                        return Err(SchedError::BadReorder {
+                            detail: format!(
+                                "order names {} loops but nest has {}",
+                                order.len(),
+                                loops.len()
+                            ),
+                        });
+                    }
+                    let mut new_loops = Vec::with_capacity(loops.len());
+                    let mut taken = vec![false; loops.len()];
+                    for name in order {
+                        let pos = find(&loops, name)?;
+                        if taken[pos] {
+                            return Err(SchedError::BadReorder {
+                                detail: format!("loop {name:?} appears twice"),
+                            });
+                        }
+                        taken[pos] = true;
+                        new_loops.push(loops[pos].clone());
+                    }
+                    loops = new_loops;
+                }
+                Directive::Fuse { outer, inner, fused } => {
+                    let po = find(&loops, outer)?;
+                    let pi = find(&loops, inner)?;
+                    if pi != po + 1 {
+                        return Err(SchedError::NotAdjacent {
+                            outer: outer.clone(),
+                            inner: inner.clone(),
+                        });
+                    }
+                    if fused != outer && fused != inner {
+                        check_free(&loops, fused)?;
+                    }
+                    let (lo, li) = (loops[po].clone(), loops[pi].clone());
+                    let mut contribs = Vec::new();
+                    for c in &lo.contribs {
+                        contribs.push(Contribution {
+                            divisor: c.divisor * li.trip,
+                            ..*c
+                        });
+                    }
+                    contribs.extend(li.contribs.iter().copied());
+                    let fused_loop = LoweredLoop {
+                        name: fused.clone(),
+                        trip: lo.trip * li.trip,
+                        kind: LoopKind::Serial,
+                        contribs,
+                    };
+                    loops.splice(po..=pi, [fused_loop]);
+                }
+                Directive::Vectorize { var, lanes } => {
+                    if *lanes == 0 {
+                        return Err(SchedError::ZeroFactor { what: "vectorize" });
+                    }
+                    let pos = find(&loops, var)?;
+                    loops[pos].kind = LoopKind::Vectorized(*lanes);
+                }
+                Directive::Parallel { var } => {
+                    let pos = find(&loops, var)?;
+                    loops[pos].kind = LoopKind::Parallel;
+                }
+                Directive::StoreNt => nt_store = true,
+            }
+        }
+
+        // A vectorized loop must be innermost in the final order.
+        for (i, l) in loops.iter().enumerate() {
+            if matches!(l.kind, LoopKind::Vectorized(_)) && i + 1 != loops.len() {
+                return Err(SchedError::VectorizeNotInnermost { name: l.name.clone() });
+            }
+        }
+
+        Ok(LoweredNest {
+            loops,
+            nt_store,
+            needs_guard,
+            extents: nest.extents(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palo_ir::{DType, NestBuilder};
+
+    fn matmul(n: usize) -> LoopNest {
+        let mut b = NestBuilder::new("matmul", DType::F32);
+        let i = b.var("i", n);
+        let j = b.var("j", n);
+        let k = b.var("k", n);
+        let a = b.array("A", &[n, n]);
+        let bm = b.array("B", &[n, n]);
+        let c = b.array("C", &[n, n]);
+        b.accumulate(c, &[i, j], b.load(a, &[i, k]) * b.load(bm, &[k, j]));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn empty_schedule_is_program_order() {
+        let nest = matmul(8);
+        let low = Schedule::new().lower(&nest).unwrap();
+        assert_eq!(low.loops().len(), 3);
+        assert_eq!(low.loops()[0].name, "i");
+        assert!(!low.needs_guard());
+        assert_eq!(low.total_points(), 512);
+    }
+
+    #[test]
+    fn split_reorder_roundtrip_counts() {
+        let nest = matmul(8);
+        let mut s = Schedule::new();
+        s.split("i", "ii", "it", 4)
+            .split("j", "jj", "jt", 2)
+            .reorder(&["ii", "jj", "k", "it", "jt"]);
+        let low = s.lower(&nest).unwrap();
+        assert_eq!(low.total_points(), 512);
+        let mut count = 0usize;
+        low.for_each_point(|_| count += 1);
+        assert_eq!(count, 512);
+    }
+
+    #[test]
+    fn split_preserves_visited_points() {
+        let nest = matmul(4);
+        let mut s = Schedule::new();
+        s.split("j", "jj", "jt", 3); // non-dividing: guard needed
+        let low = s.lower(&nest).unwrap();
+        assert!(low.needs_guard());
+        let mut pts = Vec::new();
+        low.for_each_point(|p| pts.push(p.to_vec()));
+        assert_eq!(pts.len(), 64); // guarded points skipped
+        let mut sorted = pts.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 64);
+    }
+
+    #[test]
+    fn fuse_covers_same_points() {
+        let nest = matmul(4);
+        let mut s = Schedule::new();
+        s.split("i", "ii", "it", 2)
+            .split("j", "jj", "jt", 2)
+            .reorder(&["ii", "jj", "k", "it", "jt"])
+            .fuse("ii", "jj", "f");
+        let low = s.lower(&nest).unwrap();
+        assert_eq!(low.loops().len(), 4);
+        assert_eq!(low.loops()[0].trip, 4);
+        let mut pts = Vec::new();
+        low.for_each_point(|p| pts.push(p.to_vec()));
+        pts.sort();
+        pts.dedup();
+        assert_eq!(pts.len(), 64);
+    }
+
+    #[test]
+    fn vectorize_must_be_innermost() {
+        let nest = matmul(8);
+        let mut s = Schedule::new();
+        s.vectorize("i", 8);
+        assert!(matches!(
+            s.lower(&nest),
+            Err(SchedError::VectorizeNotInnermost { .. })
+        ));
+
+        let mut s = Schedule::new();
+        s.vectorize("k", 8);
+        let low = s.lower(&nest).unwrap();
+        assert_eq!(low.vector_lanes(), 8);
+    }
+
+    #[test]
+    fn parallel_is_tracked() {
+        let nest = matmul(8);
+        let mut s = Schedule::new();
+        s.parallel("i");
+        let low = s.lower(&nest).unwrap();
+        assert_eq!(low.parallel_loop(), Some(0));
+        assert_eq!(Schedule::new().lower(&nest).unwrap().parallel_loop(), None);
+    }
+
+    #[test]
+    fn unknown_loop_errors() {
+        let nest = matmul(8);
+        let mut s = Schedule::new();
+        s.split("z", "a", "b", 2);
+        assert!(matches!(s.lower(&nest), Err(SchedError::UnknownLoop { .. })));
+    }
+
+    #[test]
+    fn duplicate_name_errors() {
+        let nest = matmul(8);
+        let mut s = Schedule::new();
+        s.split("i", "j", "i2", 2); // "j" exists
+        assert!(matches!(s.lower(&nest), Err(SchedError::DuplicateLoop { .. })));
+    }
+
+    #[test]
+    fn bad_reorder_errors() {
+        let nest = matmul(8);
+        let mut s = Schedule::new();
+        s.reorder(&["i", "j"]);
+        assert!(matches!(s.lower(&nest), Err(SchedError::BadReorder { .. })));
+        let mut s = Schedule::new();
+        s.reorder(&["i", "j", "j"]);
+        assert!(matches!(s.lower(&nest), Err(SchedError::BadReorder { .. })));
+    }
+
+    #[test]
+    fn fuse_non_adjacent_errors() {
+        let nest = matmul(8);
+        let mut s = Schedule::new();
+        s.fuse("i", "k", "f");
+        assert!(matches!(s.lower(&nest), Err(SchedError::NotAdjacent { .. })));
+    }
+
+    #[test]
+    fn zero_factor_errors() {
+        let nest = matmul(8);
+        let mut s = Schedule::new();
+        s.split("i", "a", "b", 0);
+        assert!(matches!(s.lower(&nest), Err(SchedError::ZeroFactor { .. })));
+    }
+
+    #[test]
+    fn nt_store_flag_propagates() {
+        let nest = matmul(8);
+        let mut s = Schedule::new();
+        s.store_nt();
+        assert!(s.lower(&nest).unwrap().nt_store());
+    }
+
+    #[test]
+    fn nested_split_values_reconstruct() {
+        let nest = matmul(8);
+        let mut s = Schedule::new();
+        s.split("i", "io", "it", 4).split("it", "itm", "iti", 2);
+        let low = s.lower(&nest).unwrap();
+        // loops: io (trip 2, stride 4), itm (trip 2, stride 2), iti (trip 2, stride 1), j, k
+        let mut pts = std::collections::BTreeSet::new();
+        low.for_each_point(|p| {
+            pts.insert(p[0]);
+        });
+        assert_eq!(pts.len(), 8);
+        assert_eq!(pts.into_iter().collect::<Vec<_>>(), (0..8).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,89 @@
+//! Pseudo-Halide rendering of schedules (Listing-3 style) and lowered
+//! nest rendering.
+
+use crate::directive::{Directive, Schedule};
+use crate::lower::{LoopKind, LoweredNest};
+use std::fmt;
+
+impl fmt::Display for Schedule {
+    /// Renders the schedule in the chained-directive style of the paper's
+    /// Listing 3, e.g.
+    /// `F.split(j, j_o, j_i, 512).reorder(j_i, i_i, j_o, i_o).vectorize(j_i, 8).parallel(i_o);`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "F")?;
+        for d in self.directives() {
+            match d {
+                Directive::Split { var, outer, inner, factor } => {
+                    write!(f, ".split({var}, {outer}, {inner}, {factor})")?
+                }
+                Directive::Reorder { order } => write!(f, ".reorder({})", order.join(", "))?,
+                Directive::Fuse { outer, inner, fused } => {
+                    write!(f, ".fuse({outer}, {inner}, {fused})")?
+                }
+                Directive::Vectorize { var, lanes } => write!(f, ".vectorize({var}, {lanes})")?,
+                Directive::Parallel { var } => write!(f, ".parallel({var})")?,
+                Directive::StoreNt => write!(f, ".store_nt()")?,
+            }
+        }
+        write!(f, ";")
+    }
+}
+
+impl fmt::Display for LoweredNest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (depth, l) in self.loops().iter().enumerate() {
+            let pad = "  ".repeat(depth);
+            let marker = match l.kind {
+                LoopKind::Serial => String::new(),
+                LoopKind::Parallel => " // parallel".into(),
+                LoopKind::Vectorized(n) => format!(" // vectorize x{n}"),
+            };
+            writeln!(f, "{pad}for {} in 0..{} {{{marker}", l.name, l.trip)?;
+        }
+        let pad = "  ".repeat(self.loops().len());
+        let nt = if self.nt_store() { " [nt-store]" } else { "" };
+        writeln!(f, "{pad}<statement>{nt}")?;
+        for depth in (0..self.loops().len()).rev() {
+            writeln!(f, "{}}}", "  ".repeat(depth))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palo_ir::{DType, NestBuilder};
+
+    #[test]
+    fn listing3_style() {
+        let mut s = Schedule::new();
+        s.split("j", "j_o", "j_i", 512)
+            .split("i", "i_o", "i_i", 32)
+            .reorder(&["j_o", "i_o", "i_i", "j_i"])
+            .vectorize("j_i", 8)
+            .parallel("i_o");
+        let out = s.to_string();
+        assert!(out.starts_with("F.split(j, j_o, j_i, 512)"));
+        assert!(out.contains(".vectorize(j_i, 8)"));
+        assert!(out.contains(".parallel(i_o)"));
+        assert!(out.ends_with(';'));
+    }
+
+    #[test]
+    fn lowered_nest_prints_markers() {
+        let mut b = NestBuilder::new("copy", DType::F32);
+        let i = b.var("i", 8);
+        let src = b.array("s", &[8]);
+        let dst = b.array("d", &[8]);
+        let ld = b.load(src, &[i]);
+        b.store(dst, &[i], ld);
+        let nest = b.build().unwrap();
+        let mut s = Schedule::new();
+        s.vectorize("i", 4).store_nt();
+        let low = s.lower(&nest).unwrap();
+        let out = low.to_string();
+        assert!(out.contains("vectorize x4"));
+        assert!(out.contains("[nt-store]"));
+    }
+}

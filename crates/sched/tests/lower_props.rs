@@ -1,0 +1,87 @@
+//! Property tests: lowering covers the iteration space exactly, for
+//! arbitrary split/reorder/fuse pipelines.
+
+use palo_ir::{DType, LoopNest, NestBuilder};
+use palo_sched::Schedule;
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+fn nest3(ni: usize, nj: usize, nk: usize) -> LoopNest {
+    let mut b = NestBuilder::new("p3", DType::F32);
+    let i = b.var("i", ni);
+    let j = b.var("j", nj);
+    let k = b.var("k", nk);
+    let a = b.array("A", &[ni, nk]);
+    let bm = b.array("B", &[nk, nj]);
+    let c = b.array("C", &[ni, nj]);
+    b.accumulate(c, &[i, j], b.load(a, &[i, k]) * b.load(bm, &[k, j]));
+    b.build().expect("valid")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any combination of (possibly non-dividing) splits visits every
+    /// iteration point exactly once.
+    #[test]
+    fn splits_cover_iteration_space(
+        ni in 1usize..9, nj in 1usize..9, nk in 1usize..9,
+        ti in 1usize..9, tj in 1usize..9, tk in 1usize..9,
+    ) {
+        let nest = nest3(ni, nj, nk);
+        let mut s = Schedule::new();
+        s.split("i", "io", "ii", ti)
+            .split("j", "jo", "ji", tj)
+            .split("k", "ko", "ki", tk);
+        let low = s.lower(&nest).expect("legal");
+        let mut seen = BTreeSet::new();
+        let mut dup = false;
+        low.for_each_point(|p| {
+            if !seen.insert(p.to_vec()) {
+                dup = true;
+            }
+        });
+        prop_assert!(!dup, "duplicate iteration point");
+        prop_assert_eq!(seen.len() as u128, nest.iteration_count());
+    }
+
+    /// Fusing two adjacent loops preserves the visited set.
+    #[test]
+    fn fuse_preserves_points(
+        ni in 1usize..8, nj in 1usize..8,
+        ti in 1usize..8, tj in 1usize..8,
+    ) {
+        let nest = nest3(ni, nj, 2);
+        let mut s = Schedule::new();
+        s.split("i", "io", "ii", ti)
+            .split("j", "jo", "ji", tj)
+            .reorder(&["io", "jo", "k", "ii", "ji"]);
+        let mut fused = s.clone();
+        fused.fuse("io", "jo", "f");
+
+        let collect = |s: &Schedule| {
+            let mut v = BTreeSet::new();
+            s.lower(&nest).expect("legal").for_each_point(|p| {
+                v.insert(p.to_vec());
+            });
+            v
+        };
+        prop_assert_eq!(collect(&s), collect(&fused));
+    }
+
+    /// Reorders never change the visited set, only the order.
+    #[test]
+    fn reorder_preserves_points(perm in 0usize..6) {
+        let nest = nest3(3, 4, 5);
+        let orders = [
+            ["i", "j", "k"], ["i", "k", "j"], ["j", "i", "k"],
+            ["j", "k", "i"], ["k", "i", "j"], ["k", "j", "i"],
+        ];
+        let mut s = Schedule::new();
+        s.reorder(&orders[perm]);
+        let low = s.lower(&nest).expect("legal");
+        let mut count = 0u128;
+        low.for_each_point(|_| count += 1);
+        prop_assert_eq!(count, nest.iteration_count());
+    }
+}

@@ -1,0 +1,309 @@
+//! Kernel definitions.
+//!
+//! All kernels are expressed as single-statement perfect loop nests over
+//! row-major arrays, matching how the paper feeds algorithm definitions
+//! to its optimizer. Triangular kernels (`trmm`) are rectangularized with
+//! an iteration-space guard (see DESIGN.md substitutions): the guard
+//! keeps the computation correct while the analytical models treat the
+//! nest as rectangular — exactly the approximation the paper's models
+//! make.
+
+use palo_ir::{AffineIndex, BinOp, DType, Expr, ExprBuilder, IrError, LoopNest, NestBuilder};
+
+/// `C[i][j] += A[i][k] * B[k][j]` over `n×n` f32 matrices.
+///
+/// # Errors
+///
+/// Returns [`IrError`] when `n == 0`.
+pub fn matmul(n: usize) -> Result<LoopNest, IrError> {
+    matmul_named("matmul", "A", "B", "C", n)
+}
+
+fn matmul_named(
+    name: &str,
+    an: &str,
+    bn: &str,
+    cn: &str,
+    n: usize,
+) -> Result<LoopNest, IrError> {
+    let mut b = NestBuilder::new(name, DType::F32);
+    let i = b.var("i", n);
+    let j = b.var("j", n);
+    let k = b.var("k", n);
+    let a = b.array(an, &[n, n]);
+    let bm = b.array(bn, &[n, n]);
+    let c = b.array(cn, &[n, n]);
+    b.accumulate(c, &[i, j], b.load(a, &[i, k]) * b.load(bm, &[k, j]));
+    b.build()
+}
+
+/// The three stages of the PolyBench `3mm` kernel:
+/// `E = A·B`, `F = C·D`, `G = E·F`.
+///
+/// # Errors
+///
+/// Returns [`IrError`] when `n == 0`.
+pub fn threemm(n: usize) -> Result<Vec<LoopNest>, IrError> {
+    Ok(vec![
+        matmul_named("3mm_e", "A", "B", "E", n)?,
+        matmul_named("3mm_f", "C", "D", "F", n)?,
+        matmul_named("3mm_g", "E", "F", "G", n)?,
+    ])
+}
+
+/// Generalized matrix multiplication
+/// `C[i][j] += alpha * A[i][k] * B[k][j]` (the `beta·C` pre-scaling is a
+/// separate O(n²) pass the optimizer never sees, as in the paper's
+/// Halide formulation).
+///
+/// # Errors
+///
+/// Returns [`IrError`] when `n == 0`.
+pub fn gemm(n: usize) -> Result<LoopNest, IrError> {
+    let mut b = NestBuilder::new("gemm", DType::F32);
+    let i = b.var("i", n);
+    let j = b.var("j", n);
+    let k = b.var("k", n);
+    let a = b.array("A", &[n, n]);
+    let bm = b.array("B", &[n, n]);
+    let c = b.array("C", &[n, n]);
+    let alpha = Expr::Const(1.5);
+    b.accumulate(c, &[i, j], alpha * b.load(a, &[i, k]) * b.load(bm, &[k, j]));
+    b.build()
+}
+
+/// Triangular matrix multiplication, rectangularized:
+/// `out[i][j] += [k ≥ i] · A[k][i] * B[k][j]`.
+///
+/// # Errors
+///
+/// Returns [`IrError`] when `n == 0`.
+pub fn trmm(n: usize) -> Result<LoopNest, IrError> {
+    let mut b = NestBuilder::new("trmm", DType::F32);
+    let i = b.var("i", n);
+    let j = b.var("j", n);
+    let k = b.var("k", n);
+    let a = b.array("A", &[n, n]);
+    let bm = b.array("B", &[n, n]);
+    let out = b.array("out", &[n, n]);
+    let guard = ExprBuilder::ge(k, i);
+    b.accumulate(out, &[i, j], guard * b.load(a, &[k, i]) * b.load(bm, &[k, j]));
+    b.build()
+}
+
+/// Symmetric rank-k update `C[i][j] += A[i][k] * A[j][k]`.
+///
+/// # Errors
+///
+/// Returns [`IrError`] when `n == 0`.
+pub fn syrk(n: usize) -> Result<LoopNest, IrError> {
+    let mut b = NestBuilder::new("syrk", DType::F32);
+    let i = b.var("i", n);
+    let j = b.var("j", n);
+    let k = b.var("k", n);
+    let a = b.array("A", &[n, n]);
+    let c = b.array("C", &[n, n]);
+    b.accumulate(c, &[i, j], b.load(a, &[i, k]) * b.load(a, &[j, k]));
+    b.build()
+}
+
+/// Symmetric rank-2k update
+/// `C[i][j] += A[i][k]·B[j][k] + A[j][k]·B[i][k]`.
+///
+/// # Errors
+///
+/// Returns [`IrError`] when `n == 0`.
+pub fn syr2k(n: usize) -> Result<LoopNest, IrError> {
+    let mut b = NestBuilder::new("syr2k", DType::F32);
+    let i = b.var("i", n);
+    let j = b.var("j", n);
+    let k = b.var("k", n);
+    let a = b.array("A", &[n, n]);
+    let bm = b.array("B", &[n, n]);
+    let c = b.array("C", &[n, n]);
+    let t1 = b.load(a, &[i, k]) * b.load(bm, &[j, k]);
+    let t2 = b.load(a, &[j, k]) * b.load(bm, &[i, k]);
+    b.accumulate(c, &[i, j], t1 + t2);
+    b.build()
+}
+
+/// PolyBench `doitgen` (multiresolution analysis):
+/// `out[r][q][p] += A[r][q][s] * C4[s][p]` over an `n³` problem.
+///
+/// # Errors
+///
+/// Returns [`IrError`] when `n == 0`.
+pub fn doitgen(n: usize) -> Result<LoopNest, IrError> {
+    let mut b = NestBuilder::new("doitgen", DType::F32);
+    let r = b.var("r", n);
+    let q = b.var("q", n);
+    let p = b.var("p", n);
+    let s = b.var("s", n);
+    let a = b.array("A", &[n, n, n]);
+    let c4 = b.array("C4", &[n, n]);
+    let out = b.array("out", &[n, n, n]);
+    b.accumulate(out, &[r, q, p], b.load(a, &[r, q, s]) * b.load(c4, &[s, p]));
+    b.build()
+}
+
+/// A `kr×kr` convolution layer over a batched multi-channel image:
+/// `out[n][k][x][y] += w[k][c][rx][ry] * in[n][c][x+rx][y+ry]`.
+///
+/// `x`/`y` are the spatial output extents, `cin` the input channels,
+/// `nb` the batch, `kout` the output channels, `kr` the kernel radius.
+///
+/// # Errors
+///
+/// Returns [`IrError`] when any extent is 0.
+pub fn convlayer(
+    x: usize,
+    y: usize,
+    cin: usize,
+    nb: usize,
+    kout: usize,
+    kr: usize,
+) -> Result<LoopNest, IrError> {
+    let mut b = NestBuilder::new("convlayer", DType::F32);
+    let n = b.var("n", nb);
+    let k = b.var("k", kout);
+    let xv = b.var("x", x);
+    let yv = b.var("y", y);
+    let c = b.var("c", cin);
+    let rx = b.var("rx", kr);
+    let ry = b.var("ry", kr);
+    let input = b.array("in", &[nb, cin, x + kr - 1, y + kr - 1]);
+    let w = b.array("w", &[kout, cin, kr, kr]);
+    let out = b.array("out", &[nb, kout, x, y]);
+    let in_x = AffineIndex::var(xv) + AffineIndex::var(rx);
+    let in_y = AffineIndex::var(yv) + AffineIndex::var(ry);
+    let ld_in = b.load_expr(input, vec![n.into(), c.into(), in_x, in_y]);
+    let ld_w = b.load(w, &[k, c, rx, ry]);
+    b.accumulate(out, &[n, k, xv, yv], ld_w * ld_in);
+    b.build()
+}
+
+/// Matrix transposition `out[y][x] = A[x][y]`.
+///
+/// # Errors
+///
+/// Returns [`IrError`] when `n == 0`.
+pub fn tp(n: usize) -> Result<LoopNest, IrError> {
+    let mut b = NestBuilder::new("tp", DType::F32);
+    let y = b.var("y", n);
+    let x = b.var("x", n);
+    let a = b.array("A", &[n, n]);
+    let out = b.array("out", &[n, n]);
+    let ld = b.load(a, &[x, y]);
+    b.store(out, &[y, x], ld);
+    b.build()
+}
+
+/// Transposition and masking `out[y][x] = A[x][y] & B[y][x]`
+/// (the paper's Listing 2), on i32 data.
+///
+/// # Errors
+///
+/// Returns [`IrError`] when `n == 0`.
+pub fn tpm(n: usize) -> Result<LoopNest, IrError> {
+    let mut b = NestBuilder::new("tpm", DType::I32);
+    let y = b.var("y", n);
+    let x = b.var("x", n);
+    let a = b.array("A", &[n, n]);
+    let m = b.array("B", &[n, n]);
+    let out = b.array("out", &[n, n]);
+    let rhs = Expr::bin(BinOp::And, b.load(a, &[x, y]), b.load(m, &[y, x]));
+    b.store(out, &[y, x], rhs);
+    b.build()
+}
+
+/// Array copy `out[i][j] = A[i][j]`.
+///
+/// # Errors
+///
+/// Returns [`IrError`] when `n == 0`.
+pub fn copy(n: usize) -> Result<LoopNest, IrError> {
+    let mut b = NestBuilder::new("copy", DType::F32);
+    let i = b.var("i", n);
+    let j = b.var("j", n);
+    let a = b.array("A", &[n, n]);
+    let out = b.array("out", &[n, n]);
+    let ld = b.load(a, &[i, j]);
+    b.store(out, &[i, j], ld);
+    b.build()
+}
+
+/// Array mask `out[i][j] = A[i][j] & M[i][j]` on i32 data.
+///
+/// # Errors
+///
+/// Returns [`IrError`] when `n == 0`.
+pub fn mask(n: usize) -> Result<LoopNest, IrError> {
+    let mut b = NestBuilder::new("mask", DType::I32);
+    let i = b.var("i", n);
+    let j = b.var("j", n);
+    let a = b.array("A", &[n, n]);
+    let m = b.array("M", &[n, n]);
+    let out = b.array("out", &[n, n]);
+    let rhs = Expr::bin(BinOp::And, b.load(a, &[i, j]), b.load(m, &[i, j]));
+    b.store(out, &[i, j], rhs);
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palo_ir::NestInfo;
+
+    #[test]
+    fn classifications_match_table_groups() {
+        // Temporal kernels: different index sets.
+        for nest in [
+            matmul(32).unwrap(),
+            gemm(32).unwrap(),
+            trmm(32).unwrap(),
+            syrk(32).unwrap(),
+            syr2k(32).unwrap(),
+            doitgen(16).unwrap(),
+            convlayer(8, 8, 4, 2, 4, 3).unwrap(),
+        ] {
+            let info = NestInfo::analyze(&nest);
+            assert!(info.has_temporal_reuse(), "{} should be temporal", nest.name());
+        }
+        // Spatial kernels: transposed inputs.
+        for nest in [tp(32).unwrap(), tpm(32).unwrap()] {
+            let info = NestInfo::analyze(&nest);
+            assert!(!info.has_temporal_reuse(), "{}", nest.name());
+            assert!(info.has_transposed_input(), "{}", nest.name());
+        }
+        // Contiguous kernels.
+        for nest in [copy(32).unwrap(), mask(32).unwrap()] {
+            let info = NestInfo::analyze(&nest);
+            assert!(!info.has_temporal_reuse(), "{}", nest.name());
+            assert!(!info.has_transposed_input(), "{}", nest.name());
+            assert!(!info.output_is_read, "{}", nest.name());
+        }
+    }
+
+    #[test]
+    fn convlayer_shapes() {
+        let c = convlayer(16, 16, 8, 2, 4, 3).unwrap();
+        assert_eq!(c.vars().len(), 7);
+        assert_eq!(c.arrays().len(), 3);
+        assert_eq!(c.array(palo_ir::ArrayId(0)).dims, vec![2, 8, 18, 18]);
+        // column var is y
+        assert_eq!(c.column_var().map(|v| v.index()), Some(3));
+    }
+
+    #[test]
+    fn trmm_guard_present() {
+        let t = trmm(16).unwrap();
+        assert!(format!("{t}").contains(">="));
+    }
+
+    #[test]
+    fn iteration_counts() {
+        assert_eq!(matmul(8).unwrap().iteration_count(), 512);
+        assert_eq!(doitgen(4).unwrap().iteration_count(), 256);
+        assert_eq!(tp(8).unwrap().iteration_count(), 64);
+    }
+}

@@ -1,0 +1,229 @@
+//! The paper's evaluation kernels (Table 4) expressed as palo loop nests.
+//!
+//! Twelve benchmarks in four families:
+//!
+//! * temporal-reuse kernels: `convlayer`, `doitgen`, `matmul`, `3mm`,
+//!   `gemm`, `trmm`, `syrk`, `syr2k`;
+//! * spatial-reuse kernels: `tp` (transposition), `tpm` (transposition and
+//!   masking);
+//! * contiguous kernels: `copy`, `mask`.
+//!
+//! Each kernel is available at a parameterized size ([`kernels`]) and at
+//! the reproduction's scaled default ([`Benchmark::build_scaled`]) chosen
+//! so that trace-driven simulation stays tractable while the data still
+//! exceeds the L2 cache (DESIGN.md §5).
+//!
+//! # Examples
+//!
+//! ```
+//! use palo_suite::{kernels, Benchmark};
+//!
+//! let nest = kernels::matmul(256)?;
+//! assert_eq!(nest.vars().len(), 3);
+//!
+//! for b in Benchmark::all() {
+//!     let nests = b.build_scaled()?;
+//!     assert!(!nests.is_empty());
+//! }
+//! # Ok::<(), palo_ir::IrError>(())
+//! ```
+
+pub mod kernels;
+
+use palo_ir::{IrError, LoopNest};
+use serde::{Deserialize, Serialize};
+
+/// One of the paper's twelve benchmarks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Benchmark {
+    /// 3×3 convolution layer (5-D+ loop nest).
+    Convlayer,
+    /// Multiresolution analysis kernel (4-D).
+    Doitgen,
+    /// Matrix multiplication.
+    Matmul,
+    /// Three chained matrix multiplications.
+    ThreeMm,
+    /// Generalized matrix-matrix multiplication.
+    Gemm,
+    /// Triangular matrix-matrix multiplication (rectangularized with a
+    /// guard; see DESIGN.md).
+    Trmm,
+    /// Symmetric rank-k update.
+    Syrk,
+    /// Symmetric rank-2k update.
+    Syr2k,
+    /// Matrix transposition and masking.
+    Tpm,
+    /// Matrix transposition.
+    Tp,
+    /// Array copy.
+    Copy,
+    /// Array mask.
+    Mask,
+}
+
+impl Benchmark {
+    /// All twelve benchmarks in the paper's presentation order.
+    pub fn all() -> [Benchmark; 12] {
+        use Benchmark::*;
+        [Convlayer, Doitgen, Matmul, ThreeMm, Gemm, Trmm, Syrk, Syr2k, Tpm, Tp, Copy, Mask]
+    }
+
+    /// The paper's short name.
+    pub fn name(self) -> &'static str {
+        use Benchmark::*;
+        match self {
+            Convlayer => "convlayer",
+            Doitgen => "doitgen",
+            Matmul => "matmul",
+            ThreeMm => "3mm",
+            Gemm => "gemm",
+            Trmm => "trmm",
+            Syrk => "syrk",
+            Syr2k => "syr2k",
+            Tpm => "tpm",
+            Tp => "tp",
+            Copy => "copy",
+            Mask => "mask",
+        }
+    }
+
+    /// The problem size used in the paper (Table 4).
+    pub fn paper_size(self) -> &'static str {
+        use Benchmark::*;
+        match self {
+            Convlayer => "256x256x64x16, 3x3x64x64",
+            Doitgen => "256x256x256",
+            Matmul | ThreeMm | Gemm | Trmm | Syrk | Syr2k => "2048x2048",
+            Tpm | Tp | Copy | Mask => "4096x4096",
+        }
+    }
+
+    /// The scaled size description used by this reproduction.
+    pub fn scaled_size(self) -> &'static str {
+        use Benchmark::*;
+        match self {
+            Convlayer => "32x32x16x4, 3x3x16x16",
+            Doitgen => "96x96x96",
+            Matmul | ThreeMm | Gemm | Trmm => "512x512",
+            Syrk | Syr2k => "384x384",
+            Tpm | Tp | Copy | Mask => "1024x1024",
+        }
+    }
+
+    /// Whether the paper's classifier optimizes this benchmark for
+    /// temporal reuse (the first group of Figure 4).
+    pub fn is_temporal(self) -> bool {
+        use Benchmark::*;
+        matches!(self, Convlayer | Doitgen | Matmul | ThreeMm | Gemm | Trmm | Syrk | Syr2k)
+    }
+
+    /// Whether non-temporal stores apply (the last four of Figure 4).
+    pub fn nti_applicable(self) -> bool {
+        use Benchmark::*;
+        matches!(self, Tpm | Tp | Copy | Mask)
+    }
+
+    /// Builds the benchmark at the reproduction's scaled size. Returns
+    /// one nest per pipeline stage (three for `3mm`, one otherwise).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IrError`] from nest validation (should not occur for
+    /// the built-in sizes).
+    pub fn build_scaled(self) -> Result<Vec<LoopNest>, IrError> {
+        use Benchmark::*;
+        Ok(match self {
+            Convlayer => vec![kernels::convlayer(32, 32, 16, 4, 16, 3)?],
+            Doitgen => vec![kernels::doitgen(96)?],
+            Matmul => vec![kernels::matmul(512)?],
+            ThreeMm => kernels::threemm(512)?,
+            Gemm => vec![kernels::gemm(512)?],
+            Trmm => vec![kernels::trmm(512)?],
+            Syrk => vec![kernels::syrk(384)?],
+            Syr2k => vec![kernels::syr2k(384)?],
+            Tpm => vec![kernels::tpm(1024)?],
+            Tp => vec![kernels::tp(1024)?],
+            Copy => vec![kernels::copy(1024)?],
+            Mask => vec![kernels::mask(1024)?],
+        })
+    }
+
+    /// Builds the benchmark with its main dimension set to `size`
+    /// (used by the Table 6 size sweep).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`IrError`] from nest validation.
+    pub fn build(self, size: usize) -> Result<Vec<LoopNest>, IrError> {
+        use Benchmark::*;
+        Ok(match self {
+            Convlayer => vec![kernels::convlayer(size, size, 16, 4, 16, 3)?],
+            Doitgen => vec![kernels::doitgen(size)?],
+            Matmul => vec![kernels::matmul(size)?],
+            ThreeMm => kernels::threemm(size)?,
+            Gemm => vec![kernels::gemm(size)?],
+            Trmm => vec![kernels::trmm(size)?],
+            Syrk => vec![kernels::syrk(size)?],
+            Syr2k => vec![kernels::syr2k(size)?],
+            Tpm => vec![kernels::tpm(size)?],
+            Tp => vec![kernels::tp(size)?],
+            Copy => vec![kernels::copy(size)?],
+            Mask => vec![kernels::mask(size)?],
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_benchmarks_build() {
+        for b in Benchmark::all() {
+            let nests = b.build_scaled().unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+            assert!(!nests.is_empty());
+            for n in &nests {
+                assert!(n.iteration_count() > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn threemm_has_three_stages() {
+        assert_eq!(Benchmark::ThreeMm.build_scaled().unwrap().len(), 3);
+        assert_eq!(Benchmark::Matmul.build_scaled().unwrap().len(), 1);
+    }
+
+    #[test]
+    fn names_match_paper() {
+        let names: Vec<_> = Benchmark::all().iter().map(|b| b.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "convlayer", "doitgen", "matmul", "3mm", "gemm", "trmm", "syrk", "syr2k",
+                "tpm", "tp", "copy", "mask"
+            ]
+        );
+    }
+
+    #[test]
+    fn groups_match_figure_4() {
+        let temporal: Vec<_> =
+            Benchmark::all().iter().filter(|b| b.is_temporal()).map(|b| b.name()).collect();
+        assert_eq!(temporal.len(), 8);
+        let nti: Vec<_> =
+            Benchmark::all().iter().filter(|b| b.nti_applicable()).map(|b| b.name()).collect();
+        assert_eq!(nti, vec!["tpm", "tp", "copy", "mask"]);
+    }
+
+    #[test]
+    fn parameterized_sizes_build() {
+        for b in [Benchmark::Matmul, Benchmark::Trmm, Benchmark::Syrk, Benchmark::Syr2k] {
+            for size in [128, 256, 320] {
+                b.build(size).unwrap();
+            }
+        }
+    }
+}

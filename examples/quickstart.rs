@@ -1,0 +1,46 @@
+//! Quickstart: describe a loop nest, let the optimizer schedule it, and
+//! compare the result against the naive schedule on the simulator.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use palo::arch::presets;
+use palo::core::Optimizer;
+use palo::exec::estimate_time;
+use palo::ir::{DType, NestBuilder};
+use palo::sched::Schedule;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the algorithm (matrix multiplication, Listing 1 of the
+    //    paper) — just the loop nest and the statement, no schedule.
+    let n = 512;
+    let mut b = NestBuilder::new("matmul", DType::F32);
+    let i = b.var("i", n);
+    let j = b.var("j", n);
+    let k = b.var("k", n);
+    let a = b.array("A", &[n, n]);
+    let bm = b.array("B", &[n, n]);
+    let c = b.array("C", &[n, n]);
+    b.accumulate(c, &[i, j], b.load(a, &[i, k]) * b.load(bm, &[k, j]));
+    let nest = b.build()?;
+    println!("Algorithm:\n{nest}");
+
+    // 2. Pick a target platform (Table 3 presets) and optimize.
+    let arch = presets::repro::intel_i7_5930k();
+    let decision = Optimizer::new(&arch).optimize(&nest);
+    println!("Classification: {:?}", decision.class);
+    println!("Tile sizes:     {:?}", decision.tile);
+    println!("Schedule:       {}", decision.schedule());
+
+    // 3. Lower and inspect the concrete loop structure.
+    let optimized = decision.schedule().lower(&nest)?;
+    println!("\nLowered nest:\n{optimized}");
+
+    // 4. Measure on the cache simulator vs. the naive program order.
+    let naive = Schedule::new().lower(&nest)?;
+    let t_naive = estimate_time(&nest, &naive, &arch);
+    let t_opt = estimate_time(&nest, &optimized, &arch);
+    println!("naive:     {:8.2} ms  ({} mem lines)", t_naive.ms, t_naive.stats.mem_traffic_lines());
+    println!("optimized: {:8.2} ms  ({} mem lines)", t_opt.ms, t_opt.stats.mem_traffic_lines());
+    println!("speedup:   {:.2}x", t_naive.ms / t_opt.ms);
+    Ok(())
+}

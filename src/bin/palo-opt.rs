@@ -1,0 +1,163 @@
+//! `palo-opt` — the command-line face of the optimizer, mirroring the
+//! tool the paper ships for Halide: give it a kernel, a size and a
+//! platform; get the optimization schedule (and optionally a simulated
+//! time estimate) back in milliseconds of optimizer runtime.
+//!
+//! ```text
+//! palo-opt <kernel> [--size N] [--platform 5930k|6700|a15]
+//!          [--technique proposed|autosched|baseline|autotune|tss|tts]
+//!          [--estimate] [--no-nti] [--verbose]
+//! ```
+
+use palo::arch::{presets, Architecture};
+use palo::baselines::{schedule_for, Technique};
+use palo::core::{Optimizer, OptimizerConfig};
+use palo::exec::estimate_time;
+use palo::suite::Benchmark;
+use std::process::ExitCode;
+use std::time::Instant;
+
+struct Args {
+    kernel: String,
+    size: Option<usize>,
+    platform: String,
+    technique: String,
+    estimate: bool,
+    nti: bool,
+    verbose: bool,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: palo-opt <kernel> [--size N] [--platform 5930k|6700|a15]\n\
+         \x20               [--technique proposed|autosched|baseline|autotune|tss|tts]\n\
+         \x20               [--estimate] [--no-nti] [--verbose]\n\
+         kernels: {}",
+        Benchmark::all().map(|b| b.name()).join(", ")
+    );
+    ExitCode::from(2)
+}
+
+fn parse() -> Result<Args, ExitCode> {
+    let mut args = Args {
+        kernel: String::new(),
+        size: None,
+        platform: "5930k".into(),
+        technique: "proposed".into(),
+        estimate: false,
+        nti: true,
+        verbose: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--size" => {
+                args.size = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .ok_or_else(usage)?,
+                )
+            }
+            "--platform" => args.platform = it.next().ok_or_else(usage)?,
+            "--technique" => args.technique = it.next().ok_or_else(usage)?,
+            "--estimate" => args.estimate = true,
+            "--no-nti" => args.nti = false,
+            "--verbose" => args.verbose = true,
+            "-h" | "--help" => return Err(usage()),
+            k if !k.starts_with('-') && args.kernel.is_empty() => args.kernel = k.into(),
+            _ => return Err(usage()),
+        }
+    }
+    if args.kernel.is_empty() {
+        return Err(usage());
+    }
+    Ok(args)
+}
+
+fn platform(name: &str) -> Option<Architecture> {
+    match name {
+        "5930k" | "5930K" => Some(presets::repro::intel_i7_5930k()),
+        "6700" => Some(presets::repro::intel_i7_6700()),
+        "a15" | "A15" | "arm" => Some(presets::repro::arm_cortex_a15()),
+        _ => None,
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse() {
+        Ok(a) => a,
+        Err(code) => return code,
+    };
+    let Some(benchmark) = Benchmark::all().into_iter().find(|b| b.name() == args.kernel)
+    else {
+        eprintln!("unknown kernel {:?}", args.kernel);
+        return usage();
+    };
+    let Some(arch) = platform(&args.platform) else {
+        eprintln!("unknown platform {:?}", args.platform);
+        return usage();
+    };
+    let nests = match args.size {
+        Some(s) => benchmark.build(s),
+        None => benchmark.build_scaled(),
+    };
+    let nests = match nests {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("cannot build kernel: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    for nest in &nests {
+        if args.verbose {
+            println!("{nest}");
+        }
+        let t0 = Instant::now();
+        let (schedule, detail) = match args.technique.as_str() {
+            "proposed" => {
+                let config = OptimizerConfig { enable_nti: args.nti, ..OptimizerConfig::default() };
+                let d = Optimizer::with_config(&arch, config).optimize(nest);
+                let detail = format!(
+                    "class {:?}, tile {:?}, predicted cost {:.3e}",
+                    d.class, d.tile, d.predicted_cost
+                );
+                (d.into_schedule(), detail)
+            }
+            "autosched" => (schedule_for(Technique::AutoScheduler, nest, &arch, 0), String::new()),
+            "baseline" => (schedule_for(Technique::Baseline, nest, &arch, 0), String::new()),
+            "autotune" => {
+                (schedule_for(Technique::Autotuner { budget: 20 }, nest, &arch, 0), String::new())
+            }
+            "tss" => (schedule_for(Technique::Tss, nest, &arch, 0), String::new()),
+            "tts" => (schedule_for(Technique::Tts, nest, &arch, 0), String::new()),
+            other => {
+                eprintln!("unknown technique {other:?}");
+                return usage();
+            }
+        };
+        let opt_time = t0.elapsed();
+
+        println!("// {} on {} — optimizer ran in {:.3?}", nest.name(), arch.name, opt_time);
+        if !detail.is_empty() {
+            println!("// {detail}");
+        }
+        println!("{schedule}");
+
+        if args.estimate {
+            match schedule.lower(nest) {
+                Ok(lowered) => {
+                    let est = estimate_time(nest, &lowered, &arch);
+                    println!(
+                        "// estimated {:.3} ms ({} lines of memory traffic, speedup {:.1}x)",
+                        est.ms,
+                        est.stats.mem_traffic_lines(),
+                        est.speedup
+                    );
+                }
+                Err(e) => eprintln!("schedule failed to lower: {e}"),
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

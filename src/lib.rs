@@ -1,0 +1,47 @@
+//! # palo — Prefetch-Aware Loop Optimizer
+//!
+//! A reproduction of *Loop Transformations Leveraging Hardware Prefetching*
+//! (Sioutas, Stuijk, Corporaal, Basten, Somers — CGO 2018) as a standalone
+//! Rust library: a loop-nest IR, a schedule language, an analytical
+//! prefetch-aware optimizer, a multi-level cache simulator with hardware
+//! prefetchers, and reimplementations of the baselines the paper compares
+//! against.
+//!
+//! This crate is a facade that re-exports the workspace crates:
+//!
+//! * [`ir`] — loop-nest IR ([`palo_ir`])
+//! * [`arch`] — architecture descriptions ([`palo_arch`])
+//! * [`sched`] — schedule directives and lowering ([`palo_sched`])
+//! * [`cachesim`] — cache + prefetcher simulator ([`palo_cachesim`])
+//! * [`exec`] — interpreter and trace generator ([`palo_exec`])
+//! * [`core`] — the paper's optimizer ([`palo_core`])
+//! * [`baselines`] — Baseline / Auto-Scheduler / Autotuner / TSS / TTS
+//!   ([`palo_baselines`])
+//! * [`suite`] — the 12 evaluation kernels ([`palo_suite`])
+//!
+//! # Examples
+//!
+//! Optimize matrix multiplication for the Intel i7-5930K and inspect the
+//! resulting schedule:
+//!
+//! ```
+//! use palo::arch::presets;
+//! use palo::core::Optimizer;
+//! use palo::suite::kernels;
+//!
+//! let nest = kernels::matmul(256)?;
+//! let arch = presets::intel_i7_5930k();
+//! let decision = Optimizer::new(&arch).optimize(&nest);
+//! let schedule = decision.schedule();
+//! assert!(!schedule.directives().is_empty());
+//! # Ok::<(), palo::ir::IrError>(())
+//! ```
+
+pub use palo_arch as arch;
+pub use palo_baselines as baselines;
+pub use palo_cachesim as cachesim;
+pub use palo_core as core;
+pub use palo_exec as exec;
+pub use palo_ir as ir;
+pub use palo_sched as sched;
+pub use palo_suite as suite;

@@ -1,0 +1,74 @@
+//! The classifier must route every benchmark exactly as the paper's
+//! evaluation groups them (§5.1): eight temporal kernels, two spatial
+//! kernels, two contiguous kernels with NTI.
+
+use palo::arch::presets;
+use palo::core::{Class, Optimizer};
+use palo::suite::Benchmark;
+
+fn classify(b: Benchmark) -> Vec<Class> {
+    let arch = presets::intel_i7_5930k();
+    let opt = Optimizer::new(&arch);
+    b.build(match b {
+        Benchmark::Convlayer => 16,
+        Benchmark::Doitgen => 16,
+        _ => 64,
+    })
+    .expect("suite kernels build")
+    .iter()
+    .map(|nest| opt.optimize(nest).class)
+    .collect()
+}
+
+#[test]
+fn temporal_group() {
+    for b in Benchmark::all().into_iter().filter(|b| b.is_temporal()) {
+        for c in classify(b) {
+            assert_eq!(c, Class::Temporal, "{}", b.name());
+        }
+    }
+}
+
+#[test]
+fn spatial_group() {
+    for b in [Benchmark::Tp, Benchmark::Tpm] {
+        assert_eq!(classify(b), vec![Class::Spatial], "{}", b.name());
+    }
+}
+
+#[test]
+fn contiguous_group_gets_nti_on_intel() {
+    let arch = presets::intel_i7_5930k();
+    let opt = Optimizer::new(&arch);
+    for b in [Benchmark::Copy, Benchmark::Mask] {
+        for nest in b.build(64).unwrap() {
+            let d = opt.optimize(&nest);
+            assert_eq!(d.class, Class::ContiguousOnly, "{}", b.name());
+            assert!(d.use_nti, "{} should stream its output", b.name());
+            assert!(
+                d.schedule().directives().len() <= 4,
+                "{}: contiguous kernels must not be tiled: {}",
+                b.name(),
+                d.schedule()
+            );
+        }
+    }
+}
+
+#[test]
+fn nti_groups_match_table() {
+    let arch = presets::intel_i7_5930k();
+    let opt = Optimizer::new(&arch);
+    for b in Benchmark::all() {
+        let expect_nti = b.nti_applicable();
+        for nest in b.build(32).unwrap() {
+            let d = opt.optimize(&nest);
+            assert_eq!(
+                d.use_nti,
+                expect_nti,
+                "{}: NTI should be {expect_nti}",
+                b.name()
+            );
+        }
+    }
+}

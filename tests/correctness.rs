@@ -1,0 +1,91 @@
+//! End-to-end functional correctness: every technique's schedule, for
+//! every benchmark, computes bit-identical results to the program-order
+//! reference interpretation.
+//!
+//! Buffers are initialized with small integers so floating-point
+//! reductions are exact under any association order — any difference is
+//! a real iteration-space bug, not rounding.
+
+use palo::arch::presets;
+use palo::baselines::{schedule_for, Technique};
+use palo::exec::{run, run_reference, Buffers};
+use palo::ir::LoopNest;
+use palo::suite::Benchmark;
+
+fn small_nests(b: Benchmark) -> Vec<LoopNest> {
+    let size = match b {
+        Benchmark::Convlayer => 8,
+        Benchmark::Doitgen => 10,
+        _ => 24,
+    };
+    b.build(size).expect("suite kernels build")
+}
+
+fn check(b: Benchmark, technique: Technique, arch: &palo::arch::Architecture) {
+    for nest in small_nests(b) {
+        let sched = schedule_for(technique, &nest, arch, 99);
+        let lowered = sched
+            .lower(&nest)
+            .unwrap_or_else(|e| panic!("{} {}: {e}", b.name(), technique.label()));
+        let mut expect = Buffers::for_nest(&nest, 7);
+        let mut got = expect.clone();
+        run_reference(&nest, &mut expect);
+        run(&nest, &lowered, &mut got);
+        assert_eq!(
+            expect,
+            got,
+            "{} under {} produced wrong values",
+            nest.name(),
+            technique.label()
+        );
+    }
+}
+
+#[test]
+fn proposed_is_correct_on_all_benchmarks() {
+    let arch = presets::intel_i7_5930k();
+    for b in Benchmark::all() {
+        check(b, Technique::ProposedNti, &arch);
+    }
+}
+
+#[test]
+fn proposed_is_correct_on_arm() {
+    let arch = presets::arm_cortex_a15();
+    for b in Benchmark::all() {
+        check(b, Technique::Proposed, &arch);
+    }
+}
+
+#[test]
+fn autoscheduler_is_correct_on_all_benchmarks() {
+    let arch = presets::intel_i7_6700();
+    for b in Benchmark::all() {
+        check(b, Technique::AutoScheduler, &arch);
+    }
+}
+
+#[test]
+fn baseline_is_correct_on_all_benchmarks() {
+    let arch = presets::intel_i7_6700();
+    for b in Benchmark::all() {
+        check(b, Technique::Baseline, &arch);
+    }
+}
+
+#[test]
+fn tss_and_tts_are_correct_on_temporal_benchmarks() {
+    let arch = presets::intel_i7_5930k();
+    for b in Benchmark::all().into_iter().filter(|b| b.is_temporal()) {
+        check(b, Technique::Tss, &arch);
+        check(b, Technique::Tts, &arch);
+    }
+}
+
+#[test]
+fn autotuner_candidates_are_correct() {
+    let arch = presets::intel_i7_6700();
+    for b in [Benchmark::Matmul, Benchmark::Tpm, Benchmark::Doitgen] {
+        check(b, Technique::Autotuner { budget: 4 }, &arch);
+    }
+}

@@ -1,0 +1,70 @@
+//! End-to-end: optimize → lower → (small) trace for every benchmark on
+//! every platform, plus determinism of the whole flow.
+
+use palo::arch::presets;
+use palo::cachesim::Hierarchy;
+use palo::core::Optimizer;
+use palo::exec::{trace_into, TraceOptions};
+use palo::suite::Benchmark;
+
+fn small_size(b: Benchmark) -> usize {
+    match b {
+        Benchmark::Convlayer => 12,
+        Benchmark::Doitgen => 16,
+        _ => 48,
+    }
+}
+
+#[test]
+fn optimize_lower_trace_all_benchmarks_all_platforms() {
+    for arch in [
+        presets::repro::intel_i7_6700(),
+        presets::repro::intel_i7_5930k(),
+        presets::repro::arm_cortex_a15(),
+    ] {
+        let opt = Optimizer::new(&arch);
+        for b in Benchmark::all() {
+            for nest in b.build(small_size(b)).expect("kernels build") {
+                let d = opt.optimize(&nest);
+                let lowered = d
+                    .schedule()
+                    .lower(&nest)
+                    .unwrap_or_else(|e| panic!("{} on {}: {e}", b.name(), arch.name));
+                let mut hier = Hierarchy::from_architecture(&arch);
+                trace_into(&nest, &lowered, &mut hier, &TraceOptions::default());
+                assert!(
+                    hier.stats().total_accesses > 0,
+                    "{} on {}: empty trace",
+                    b.name(),
+                    arch.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn optimizer_is_deterministic() {
+    let arch = presets::repro::intel_i7_5930k();
+    let opt = Optimizer::new(&arch);
+    for b in [Benchmark::Matmul, Benchmark::Tpm, Benchmark::Doitgen] {
+        let nests = b.build(small_size(b)).expect("kernels build");
+        for nest in &nests {
+            let d1 = opt.optimize(nest);
+            let d2 = opt.optimize(nest);
+            assert_eq!(d1, d2, "{} decision must be deterministic", b.name());
+        }
+    }
+}
+
+#[test]
+fn decisions_differ_across_platforms_where_expected() {
+    // The ARM A15 must never select NTI; Intel must on spatial kernels.
+    let nest = &Benchmark::Tp.build(128).unwrap()[0];
+    let intel = Optimizer::new(&presets::repro::intel_i7_5930k()).optimize(nest);
+    let arm = Optimizer::new(&presets::repro::arm_cortex_a15()).optimize(nest);
+    assert!(intel.use_nti);
+    assert!(!arm.use_nti);
+    assert_eq!(intel.vector_lanes, 8);
+    assert_eq!(arm.vector_lanes, 4);
+}
