@@ -122,7 +122,7 @@ impl CacheLevel {
         if self.size_bytes == 0 {
             return Err("capacity must be nonzero".into());
         }
-        if self.size_bytes % (self.associativity * self.line_size) != 0 {
+        if !self.size_bytes.is_multiple_of(self.associativity * self.line_size) {
             return Err("capacity not divisible by associativity * line size".into());
         }
         if self.latency_cycles <= 0.0 {

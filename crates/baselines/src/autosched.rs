@@ -60,7 +60,7 @@ pub fn auto_scheduler(nest: &LoopNest, arch: &Architecture) -> Schedule {
             let work: f64 = out_vars.iter().map(|&v| tile[v] as f64).product();
             // Prefer more work per tile; tie-break toward wider columns.
             let score = work + col.map(|c| tile[c] as f64).unwrap_or(0.0) * 1e-3;
-            if best.as_ref().map_or(true, |(b, _)| score > *b) {
+            if best.as_ref().is_none_or(|(b, _)| score > *b) {
                 best = Some((score, tile.clone()));
             }
         }
@@ -92,9 +92,9 @@ pub fn auto_scheduler(nest: &LoopNest, arch: &Architecture) -> Schedule {
     }
     let mut order: Vec<String> = tiled.iter().map(|&v| format!("{}_o", names[v])).collect();
     // reduction loops (non-output vars) next
-    for v in 0..n {
+    for (v, name) in names.iter().enumerate().take(n) {
         if !out_vars.contains(&v) {
-            order.push(names[v].to_string());
+            order.push(name.to_string());
         }
     }
     // inner tiles / untiled output vars, column last

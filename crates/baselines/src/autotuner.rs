@@ -11,14 +11,21 @@
 //!   only tile the *output* dimensions (Fig. 5's observation), with
 //!   power-of-two sizes;
 //! * quality is budget-bound: the number of evaluations stands in for the
-//!   paper's one-hour / one-day wall-clock budgets.
+//!   paper's one-hour / one-day wall-clock budgets, and an optional
+//!   wall-clock [`deadline`](Autotuner::deadline) bounds real time.
+//!
+//! Tuning is *fault-tolerant*: each candidate is evaluated with panics
+//! caught ([`palo_core::catch_panic`]) and measurement errors recorded,
+//! so one pathological candidate is skipped instead of aborting the run.
 
 use palo_arch::Architecture;
+use palo_core::{catch_panic, PaloError};
 use palo_exec::estimate_time;
 use palo_ir::LoopNest;
 use palo_sched::Schedule;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
 
 /// Result of a tuning run.
 #[derive(Debug, Clone)]
@@ -29,6 +36,10 @@ pub struct TuneResult {
     pub est_ms: f64,
     /// Candidates evaluated.
     pub evals: usize,
+    /// Candidates skipped because measuring them failed or panicked.
+    pub skipped: usize,
+    /// Whether the wall-clock deadline cut the run short.
+    pub deadline_hit: bool,
 }
 
 /// The stochastic autotuner.
@@ -39,38 +50,96 @@ pub struct Autotuner {
     pub budget: usize,
     /// RNG seed (runs are deterministic given the seed).
     pub seed: u64,
+    /// Optional wall-clock guard: no new candidate starts once this much
+    /// time has elapsed (`None` = evaluation budget only).
+    pub deadline: Option<Duration>,
 }
 
 impl Autotuner {
-    /// A tuner with the given evaluation budget and seed.
+    /// A tuner with the given evaluation budget and seed, no deadline.
     pub fn new(budget: usize, seed: u64) -> Self {
-        Autotuner { budget, seed }
+        Autotuner { budget, seed, deadline: None }
+    }
+
+    /// Sets the wall-clock deadline.
+    pub fn with_deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
     }
 
     /// Tunes `nest` for `arch`, returning the best schedule found within
-    /// the budget. The first candidate is always the untiled
+    /// the budget — falling back to the untiled baseline (with an
+    /// infinite time estimate) when every candidate fails to measure.
+    pub fn tune(&self, nest: &LoopNest, arch: &Architecture) -> TuneResult {
+        self.try_tune(nest, arch).unwrap_or_else(|_| TuneResult {
+            schedule: crate::basic::baseline(nest, arch),
+            est_ms: f64::INFINITY,
+            evals: 0,
+            skipped: self.budget.max(1),
+            deadline_hit: false,
+        })
+    }
+
+    /// Fallible tuning: the best schedule found within the evaluation
+    /// budget and deadline. The first candidate is always the untiled
     /// parallel+vectorize schedule, so the tuner never returns something
     /// worse than that.
-    pub fn tune(&self, nest: &LoopNest, arch: &Architecture) -> TuneResult {
+    ///
+    /// # Errors
+    ///
+    /// Returns the last measurement failure when *no* candidate could be
+    /// evaluated (e.g. the trace budget aborts the first estimate, or the
+    /// deadline was already spent), or [`PaloError::DeadlineExceeded`]
+    /// when the deadline fired before any evaluation.
+    pub fn try_tune(&self, nest: &LoopNest, arch: &Architecture) -> Result<TuneResult, PaloError> {
+        let start = Instant::now();
         let mut rng = StdRng::seed_from_u64(self.seed);
         let mut best: Option<(f64, Schedule)> = None;
         let mut evals = 0usize;
+        let mut skipped = 0usize;
+        let mut deadline_hit = false;
+        let mut last_err: Option<PaloError> = None;
 
         for trial in 0..self.budget.max(1) {
+            if let Some(dl) = self.deadline {
+                if start.elapsed() >= dl {
+                    deadline_hit = true;
+                    break;
+                }
+            }
             let sched = if trial == 0 {
                 crate::basic::baseline(nest, arch)
             } else {
                 self.random_candidate(nest, arch, &mut rng)
             };
             let Ok(lowered) = sched.lower(nest) else { continue };
-            let est = estimate_time(nest, &lowered, arch);
-            evals += 1;
-            if best.as_ref().map_or(true, |(b, _)| est.ms < *b) {
-                best = Some((est.ms, sched));
+            // A panicking or failing measurement skips the candidate, it
+            // does not abort the tuning run.
+            let measured = catch_panic("autotuner candidate", || {
+                estimate_time(nest, &lowered, arch)
+            })
+            .and_then(|r| r.map_err(PaloError::from));
+            match measured {
+                Ok(est) => {
+                    evals += 1;
+                    if best.as_ref().is_none_or(|(b, _)| est.ms < *b) {
+                        best = Some((est.ms, sched));
+                    }
+                }
+                Err(e) => {
+                    skipped += 1;
+                    last_err = Some(e);
+                }
             }
         }
-        let (est_ms, schedule) = best.expect("budget >= 1 evaluates the baseline");
-        TuneResult { schedule, est_ms, evals }
+        match best {
+            Some((est_ms, schedule)) => {
+                Ok(TuneResult { schedule, est_ms, evals, skipped, deadline_hit })
+            }
+            None => Err(last_err.unwrap_or(PaloError::DeadlineExceeded {
+                budget: self.deadline.unwrap_or(Duration::ZERO),
+            })),
+        }
     }
 
     /// One random point of the restricted space: power-of-two tiles on
@@ -131,22 +200,24 @@ impl Autotuner {
                 names[v].to_string()
             }
         };
-        if red_first {
-            order.extend(reductions.iter().map(|&v| names[v].to_string()));
-            order.extend(intra.iter().map(|&v| intra_names(v)));
-        } else {
-            let (last, rest) = intra.split_last().expect("output has at least one var");
-            order.extend(rest.iter().map(|&v| intra_names(v)));
-            order.extend(reductions.iter().map(|&v| names[v].to_string()));
-            order.push(intra_names(*last));
+        match (red_first, intra.split_last()) {
+            (false, Some((last, rest))) => {
+                order.extend(rest.iter().map(|&v| intra_names(v)));
+                order.extend(reductions.iter().map(|&v| names[v].to_string()));
+                order.push(intra_names(*last));
+            }
+            _ => {
+                order.extend(reductions.iter().map(|&v| names[v].to_string()));
+                order.extend(intra.iter().map(|&v| intra_names(v)));
+            }
         }
         if order.len() > 1 {
             let refs: Vec<&str> = order.iter().map(|x| x.as_str()).collect();
             s.reorder(&refs);
         }
-        if let Some(c) = col {
+        if let (Some(c), Some(innermost)) = (col, order.last()) {
             if lanes > 1 && tile[c] >= lanes {
-                s.vectorize(order.last().expect("nonempty"), lanes);
+                s.vectorize(innermost, lanes);
             }
         }
         if n > 1 {
@@ -185,6 +256,8 @@ mod tests {
         let r2 = t.tune(&nest, &arch);
         assert_eq!(r1.schedule, r2.schedule);
         assert_eq!(r1.est_ms, r2.est_ms);
+        assert_eq!(r1.skipped, 0);
+        assert!(!r1.deadline_hit);
     }
 
     #[test]
@@ -204,5 +277,30 @@ mod tests {
         let r = Autotuner::new(10, 3).tune(&nest, &arch);
         assert_eq!(r.evals, 10, "every candidate must lower");
         r.schedule.lower(&nest).unwrap();
+    }
+
+    #[test]
+    fn zero_deadline_reports_deadline_exceeded() {
+        let nest = matmul(32);
+        let arch = presets::intel_i7_6700();
+        let t = Autotuner::new(10, 3).with_deadline(Duration::ZERO);
+        let err = t.try_tune(&nest, &arch).unwrap_err();
+        assert!(matches!(err, PaloError::DeadlineExceeded { .. }));
+        // The infallible entry point still hands back a usable schedule.
+        let r = t.tune(&nest, &arch);
+        assert_eq!(r.evals, 0);
+        assert!(r.est_ms.is_infinite());
+        r.schedule.lower(&nest).unwrap();
+    }
+
+    #[test]
+    fn generous_deadline_changes_nothing() {
+        let nest = matmul(64);
+        let arch = presets::intel_i7_6700();
+        let plain = Autotuner::new(5, 42).tune(&nest, &arch);
+        let guarded =
+            Autotuner::new(5, 42).with_deadline(Duration::from_secs(3600)).tune(&nest, &arch);
+        assert_eq!(plain.schedule, guarded.schedule);
+        assert!(!guarded.deadline_hit);
     }
 }

@@ -12,8 +12,7 @@
 
 use palo_arch::presets;
 use palo_bench::print_table;
-use palo_core::{Optimizer, OptimizerConfig};
-use palo_exec::estimate_time;
+use palo_core::{OptimizerConfig, Pipeline, PipelineConfig};
 use palo_suite::kernels;
 
 fn main() {
@@ -39,21 +38,41 @@ fn main() {
         ("no NTI", OptimizerConfig { enable_nti: false, ..OptimizerConfig::default() }),
     ];
 
-    for (bench, nest) in [
-        ("matmul 512", kernels::matmul(512).expect("builds")),
-        ("tpm 1024", kernels::tpm(1024).expect("builds")),
-    ] {
+    let nests = [
+        ("matmul 512", kernels::matmul(512)),
+        ("tpm 1024", kernels::tpm(1024)),
+    ];
+    for (bench, nest) in nests {
+        let nest = match nest {
+            Ok(n) => n,
+            Err(e) => {
+                eprintln!("{bench}: kernel failed to build: {e}");
+                continue;
+            }
+        };
         let mut rows = Vec::new();
         for (label, config) in &variants {
-            let d = Optimizer::with_config(&arch, config.clone()).optimize(&nest);
-            let lowered = d.schedule().lower(&nest).expect("schedule lowers");
-            let est = estimate_time(&nest, &lowered, &arch);
-            rows.push(vec![
-                label.to_string(),
-                format!("{:.2}", est.ms),
-                format!("{:?}", d.tile),
-                d.use_nti.to_string(),
-            ]);
+            let pipeline = Pipeline::with_config(
+                &arch,
+                PipelineConfig { optimizer: config.clone(), ..PipelineConfig::default() },
+            );
+            let out = match pipeline.run(&nest) {
+                Ok(o) => o,
+                Err(e) => {
+                    eprintln!("{bench} / {label}: pipeline failed: {e}");
+                    continue;
+                }
+            };
+            if out.report.fallback_fired() {
+                eprintln!("{bench} / {label}: fell back to the {} schedule", out.report.rung);
+            }
+            let ms = out.report.estimate.as_ref().map(|e| e.ms).unwrap_or(f64::INFINITY);
+            let (tile, nti) = out
+                .decision
+                .as_ref()
+                .map(|d| (format!("{:?}", d.tile), d.use_nti.to_string()))
+                .unwrap_or_else(|| ("-".into(), "-".into()));
+            rows.push(vec![label.to_string(), format!("{ms:.2}"), tile, nti]);
         }
         print_table(
             &format!("Ablation — {bench}, Intel 5930K"),

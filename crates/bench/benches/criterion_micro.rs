@@ -23,7 +23,7 @@ fn opt_runtime(c: &mut Criterion) {
         ("syr2k", kernels::syr2k(384).expect("builds")),
     ];
     for (name, nest) in &cases {
-        group.bench_function(*name, |b| b.iter(|| std::hint::black_box(opt.optimize(nest))));
+        group.bench_function(name, |b| b.iter(|| std::hint::black_box(opt.optimize(nest))));
     }
     group.finish();
 }

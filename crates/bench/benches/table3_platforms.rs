@@ -15,7 +15,7 @@ fn main() {
     let mut rows = Vec::new();
     let field = |name: &str, f: &dyn Fn(&palo_arch::Architecture) -> String| {
         let mut row = vec![name.to_string()];
-        row.extend(archs.iter().map(|a| f(a)));
+        row.extend(archs.iter().map(f));
         row
     };
     rows.push(field("LCLS", &|a| format!("{}B", a.l1().line_size)));

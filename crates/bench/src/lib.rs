@@ -7,7 +7,7 @@
 
 use palo_arch::Architecture;
 use palo_baselines::{schedule_for, Technique};
-use palo_exec::estimate_time;
+use palo_core::Pipeline;
 use palo_ir::LoopNest;
 use palo_suite::Benchmark;
 
@@ -15,41 +15,61 @@ use palo_suite::Benchmark;
 /// benchmark: stages are scheduled independently and their times summed,
 /// as the paper's per-function Halide tool does.
 ///
-/// # Panics
-///
-/// Panics if a technique emits a schedule that fails to lower — that is a
-/// bug in the technique, not an input condition.
+/// Each stage runs through the fault-tolerant [`Pipeline`]: a schedule
+/// that fails to lower degrades to a fallback rung (reported on stderr)
+/// instead of aborting the whole table, and a stage with no measurable
+/// schedule at all contributes `f64::INFINITY`.
 pub fn measure_technique(
     nests: &[LoopNest],
     technique: Technique,
     arch: &Architecture,
     seed: u64,
 ) -> f64 {
+    let pipeline = Pipeline::new(arch);
     nests
         .iter()
         .map(|nest| {
             let sched = schedule_for(technique, nest, arch, seed);
-            let lowered = sched
-                .lower(nest)
-                .unwrap_or_else(|e| panic!("{} schedule must lower: {e}", technique.label()));
-            estimate_time(nest, &lowered, arch).ms
+            match pipeline.run_schedule(nest, &sched) {
+                Ok(out) => {
+                    if out.report.fallback_fired() {
+                        eprintln!(
+                            "palo-bench: {} on {}: fell back to {} schedule",
+                            technique.label(),
+                            nest.name(),
+                            out.report.rung
+                        );
+                    }
+                    out.report.estimate.as_ref().map(|e| e.ms).unwrap_or(f64::INFINITY)
+                }
+                Err(e) => {
+                    eprintln!(
+                        "palo-bench: {} on {}: unmeasurable: {e}",
+                        technique.label(),
+                        nest.name()
+                    );
+                    f64::INFINITY
+                }
+            }
         })
         .sum()
 }
 
-/// Measures a benchmark at its scaled size.
-///
-/// # Panics
-///
-/// Panics when the benchmark fails to build (a bug in the suite).
+/// Measures a benchmark at its scaled size; an unbuildable benchmark is
+/// reported on stderr and measured as `f64::INFINITY`.
 pub fn measure_benchmark(
     benchmark: Benchmark,
     technique: Technique,
     arch: &Architecture,
     seed: u64,
 ) -> f64 {
-    let nests = benchmark.build_scaled().expect("suite kernels build");
-    measure_technique(&nests, technique, arch, seed)
+    match benchmark.build_scaled() {
+        Ok(nests) => measure_technique(&nests, technique, arch, seed),
+        Err(e) => {
+            eprintln!("palo-bench: benchmark failed to build: {e}");
+            f64::INFINITY
+        }
+    }
 }
 
 /// Whether the `PALO_QUICK` environment variable asks for reduced

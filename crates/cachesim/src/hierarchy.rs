@@ -1,6 +1,7 @@
 //! The multi-level hierarchy: caches + prefetchers + statistics.
 
 use crate::cache::{Cache, Eviction};
+use crate::error::SimConfigError;
 use crate::prefetch::StridePrefetcher;
 use crate::stats::HierarchyStats;
 use palo_arch::{Architecture, PrefetcherConfig};
@@ -53,7 +54,7 @@ impl PrefetchThrottle {
             return true;
         }
         self.duty = self.duty.wrapping_add(1);
-        self.duty % Self::DUTY == 0
+        self.duty.is_multiple_of(Self::DUTY)
     }
 
     fn on_fill(&mut self) {
@@ -92,8 +93,24 @@ pub struct Hierarchy {
 
 impl Hierarchy {
     /// Builds the hierarchy described by `arch`, one simulated thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate architecture descriptions; use
+    /// [`Hierarchy::try_from_architecture`] in fallible contexts.
     pub fn from_architecture(arch: &Architecture) -> Self {
         Self::with_effective_sharing(arch, 1, 1)
+    }
+
+    /// Fallible variant of [`Hierarchy::from_architecture`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimConfigError`] when `arch` has fewer than two cache
+    /// levels, a non-power-of-two L1 line size, or a level with zero
+    /// sets or ways.
+    pub fn try_from_architecture(arch: &Architecture) -> Result<Self, SimConfigError> {
+        Self::try_with_effective_sharing(arch, 1, 1)
     }
 
     /// Builds the hierarchy as *one thread* of a parallel execution sees
@@ -102,12 +119,42 @@ impl Hierarchy {
     /// `cores_used`-ths — the same effective-capacity corrections the
     /// paper applies (`Lieway = Liway / Nthreads`, and `L2way / Ncores`
     /// for the A15's shared L2).
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate architecture descriptions; use
+    /// [`Hierarchy::try_with_effective_sharing`] in fallible contexts.
     pub fn with_effective_sharing(
         arch: &Architecture,
         threads_per_core_used: usize,
         cores_used: usize,
     ) -> Self {
-        let line_bits = arch.l1().line_size.trailing_zeros();
+        match Self::try_with_effective_sharing(arch, threads_per_core_used, cores_used) {
+            Ok(h) => h,
+            Err(e) => panic!("invalid architecture for cache simulation: {e}"),
+        }
+    }
+
+    /// Fallible variant of [`Hierarchy::with_effective_sharing`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimConfigError`] when `arch` has fewer than two cache
+    /// levels, a non-power-of-two L1 line size, or a level with zero
+    /// sets or ways after the sharing correction.
+    pub fn try_with_effective_sharing(
+        arch: &Architecture,
+        threads_per_core_used: usize,
+        cores_used: usize,
+    ) -> Result<Self, SimConfigError> {
+        if arch.caches.len() < 2 {
+            return Err(SimConfigError::TooFewLevels { found: arch.caches.len() });
+        }
+        let line_size = arch.l1().line_size;
+        if line_size == 0 || !line_size.is_power_of_two() {
+            return Err(SimConfigError::BadLineSize { line_size });
+        }
+        let line_bits = line_size.trailing_zeros();
         let mut caches = Vec::new();
         let mut latencies = Vec::new();
         for level in &arch.caches {
@@ -115,8 +162,24 @@ impl Hierarchy {
                 palo_arch::SharingScope::Core => threads_per_core_used.max(1),
                 palo_arch::SharingScope::Chip => cores_used.max(1),
             };
+            // Guard before num_sets(), which divides by ways * line size.
+            if level.associativity == 0 || level.line_size == 0 {
+                return Err(SimConfigError::EmptyLevel {
+                    level: caches.len(),
+                    sets: 0,
+                    ways: level.associativity,
+                });
+            }
             let ways = (level.associativity / divisor).max(1);
-            caches.push(Cache::new(level.num_sets(), ways));
+            let sets = level.num_sets();
+            if sets == 0 {
+                return Err(SimConfigError::EmptyLevel {
+                    level: caches.len(),
+                    sets,
+                    ways: level.associativity,
+                });
+            }
+            caches.push(Cache::new(sets, ways));
             latencies.push(level.latency_cycles);
         }
         let l1_next_line = matches!(arch.l1().prefetcher, PrefetcherConfig::NextLine);
@@ -128,7 +191,7 @@ impl Hierarchy {
             PrefetcherConfig::None => None,
         };
         let n = caches.len();
-        Hierarchy {
+        Ok(Hierarchy {
             caches,
             latencies,
             line_bits,
@@ -137,7 +200,7 @@ impl Hierarchy {
             l2_stride,
             throttle: PrefetchThrottle::default(),
             stats: HierarchyStats::new(n),
-        }
+        })
     }
 
     /// Accumulated statistics.
@@ -436,5 +499,46 @@ mod tests {
     fn arm_has_two_levels() {
         let h = Hierarchy::from_architecture(&presets::arm_cortex_a15());
         assert_eq!(h.num_levels(), 2);
+    }
+
+    #[test]
+    fn try_from_architecture_accepts_presets() {
+        for arch in [
+            presets::intel_i7_6700(),
+            presets::intel_i7_5930k(),
+            presets::arm_cortex_a15(),
+        ] {
+            assert!(Hierarchy::try_from_architecture(&arch).is_ok(), "{}", arch.name);
+        }
+    }
+
+    #[test]
+    fn try_from_architecture_rejects_single_level() {
+        let mut arch = presets::intel_i7_6700();
+        arch.caches.truncate(1);
+        assert_eq!(
+            Hierarchy::try_from_architecture(&arch).err(),
+            Some(SimConfigError::TooFewLevels { found: 1 })
+        );
+    }
+
+    #[test]
+    fn try_from_architecture_rejects_odd_line_size() {
+        let mut arch = presets::intel_i7_6700();
+        arch.caches[0].line_size = 48;
+        assert_eq!(
+            Hierarchy::try_from_architecture(&arch).err(),
+            Some(SimConfigError::BadLineSize { line_size: 48 })
+        );
+    }
+
+    #[test]
+    fn try_from_architecture_rejects_zero_ways() {
+        let mut arch = presets::intel_i7_6700();
+        arch.caches[1].associativity = 0;
+        assert!(matches!(
+            Hierarchy::try_from_architecture(&arch),
+            Err(SimConfigError::EmptyLevel { level: 1, .. })
+        ));
     }
 }

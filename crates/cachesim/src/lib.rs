@@ -39,11 +39,13 @@
 //! ```
 
 mod cache;
+mod error;
 mod hierarchy;
 mod prefetch;
 mod stats;
 
 pub use cache::{Cache, Eviction};
+pub use error::SimConfigError;
 pub use hierarchy::{AccessKind, Hierarchy, ServedBy};
 pub use prefetch::StridePrefetcher;
 pub use stats::{HierarchyStats, LevelStats};

@@ -191,7 +191,7 @@ mod tests {
         assert!(!p.observe(2).is_empty());
         // Break the stride: jump by 5 (within match window).
         assert!(p.observe(7).is_empty());
-        assert!(p.observe(12).is_empty() == false || true); // re-confirms at delta 5
+        assert!(!p.observe(12).is_empty()); // re-confirms at delta 5
     }
 
     #[test]

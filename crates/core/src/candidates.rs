@@ -19,7 +19,7 @@ pub fn tile_candidates(b: usize, bound: usize, max: usize, multiple_of: usize) -
         if d > cap {
             break;
         }
-        if b % d == 0 {
+        if b.is_multiple_of(d) {
             cands.push(d);
         }
     }

@@ -41,9 +41,12 @@ impl Footprints {
     /// deduplicated structurally (an accumulation counts its array once,
     /// as the paper does).
     pub fn new(nest: &LoopNest, line_size: usize) -> Self {
+        // Structural dedup key: the array plus each index's (var, coeff)
+        // terms.
+        type ShapeKey = (ArrayId, Vec<Vec<(usize, i64)>>);
         let lc = (line_size / nest.dtype().size_bytes()).max(1);
         let mut shapes: Vec<AccessShape> = Vec::new();
-        let mut keys: Vec<(ArrayId, Vec<Vec<(usize, i64)>>)> = Vec::new();
+        let mut keys: Vec<ShapeKey> = Vec::new();
 
         let out_acc = &nest.statement().output;
         let all: Vec<(&palo_ir::Access, bool)> = std::iter::once((out_acc, true))

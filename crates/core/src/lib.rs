@@ -22,7 +22,11 @@
 //!    constraint), vectorization, and non-temporal stores.
 //!
 //! The entry point is [`Optimizer`], which produces a [`Decision`]
-//! containing the chosen [`palo_sched::Schedule`].
+//! containing the chosen [`palo_sched::Schedule`]. For end-to-end use,
+//! [`Pipeline`] wraps the optimizer in a fault-tolerant
+//! optimize → lower → validate → simulate flow with a degradation ladder
+//! ([`Rung`]), resource guards ([`ResourceBudget`]) and fault injection
+//! ([`FaultPlan`]); every failure is reported through [`PaloError`].
 //!
 //! # Examples
 //!
@@ -41,19 +45,23 @@
 //! b.accumulate(c, &[i, j], b.load(a, &[i, k]) * b.load(bm, &[k, j]));
 //! let nest = b.build()?;
 //!
-//! let decision = Optimizer::new(&presets::intel_i7_5930k()).optimize(&nest);
+//! let decision = Optimizer::new(&presets::intel_i7_5930k()).try_optimize(&nest)?;
 //! assert_eq!(decision.class, Class::Temporal);
 //! assert!(decision.tile.iter().any(|&t| t > 1)); // it tiled something
-//! # Ok::<(), palo_ir::IrError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod candidates;
 pub mod classify;
 mod config;
 mod decision;
 pub mod emu;
+mod error;
 mod footprint;
 pub mod order;
+mod pipeline;
 pub mod post;
 pub mod spatial;
 pub mod temporal;
@@ -62,7 +70,12 @@ pub use classify::{classify, Class};
 pub use config::OptimizerConfig;
 pub use decision::Decision;
 pub use emu::{emu, EmuParams};
+pub use error::{catch_panic, PaloError};
 pub use footprint::Footprints;
+pub use pipeline::{
+    FaultPlan, Pipeline, PipelineConfig, PipelineOutcome, PipelineReport, ResourceBudget,
+    Rung, RungFailure,
+};
 
 use palo_arch::Architecture;
 use palo_ir::{LoopNest, NestInfo};
@@ -109,5 +122,18 @@ impl Optimizer {
             Class::Spatial => spatial::optimize(nest, &info, &self.arch, &self.config),
             Class::ContiguousOnly => post::passthrough(nest, &info, &self.arch, &self.config),
         }
+    }
+
+    /// Guarded variant of [`Optimizer::optimize`]: validates the
+    /// architecture first and isolates panics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PaloError::Arch`] for an inconsistent architecture
+    /// description and [`PaloError::Panicked`] when the optimization flow
+    /// panics.
+    pub fn try_optimize(&self, nest: &LoopNest) -> Result<Decision, PaloError> {
+        self.arch.validate().map_err(PaloError::Arch)?;
+        catch_panic("optimizer", || self.optimize(nest))
     }
 }

@@ -54,7 +54,7 @@ fn heap(work: &mut Vec<usize>, k: usize, out: &mut Vec<Vec<usize>>) {
     }
     for i in 0..k {
         heap(work, k - 1, out);
-        if k % 2 == 0 {
+        if k.is_multiple_of(2) {
             work.swap(i, k - 1);
         } else {
             work.swap(0, k - 1);

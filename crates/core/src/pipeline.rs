@@ -1,0 +1,522 @@
+//! The fault-tolerant optimization pipeline.
+//!
+//! [`Pipeline`] runs the full optimize → lower → validate → simulate flow
+//! as a *guarded* computation: every stage reports through
+//! [`PaloError`](crate::PaloError) instead of panicking, and when the
+//! proposed schedule cannot be used the pipeline walks a **degradation
+//! ladder** instead of failing outright:
+//!
+//! 1. [`Rung::Proposed`] — the optimizer's (or caller's) schedule;
+//! 2. [`Rung::Stripped`] — the same schedule with the execution hints
+//!    (`vectorize`, `parallel`, `store_nt`) removed, keeping the loop
+//!    structure ([`Schedule::without_execution_hints`]);
+//! 3. [`Rung::Baseline`] — the paper's §5.1 baseline (column loop rotated
+//!    innermost, vectorized, outer loop parallelized, nothing tiled);
+//! 4. [`Rung::Naive`] — the empty schedule, i.e. the program-order nest,
+//!    which every valid nest can lower.
+//!
+//! The achieved rung and every failure encountered on the way down are
+//! recorded in the [`PipelineReport`], so degradation is observable, not
+//! silent. Resource guards ([`ResourceBudget`]) bound the cache
+//! simulation in both trace lines and wall-clock time, and a
+//! [`FaultPlan`] can inject failures at each guarded site to exercise the
+//! ladder in tests.
+
+use crate::decision::Decision;
+use crate::error::{catch_panic, PaloError};
+use crate::Optimizer;
+use crate::OptimizerConfig;
+use palo_arch::Architecture;
+use palo_cachesim::Hierarchy;
+use palo_exec::{
+    estimate_time_with, run, run_reference, Buffers, TimeEstimate, TraceOptions,
+};
+use palo_ir::LoopNest;
+use palo_sched::{LoweredNest, Schedule};
+use std::time::{Duration, Instant};
+
+/// A rung of the degradation ladder, best first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rung {
+    /// The optimizer's (or caller's) proposed schedule was used.
+    Proposed,
+    /// The proposed schedule with execution hints stripped.
+    Stripped,
+    /// The basic developer baseline schedule.
+    Baseline,
+    /// The untransformed program-order nest.
+    Naive,
+}
+
+impl std::fmt::Display for Rung {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            Rung::Proposed => "proposed",
+            Rung::Stripped => "stripped",
+            Rung::Baseline => "baseline",
+            Rung::Naive => "naive",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One failure encountered while descending the ladder (or while
+/// simulating the accepted schedule).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RungFailure {
+    /// The rung that was being attempted when the failure occurred.
+    pub rung: Rung,
+    /// What went wrong.
+    pub error: PaloError,
+}
+
+/// Resource guards for the expensive stages of the pipeline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResourceBudget {
+    /// Maximum cache-line accesses the trace simulation may issue before
+    /// aborting with [`PaloError::BudgetExceeded`] (`None` = unlimited).
+    pub max_trace_lines: Option<u64>,
+    /// Wall-clock budget for one whole [`Pipeline::run`] call; the
+    /// remainder at simulation time bounds the trace walk
+    /// (`None` = unlimited).
+    pub deadline: Option<Duration>,
+}
+
+/// Deterministic fault injection for exercising the degradation ladder.
+///
+/// All sites default to off; enabling them is a *runtime* configuration
+/// choice so the release pipeline and the fault tests run the same code.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Fail the first `n` schedule-lowering attempts with
+    /// [`PaloError::FaultInjected`]. With a distinct proposed schedule,
+    /// `1` forces [`Rung::Stripped`], `2` forces [`Rung::Baseline`],
+    /// `3` forces [`Rung::Naive`] and `4` exhausts the ladder.
+    pub fail_first_lowerings: u64,
+    /// Force a zero trace-line budget so the simulation stage aborts with
+    /// [`PaloError::BudgetExceeded`].
+    pub trace_overflow: bool,
+    /// Panic inside the optimizer stage; the pipeline must catch it and
+    /// degrade to [`Rung::Baseline`].
+    pub panic_in_optimizer: bool,
+}
+
+impl FaultPlan {
+    /// Whether any injection site is armed.
+    pub fn armed(&self) -> bool {
+        *self != FaultPlan::default()
+    }
+}
+
+/// Configuration of a [`Pipeline`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct PipelineConfig {
+    /// Switches forwarded to the [`Optimizer`].
+    pub optimizer: OptimizerConfig,
+    /// Resource guards for simulation.
+    pub budget: ResourceBudget,
+    /// Ladder candidates are validated bit-exactly against the
+    /// program-order interpreter when the nest's iteration count is below
+    /// this bound (compute-mode execution is too slow beyond it).
+    pub validate_semantics_below: u128,
+    /// Run the cache simulation of the accepted schedule and attach a
+    /// [`TimeEstimate`] to the report.
+    pub simulate: bool,
+    /// Fault injection sites (all off by default).
+    pub faults: FaultPlan,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            optimizer: OptimizerConfig::default(),
+            budget: ResourceBudget::default(),
+            validate_semantics_below: 4096,
+            simulate: true,
+            faults: FaultPlan::default(),
+        }
+    }
+}
+
+/// What happened during one pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineReport {
+    /// The ladder rung whose schedule was accepted.
+    pub rung: Rung,
+    /// Every failure encountered on the way (ladder descents and
+    /// simulation-stage failures). Empty on a clean run.
+    pub failures: Vec<RungFailure>,
+    /// The simulated time estimate of the accepted schedule; `None` when
+    /// simulation was disabled or failed (the failure is recorded).
+    pub estimate: Option<TimeEstimate>,
+    /// Wall-clock time of the whole run.
+    pub elapsed: Duration,
+}
+
+impl PipelineReport {
+    /// Whether the pipeline had to fall back below [`Rung::Proposed`].
+    pub fn fallback_fired(&self) -> bool {
+        self.rung != Rung::Proposed
+    }
+}
+
+/// The result of a successful (possibly degraded) pipeline run.
+#[derive(Debug, Clone)]
+pub struct PipelineOutcome {
+    /// The optimizer's decision; `None` when the optimizer itself failed
+    /// or when the caller supplied the schedule via
+    /// [`Pipeline::run_schedule`].
+    pub decision: Option<Decision>,
+    /// The accepted schedule (of the reported rung).
+    pub schedule: Schedule,
+    /// The accepted schedule lowered onto the nest, ready to execute.
+    pub lowered: LoweredNest,
+    /// The run's report: achieved rung, recorded failures, estimate.
+    pub report: PipelineReport,
+}
+
+/// The guarded optimize → lower → validate → simulate flow.
+///
+/// # Examples
+///
+/// ```
+/// use palo_arch::presets;
+/// use palo_core::{Pipeline, Rung};
+/// use palo_ir::{DType, NestBuilder};
+///
+/// let mut b = NestBuilder::new("copy", DType::F32);
+/// let i = b.var("i", 64);
+/// let j = b.var("j", 64);
+/// let src = b.array("src", &[64, 64]);
+/// let dst = b.array("dst", &[64, 64]);
+/// let ld = b.load(src, &[i, j]);
+/// b.store(dst, &[i, j], ld);
+/// let nest = b.build()?;
+///
+/// let out = Pipeline::new(&presets::intel_i7_6700()).run(&nest)?;
+/// assert_eq!(out.report.rung, Rung::Proposed);
+/// assert!(out.report.estimate.is_some());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pipeline {
+    arch: Architecture,
+    config: PipelineConfig,
+}
+
+/// Internal per-run mutable state (fault counters, failure log).
+struct RunState {
+    lowerings_attempted: u64,
+    failures: Vec<RungFailure>,
+}
+
+impl Pipeline {
+    /// A pipeline for `arch` with default configuration.
+    pub fn new(arch: &Architecture) -> Self {
+        Pipeline { arch: arch.clone(), config: PipelineConfig::default() }
+    }
+
+    /// A pipeline with an explicit configuration.
+    pub fn with_config(arch: &Architecture, config: PipelineConfig) -> Self {
+        Pipeline { arch: arch.clone(), config }
+    }
+
+    /// The target architecture.
+    pub fn arch(&self) -> &Architecture {
+        &self.arch
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Runs the optimizer on `nest` and executes the degradation ladder.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only when the nest cannot be processed at all:
+    /// the architecture fails validation, the cache simulator rejects it,
+    /// or every ladder rung — including the program-order nest — fails.
+    /// An optimizer failure alone is *not* an error: the pipeline
+    /// degrades and records the failure in the report.
+    pub fn run(&self, nest: &LoopNest) -> Result<PipelineOutcome, PaloError> {
+        let start = Instant::now();
+        self.validate_arch()?;
+        let mut state = RunState { lowerings_attempted: 0, failures: Vec::new() };
+
+        let optimizer = Optimizer::with_config(&self.arch, self.config.optimizer.clone());
+        let faults = self.config.faults;
+        let decision = match catch_panic("optimizer", || {
+            if faults.panic_in_optimizer {
+                panic!("injected optimizer fault");
+            }
+            optimizer.optimize(nest)
+        }) {
+            Ok(d) => Some(d),
+            Err(e) => {
+                state.failures.push(RungFailure { rung: Rung::Proposed, error: e });
+                None
+            }
+        };
+
+        let proposed = decision.as_ref().map(|d| d.schedule().clone());
+        self.finish(nest, decision, proposed, state, start)
+    }
+
+    /// Executes the degradation ladder for a caller-supplied schedule
+    /// (skipping the optimizer stage).
+    ///
+    /// The schedule may be arbitrary — even illegal for `nest`; an
+    /// illegal schedule simply fails its rung and the ladder continues.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Pipeline::run`].
+    pub fn run_schedule(
+        &self,
+        nest: &LoopNest,
+        proposed: &Schedule,
+    ) -> Result<PipelineOutcome, PaloError> {
+        let start = Instant::now();
+        self.validate_arch()?;
+        let state = RunState { lowerings_attempted: 0, failures: Vec::new() };
+        self.finish(nest, None, Some(proposed.clone()), state, start)
+    }
+
+    fn validate_arch(&self) -> Result<(), PaloError> {
+        self.arch.validate().map_err(PaloError::Arch)?;
+        // Reject architectures the simulator cannot model before any
+        // stage constructs a hierarchy (which would panic).
+        Hierarchy::try_from_architecture(&self.arch)?;
+        Ok(())
+    }
+
+    /// Walks the ladder, simulates the accepted schedule, and assembles
+    /// the outcome.
+    fn finish(
+        &self,
+        nest: &LoopNest,
+        decision: Option<Decision>,
+        proposed: Option<Schedule>,
+        mut state: RunState,
+        start: Instant,
+    ) -> Result<PipelineOutcome, PaloError> {
+        let mut ladder: Vec<(Rung, Schedule)> = Vec::new();
+        if let Some(p) = &proposed {
+            ladder.push((Rung::Proposed, p.clone()));
+            let stripped = p.without_execution_hints();
+            if stripped != *p {
+                ladder.push((Rung::Stripped, stripped));
+            }
+        }
+        ladder.push((Rung::Baseline, baseline_schedule(nest, &self.arch)));
+        ladder.push((Rung::Naive, Schedule::new()));
+
+        let mut accepted: Option<(Rung, Schedule, LoweredNest)> = None;
+        for (rung, schedule) in ladder {
+            match self.attempt_rung(nest, &schedule, &mut state) {
+                Ok(lowered) => {
+                    accepted = Some((rung, schedule, lowered));
+                    break;
+                }
+                Err(error) => state.failures.push(RungFailure { rung, error }),
+            }
+        }
+        let Some((rung, schedule, lowered)) = accepted else {
+            // Even the program-order nest failed; surface the last error.
+            return Err(state
+                .failures
+                .last()
+                .map(|f| f.error.clone())
+                .unwrap_or(PaloError::FaultInjected { site: "ladder" }));
+        };
+
+        let estimate = if self.config.simulate {
+            match self.simulate(nest, &lowered, start) {
+                Ok(est) => Some(est),
+                Err(error) => {
+                    state.failures.push(RungFailure { rung, error });
+                    None
+                }
+            }
+        } else {
+            None
+        };
+
+        Ok(PipelineOutcome {
+            decision,
+            schedule,
+            lowered,
+            report: PipelineReport {
+                rung,
+                failures: state.failures,
+                estimate,
+                elapsed: start.elapsed(),
+            },
+        })
+    }
+
+    /// Lowers and (when cheap enough) semantically validates one ladder
+    /// candidate.
+    fn attempt_rung(
+        &self,
+        nest: &LoopNest,
+        schedule: &Schedule,
+        state: &mut RunState,
+    ) -> Result<LoweredNest, PaloError> {
+        state.lowerings_attempted += 1;
+        if state.lowerings_attempted <= self.config.faults.fail_first_lowerings {
+            return Err(PaloError::FaultInjected { site: "lowering" });
+        }
+        let lowered = catch_panic("lowering", || schedule.lower(nest))??;
+
+        if nest.iteration_count() < self.config.validate_semantics_below {
+            // Buffers hold small integers, so any legal schedule of a
+            // reduction is bit-exact against the program-order reference.
+            let mut got = Buffers::for_nest(nest, 0x5EED);
+            let mut want = got.clone();
+            catch_panic("compute-mode validation", || run(nest, &lowered, &mut got))??;
+            run_reference(nest, &mut want)?;
+            if got != want {
+                return Err(PaloError::SemanticsMismatch {
+                    detail: first_divergence(nest, &got, &want),
+                });
+            }
+        }
+        Ok(lowered)
+    }
+
+    /// Simulates the accepted schedule under the remaining budget.
+    fn simulate(
+        &self,
+        nest: &LoopNest,
+        lowered: &LoweredNest,
+        start: Instant,
+    ) -> Result<TimeEstimate, PaloError> {
+        let budget = self.config.budget;
+        let deadline = budget.deadline.map(|d| d.saturating_sub(start.elapsed()));
+        let max_lines = if self.config.faults.trace_overflow {
+            Some(0)
+        } else {
+            budget.max_trace_lines
+        };
+        let opts = TraceOptions { flush_first: true, max_lines, deadline };
+        let est =
+            catch_panic("simulator", || estimate_time_with(nest, lowered, &self.arch, &opts))??;
+        Ok(est)
+    }
+}
+
+/// The §5.1 developer-baseline schedule: column loop rotated innermost
+/// and vectorized, outermost loop parallelized, nothing tiled.
+///
+/// This mirrors `palo_baselines::basic::baseline`; the copy lives here
+/// because `palo-baselines` depends on this crate, so the ladder cannot
+/// call into it.
+fn baseline_schedule(nest: &LoopNest, arch: &Architecture) -> Schedule {
+    let mut s = Schedule::new();
+    let names: Vec<&str> = nest.vars().iter().map(|v| v.name.as_str()).collect();
+    let n = names.len();
+    let col = nest.column_var().map(|v| v.index());
+
+    let order: Vec<&str> = match col {
+        Some(c) => {
+            let mut o: Vec<&str> = (0..n).filter(|&v| v != c).map(|v| names[v]).collect();
+            o.push(names[c]);
+            o
+        }
+        None => names.clone(),
+    };
+    if n > 1 && order != names {
+        s.reorder(&order);
+    }
+    if let Some(c) = col {
+        let lanes = arch.vector_lanes(nest.dtype().size_bytes());
+        if lanes > 1 && nest.extent(palo_ir::VarId(c)) >= lanes {
+            s.vectorize(names[c], lanes);
+        }
+    }
+    if let Some(&outer) = order.first() {
+        if n > 1 {
+            s.parallel(outer);
+        }
+    }
+    s
+}
+
+/// Describes the first array element where `got` and `want` differ.
+fn first_divergence(nest: &LoopNest, got: &Buffers, want: &Buffers) -> String {
+    for (ai, decl) in nest.arrays().iter().enumerate() {
+        let id = palo_ir::ArrayId(ai);
+        let (g, w) = (got.array(id), want.array(id));
+        for (k, (gv, wv)) in g.iter().zip(w.iter()).enumerate() {
+            if gv != wv {
+                return format!(
+                    "array {:?} element {k}: got {gv}, reference {wv}",
+                    decl.name
+                );
+            }
+        }
+    }
+    "buffers differ".to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palo_arch::presets;
+    use palo_ir::{DType, NestBuilder};
+
+    fn matmul(n: usize) -> LoopNest {
+        let mut b = NestBuilder::new("matmul", DType::F32);
+        let i = b.var("i", n);
+        let j = b.var("j", n);
+        let k = b.var("k", n);
+        let a = b.array("A", &[n, n]);
+        let bm = b.array("B", &[n, n]);
+        let c = b.array("C", &[n, n]);
+        b.accumulate(c, &[i, j], b.load(a, &[i, k]) * b.load(bm, &[k, j]));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn clean_run_uses_proposed_schedule() {
+        let out = Pipeline::new(&presets::intel_i7_6700()).run(&matmul(16)).unwrap();
+        assert_eq!(out.report.rung, Rung::Proposed);
+        assert!(!out.report.fallback_fired());
+        assert!(out.report.failures.is_empty());
+        assert!(out.decision.is_some());
+        assert!(out.report.estimate.is_some());
+    }
+
+    #[test]
+    fn run_schedule_accepts_illegal_schedule_by_degrading() {
+        let nest = matmul(8);
+        let mut bad = Schedule::new();
+        bad.reorder(&["nonexistent"]); // fails to lower
+        let out = Pipeline::new(&presets::intel_i7_6700())
+            .run_schedule(&nest, &bad)
+            .unwrap();
+        assert!(out.report.fallback_fired());
+        assert!(out
+            .report
+            .failures
+            .iter()
+            .any(|f| f.rung == Rung::Proposed && matches!(f.error, PaloError::Sched(_))));
+    }
+
+    #[test]
+    fn invalid_architecture_is_a_hard_error() {
+        let mut arch = presets::intel_i7_6700();
+        arch.caches.truncate(1);
+        let err = Pipeline::new(&arch).run(&matmul(4)).unwrap_err();
+        assert!(matches!(err, PaloError::Arch(_)));
+    }
+
+    #[test]
+    fn report_rung_display_names() {
+        assert_eq!(Rung::Proposed.to_string(), "proposed");
+        assert_eq!(Rung::Naive.to_string(), "naive");
+    }
+}

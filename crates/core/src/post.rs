@@ -71,10 +71,12 @@ pub fn emit(
 
     // Vectorize the innermost loop when it walks the column dimension.
     let mut vector_lanes = 1usize;
-    if let (Some(&inner_var), Some(col)) = (intra_order.last(), nest.column_var()) {
+    if let (Some(&inner_var), Some(col), Some(inner_name)) =
+        (intra_order.last(), nest.column_var(), order.last())
+    {
         let lanes = arch.vector_lanes(nest.dtype().size_bytes());
         if inner_var == col.index() && lanes > 1 && tile[inner_var] >= lanes {
-            sched.vectorize(order.last().expect("nonempty order"), lanes);
+            sched.vectorize(inner_name, lanes);
             vector_lanes = lanes;
         }
     }

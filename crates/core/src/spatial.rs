@@ -111,7 +111,7 @@ pub fn optimize(
                 .iter()
                 .map(|&a| fp.misses(a, &tile, config.prefetch_discount) * ntiles * eff)
                 .sum();
-            if best.as_ref().map_or(true, |(bc, _)| c_total < *bc) {
+            if best.as_ref().is_none_or(|(bc, _)| c_total < *bc) {
                 best = Some((c_total, tile));
             }
         }
@@ -136,7 +136,7 @@ pub fn optimize(
 /// Whether the nest has a transposed input (sanity helper used by tests
 /// and the harness).
 pub fn has_transposed_input(info: &NestInfo) -> bool {
-    info.input_patterns.iter().any(|p| *p == AccessPattern::Transposed)
+    info.input_patterns.contains(&AccessPattern::Transposed)
 }
 
 #[cfg(test)]

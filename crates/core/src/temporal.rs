@@ -262,7 +262,7 @@ fn evaluate(
             }
             let cost = a2 * cl1 + a3 * cl2 + am * cl2_lines;
             let tie_cost = a2 * cl1_lines + a3 * cl2_lines;
-            if best.as_ref().map_or(true, |b| b.is_beaten_by(cost, tie_cost)) {
+            if best.as_ref().is_none_or(|b| b.is_beaten_by(cost, tie_cost)) {
                 *best = Some(BestCand { cost, tie_cost, tile: tile.to_vec(), x, u });
             }
         }
@@ -328,7 +328,7 @@ fn choose_orders(
             intra.extend(mp.iter().copied());
             intra.push(col);
             let c = corder(&inter, &intra, &best.tile, extents);
-            if best_order.as_ref().map_or(true, |(bc, _, _)| c < *bc) {
+            if best_order.as_ref().is_none_or(|(bc, _, _)| c < *bc) {
                 best_order = Some((c, inter.clone(), intra));
             }
         }

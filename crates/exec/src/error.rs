@@ -1,0 +1,111 @@
+//! Structured errors for trace-mode and compute-mode execution.
+
+use palo_sched::SchedError;
+use std::error::Error;
+use std::fmt;
+use std::time::Duration;
+
+/// Error produced while walking a lowered nest in trace mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceError {
+    /// A loop the walker relies on being simple (single unit-divisor
+    /// contribution) carries no per-step address delta. Indicates an
+    /// internal inconsistency between lowering and tracing rather than a
+    /// user error.
+    MissingLoopDelta {
+        /// Name of the offending lowered loop.
+        loop_name: String,
+    },
+    /// The trace issued more line accesses than the configured budget.
+    LineBudgetExceeded {
+        /// The configured line budget.
+        limit: u64,
+    },
+    /// The trace ran longer than the configured wall-clock budget.
+    DeadlineExceeded {
+        /// The configured wall-clock budget.
+        budget: Duration,
+    },
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::MissingLoopDelta { loop_name } => {
+                write!(f, "lowered loop {loop_name:?} has no per-step address delta")
+            }
+            TraceError::LineBudgetExceeded { limit } => {
+                write!(f, "trace exceeded its line budget of {limit}")
+            }
+            TraceError::DeadlineExceeded { budget } => {
+                write!(f, "trace exceeded its wall-clock budget of {budget:?}")
+            }
+        }
+    }
+}
+
+impl Error for TraceError {}
+
+/// Error produced while executing a lowered nest in compute mode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// Lowering the reference (program-order) schedule failed.
+    Sched(SchedError),
+    /// A subscript evaluated outside its array at some iteration point.
+    /// Nests validated by `NestBuilder::build` cannot trigger this; a
+    /// hand-assembled or corrupted nest can.
+    OutOfBounds {
+        /// Index of the accessed array.
+        array: usize,
+        /// The iteration point at which the access went out of bounds.
+        point: Vec<i64>,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Sched(e) => write!(f, "reference lowering failed: {e}"),
+            ExecError::OutOfBounds { array, point } => {
+                write!(f, "access to array {array} is out of bounds at point {point:?}")
+            }
+        }
+    }
+}
+
+impl Error for ExecError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ExecError::Sched(e) => Some(e),
+            ExecError::OutOfBounds { .. } => None,
+        }
+    }
+}
+
+impl From<SchedError> for ExecError {
+    fn from(e: SchedError) -> Self {
+        ExecError::Sched(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TraceError::LineBudgetExceeded { limit: 10 };
+        assert!(e.to_string().contains("10"));
+        let e = TraceError::DeadlineExceeded { budget: Duration::from_millis(5) };
+        assert!(e.to_string().contains("5ms"));
+        let e = ExecError::OutOfBounds { array: 2, point: vec![1, 9] };
+        assert!(e.to_string().contains("array 2"));
+    }
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<TraceError>();
+        assert_traits::<ExecError>();
+    }
+}

@@ -1,7 +1,8 @@
 //! Compute-mode interpreter.
 
 use crate::buffers::Buffers;
-use palo_ir::{BinOp, DType, Expr, LoopNest, Statement, UnOp};
+use crate::error::ExecError;
+use palo_ir::{BinOp, Expr, LoopNest, Statement, UnOp};
 use palo_sched::{LoweredNest, Schedule};
 
 /// Executes `lowered` (a scheduled version of `nest`) over `bufs`.
@@ -9,48 +10,67 @@ use palo_sched::{LoweredNest, Schedule};
 /// Parallel loops are executed sequentially — a legal schedule's parallel
 /// loops carry no loop-carried dependence on distinct output elements, so
 /// the values are identical.
-pub fn run(nest: &LoopNest, lowered: &LoweredNest, bufs: &mut Buffers) {
+///
+/// # Errors
+///
+/// Returns [`ExecError::OutOfBounds`] when a subscript leaves its array —
+/// impossible for nests validated by `NestBuilder::build`, but a
+/// hand-assembled nest can trigger it.
+pub fn run(nest: &LoopNest, lowered: &LoweredNest, bufs: &mut Buffers) -> Result<(), ExecError> {
     let stmt = nest.statement();
     let strides: Vec<Vec<usize>> = nest.arrays().iter().map(|a| a.strides()).collect();
-    let dtype = nest.dtype();
-    lowered.for_each_point(|point| {
-        exec_stmt(stmt, dtype, point, &strides, bufs);
-    });
+    lowered.try_for_each_point(|point| exec_stmt(stmt, point, &strides, bufs))
 }
 
 /// Executes `nest` in program order (the reference semantics).
-pub fn run_reference(nest: &LoopNest, bufs: &mut Buffers) {
-    let lowered = Schedule::new().lower(nest).expect("empty schedule always lowers");
-    run(nest, &lowered, bufs);
+///
+/// # Errors
+///
+/// Propagates [`run`]'s errors, plus [`ExecError::Sched`] should the
+/// empty schedule fail to lower (it cannot for a validated nest).
+pub fn run_reference(nest: &LoopNest, bufs: &mut Buffers) -> Result<(), ExecError> {
+    let lowered = Schedule::new().lower(nest)?;
+    run(nest, &lowered, bufs)
 }
 
 fn exec_stmt(
     stmt: &Statement,
-    dtype: DType,
     point: &[i64],
     strides: &[Vec<usize>],
     bufs: &mut Buffers,
-) {
-    let value = eval(&stmt.rhs, dtype, point, strides, bufs);
+) -> Result<(), ExecError> {
+    let value = eval(&stmt.rhs, point, strides, bufs)?;
     let out = &stmt.output;
     let off = out
         .linear_offset(point, &strides[out.array.index()])
-        .expect("validated nest has in-bounds subscripts");
+        .ok_or_else(|| ExecError::OutOfBounds {
+            array: out.array.index(),
+            point: point.to_vec(),
+        })?;
     bufs.raw()[out.array.index()][off] = value;
+    Ok(())
 }
 
-fn eval(e: &Expr, dtype: DType, point: &[i64], strides: &[Vec<usize>], bufs: &Buffers) -> f64 {
-    match e {
+fn eval(
+    e: &Expr,
+    point: &[i64],
+    strides: &[Vec<usize>],
+    bufs: &Buffers,
+) -> Result<f64, ExecError> {
+    Ok(match e {
         Expr::Load(a) => {
             let off = a
                 .linear_offset(point, &strides[a.array.index()])
-                .expect("validated nest has in-bounds subscripts");
+                .ok_or_else(|| ExecError::OutOfBounds {
+                    array: a.array.index(),
+                    point: point.to_vec(),
+                })?;
             bufs.array(a.array)[off]
         }
         Expr::Const(c) => *c,
         Expr::Bin(op, l, r) => {
-            let lv = eval(l, dtype, point, strides, bufs);
-            let rv = eval(r, dtype, point, strides, bufs);
+            let lv = eval(l, point, strides, bufs)?;
+            let rv = eval(r, point, strides, bufs)?;
             match op {
                 BinOp::Add => lv + rv,
                 BinOp::Sub => lv - rv,
@@ -61,7 +81,7 @@ fn eval(e: &Expr, dtype: DType, point: &[i64], strides: &[Vec<usize>], bufs: &Bu
             }
         }
         Expr::Un(op, inner) => {
-            let v = eval(inner, dtype, point, strides, bufs);
+            let v = eval(inner, point, strides, bufs)?;
             match op {
                 UnOp::Neg => -v,
                 UnOp::Abs => v.abs(),
@@ -74,7 +94,7 @@ fn eval(e: &Expr, dtype: DType, point: &[i64], strides: &[Vec<usize>], bufs: &Bu
                 0.0
             }
         }
-    }
+    })
 }
 
 #[cfg(test)]
@@ -102,7 +122,7 @@ mod tests {
         let a: Vec<f64> = bufs.array(ArrayId(0)).to_vec();
         let b: Vec<f64> = bufs.array(ArrayId(1)).to_vec();
         let c0: Vec<f64> = bufs.array(ArrayId(2)).to_vec();
-        run_reference(&nest, &mut bufs);
+        run_reference(&nest, &mut bufs).unwrap();
         for i in 0..4 {
             for j in 0..4 {
                 let mut expect = c0[i * 4 + j];
@@ -126,8 +146,8 @@ mod tests {
 
         let mut reference = Buffers::for_nest(&nest, 7);
         let mut scheduled = reference.clone();
-        run_reference(&nest, &mut reference);
-        run(&nest, &lowered, &mut scheduled);
+        run_reference(&nest, &mut reference).unwrap();
+        run(&nest, &lowered, &mut scheduled).unwrap();
         assert_eq!(reference, scheduled);
     }
 
@@ -147,7 +167,7 @@ mod tests {
         for v in bufs.array_mut(ArrayId(0)) {
             *v = 1.0;
         }
-        run_reference(&nest, &mut bufs);
+        run_reference(&nest, &mut bufs).unwrap();
         assert_eq!(bufs.array(ArrayId(1)), &[4.0, 3.0, 2.0, 1.0]);
     }
 
@@ -169,7 +189,7 @@ mod tests {
         let mut bufs = Buffers::zeroed(&nest);
         bufs.array_mut(ArrayId(0)).copy_from_slice(&[3.0, 1.0, 5.0]);
         bufs.array_mut(ArrayId(1)).copy_from_slice(&[2.0, 4.0, 5.0]);
-        run_reference(&nest, &mut bufs);
+        run_reference(&nest, &mut bufs).unwrap();
         assert_eq!(bufs.array(ArrayId(2)), &[2.0, 4.0, 5.0]);
     }
 
@@ -184,9 +204,9 @@ mod tests {
         b.store(out, &[i], rhs);
         let nest = b.build().unwrap();
         let mut bufs = Buffers::zeroed(&nest);
-        bufs.array_mut(ArrayId(0)).copy_from_slice(&[0b1100 as i32 as f64, 7.0, 5.0, 15.0]);
-        bufs.array_mut(ArrayId(1)).copy_from_slice(&[0b1010 as i32 as f64, 3.0, 4.0, 8.0]);
-        run_reference(&nest, &mut bufs);
+        bufs.array_mut(ArrayId(0)).copy_from_slice(&[0b1100_i32 as f64, 7.0, 5.0, 15.0]);
+        bufs.array_mut(ArrayId(1)).copy_from_slice(&[0b1010_i32 as f64, 3.0, 4.0, 8.0]);
+        run_reference(&nest, &mut bufs).unwrap();
         assert_eq!(bufs.array(ArrayId(2)), &[8.0, 3.0, 4.0, 8.0]);
     }
 }

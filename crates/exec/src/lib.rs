@@ -35,17 +35,21 @@
 //! let nest = b.build()?;
 //!
 //! let lowered = Schedule::new().lower(&nest)?;
-//! let est = estimate_time(&nest, &lowered, &presets::intel_i7_6700());
+//! let est = estimate_time(&nest, &lowered, &presets::intel_i7_6700())?;
 //! assert!(est.ms > 0.0);
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod buffers;
+mod error;
 mod interp;
 mod timing;
 mod trace;
 
 pub use buffers::Buffers;
+pub use error::{ExecError, TraceError};
 pub use interp::{run, run_reference};
 pub use timing::{estimate_time, estimate_time_with, TimeEstimate};
 pub use trace::{trace_into, TraceOptions};

@@ -1,5 +1,6 @@
 //! Converting a traced schedule into estimated execution time.
 
+use crate::error::TraceError;
 use crate::trace::{trace_into, TraceOptions};
 use palo_arch::Architecture;
 use palo_cachesim::{Hierarchy, HierarchyStats};
@@ -41,17 +42,30 @@ impl TimeEstimate {
 /// (`Liway / Nthreads`, `L2way / Ncores` for chip-shared levels), and the
 /// total time divides by the achievable chunked speedup
 /// `trip / ceil(trip / cores)` of the parallel loop (Eq. 13's concern).
-pub fn estimate_time(nest: &LoopNest, lowered: &LoweredNest, arch: &Architecture) -> TimeEstimate {
+///
+/// # Errors
+///
+/// Propagates [`TraceError`] from the trace walk (budget, deadline, or an
+/// internally inconsistent lowered nest).
+pub fn estimate_time(
+    nest: &LoopNest,
+    lowered: &LoweredNest,
+    arch: &Architecture,
+) -> Result<TimeEstimate, TraceError> {
     estimate_time_with(nest, lowered, arch, &TraceOptions::default())
 }
 
 /// [`estimate_time`] with explicit trace options.
+///
+/// # Errors
+///
+/// Propagates [`TraceError`] from the trace walk.
 pub fn estimate_time_with(
     nest: &LoopNest,
     lowered: &LoweredNest,
     arch: &Architecture,
     opts: &TraceOptions,
-) -> TimeEstimate {
+) -> Result<TimeEstimate, TraceError> {
     let par_trip = lowered.parallel_loop().map(|i| lowered.loops()[i].trip).unwrap_or(1);
     let (tpc_used, cores_used, speedup) = if par_trip > 1 {
         let threads = par_trip.min(arch.total_threads());
@@ -64,7 +78,7 @@ pub fn estimate_time_with(
     };
 
     let mut hier = Hierarchy::with_effective_sharing(arch, tpc_used, cores_used);
-    trace_into(nest, lowered, &mut hier, opts);
+    trace_into(nest, lowered, &mut hier, opts)?;
     let stats = hier.stats().clone();
     // Hits expose only a fraction of their latency on pipelined cores;
     // demand misses to memory stall for the full latency.
@@ -80,14 +94,14 @@ pub fn estimate_time_with(
     // Roofline-style combination: per-thread work scales with the
     // parallel speedup, the shared memory bus does not.
     let total = ((memory_cycles + compute_cycles) / speedup).max(bus_cycles);
-    TimeEstimate {
+    Ok(TimeEstimate {
         ms: arch.timing.cycles_to_ms(total),
         memory_cycles,
         bus_cycles,
         compute_cycles,
         speedup,
         stats,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -131,8 +145,8 @@ mod tests {
         let mut s = Schedule::new();
         s.reorder(&["i", "k", "j"]).parallel("i").vectorize("j", 8);
         let par = s.lower(&nest).unwrap();
-        let t_serial = estimate_time(&nest, &serial, &arch);
-        let t_par = estimate_time(&nest, &par, &arch);
+        let t_serial = estimate_time(&nest, &serial, &arch).unwrap();
+        let t_par = estimate_time(&nest, &par, &arch).unwrap();
         assert!(t_par.ms < t_serial.ms, "par {} vs serial {}", t_par.ms, t_serial.ms);
         assert!(t_par.speedup > 1.0);
         assert!(t_par.relative_throughput(&t_serial) > 1.0);
@@ -144,7 +158,7 @@ mod tests {
         let arch = presets::intel_i7_6700();
         let mut s = Schedule::new();
         s.parallel("i").vectorize("j", 8);
-        let t = estimate_time(&nest, &s.lower(&nest).unwrap(), &arch);
+        let t = estimate_time(&nest, &s.lower(&nest).unwrap(), &arch).unwrap();
         // Parallel streaming: total time is bounded below by bus cycles.
         assert!(t.ms >= arch.timing.cycles_to_ms(t.bus_cycles) - 1e-12);
     }
@@ -157,8 +171,8 @@ mod tests {
         let mut s = Schedule::new();
         s.vectorize("j", 8);
         let vec = s.lower(&nest).unwrap();
-        let t0 = estimate_time(&nest, &plain, &arch);
-        let t1 = estimate_time(&nest, &vec, &arch);
+        let t0 = estimate_time(&nest, &plain, &arch).unwrap();
+        let t1 = estimate_time(&nest, &vec, &arch).unwrap();
         assert!((t1.compute_cycles - t0.compute_cycles / 8.0).abs() < 1e-6);
     }
 
@@ -170,8 +184,8 @@ mod tests {
         let mut s = Schedule::new();
         s.store_nt();
         let nt = s.lower(&nest).unwrap();
-        let t0 = estimate_time(&nest, &plain, &arch);
-        let t1 = estimate_time(&nest, &nt, &arch);
+        let t0 = estimate_time(&nest, &plain, &arch).unwrap();
+        let t1 = estimate_time(&nest, &nt, &arch).unwrap();
         // NT stores avoid the read-for-ownership of the destination.
         assert!(
             t1.stats.mem_demand_fills + t1.stats.mem_prefetch_fills
@@ -184,7 +198,7 @@ mod tests {
     fn serial_speedup_is_one() {
         let nest = copy_nest(32);
         let arch = presets::arm_cortex_a15();
-        let t = estimate_time(&nest, &Schedule::new().lower(&nest).unwrap(), &arch);
+        let t = estimate_time(&nest, &Schedule::new().lower(&nest).unwrap(), &arch).unwrap();
         assert_eq!(t.speedup, 1.0);
         assert!(t.ms > 0.0);
     }

@@ -6,20 +6,29 @@
 //! of multi-hundred-megabyte iteration spaces tractable while preserving
 //! the per-line demand/prefetch behaviour the paper's analysis is about.
 
+use crate::error::TraceError;
 use palo_cachesim::{AccessKind, Hierarchy};
 use palo_ir::{Access, LoopNest};
 use palo_sched::LoweredNest;
+use std::time::{Duration, Instant};
 
 /// Options for a trace run.
 #[derive(Debug, Clone, Copy)]
 pub struct TraceOptions {
     /// Flush caches and stream tables before tracing (cold start).
     pub flush_first: bool,
+    /// Abort with [`TraceError::LineBudgetExceeded`] once the trace has
+    /// issued this many line accesses (`None` = unlimited).
+    pub max_lines: Option<u64>,
+    /// Abort with [`TraceError::DeadlineExceeded`] once the trace has run
+    /// for this long (`None` = unlimited). Checked coarsely (every few
+    /// thousand walk steps), so overrun is bounded but not zero.
+    pub deadline: Option<Duration>,
 }
 
 impl Default for TraceOptions {
     fn default() -> Self {
-        TraceOptions { flush_first: true }
+        TraceOptions { flush_first: true, max_lines: None, deadline: None }
     }
 }
 
@@ -41,7 +50,21 @@ struct Walker<'a> {
     accesses: Vec<TraceAccess>,
     dts: i64,
     line: i64,
+    /// Absolute `total_accesses` threshold (entry count + budget).
+    line_limit: Option<u64>,
+    /// The configured budget, for the error report.
+    max_lines: u64,
+    /// Absolute wall-clock cutoff.
+    deadline_at: Option<Instant>,
+    /// The configured wall-clock budget, for the error report.
+    deadline_budget: Duration,
+    /// Walk steps since the last deadline probe (clock reads are
+    /// expensive relative to a walk step).
+    steps_since_check: u32,
 }
+
+/// How many walk steps pass between wall-clock probes.
+const DEADLINE_CHECK_INTERVAL: u32 = 4096;
 
 /// Streams every memory reference of `lowered` (a schedule of `nest`)
 /// into `hier`.
@@ -49,12 +72,20 @@ struct Walker<'a> {
 /// Array base addresses are assigned sequentially, page-aligned, with one
 /// guard page between arrays, mirroring what a real allocator does for
 /// large arrays.
+///
+/// # Errors
+///
+/// Returns [`TraceError::LineBudgetExceeded`] / [`TraceError::DeadlineExceeded`]
+/// when the corresponding [`TraceOptions`] guard trips (statistics
+/// accumulated up to that point remain in `hier`), and
+/// [`TraceError::MissingLoopDelta`] when the lowered nest is internally
+/// inconsistent.
 pub fn trace_into(
     nest: &LoopNest,
     lowered: &LoweredNest,
     hier: &mut Hierarchy,
     opts: &TraceOptions,
-) {
+) -> Result<(), TraceError> {
     if opts.flush_first {
         hier.flush();
     }
@@ -109,11 +140,43 @@ pub fn trace_into(
         accesses,
         dts,
         line: hier.line_size() as i64,
+        line_limit: opts.max_lines.map(|m| hier.stats().total_accesses.saturating_add(m)),
+        max_lines: opts.max_lines.unwrap_or(u64::MAX),
+        deadline_at: opts.deadline.map(|d| Instant::now() + d),
+        deadline_budget: opts.deadline.unwrap_or(Duration::ZERO),
+        steps_since_check: 0,
     };
-    walker.walk(0, hier);
+    walker.walk(0, hier)
 }
 
 impl Walker<'_> {
+    /// Trips the line-budget and wall-clock guards. Called once per walk
+    /// step; the clock is only read every [`DEADLINE_CHECK_INTERVAL`]
+    /// steps.
+    fn check_guards(&mut self, hier: &Hierarchy) -> Result<(), TraceError> {
+        if let Some(limit) = self.line_limit {
+            if hier.stats().total_accesses >= limit {
+                return Err(TraceError::LineBudgetExceeded { limit: self.max_lines });
+            }
+        }
+        if let Some(at) = self.deadline_at {
+            // Probe the clock on the very first step (so an
+            // already-expired deadline aborts immediately even for tiny
+            // traces), then once per interval.
+            if self.steps_since_check == 0 && Instant::now() >= at {
+                return Err(TraceError::DeadlineExceeded { budget: self.deadline_budget });
+            }
+            self.steps_since_check += 1;
+            if self.steps_since_check >= DEADLINE_CHECK_INTERVAL {
+                self.steps_since_check = 0;
+            }
+        }
+        Ok(())
+    }
+
+    fn missing_delta(&self, d: usize) -> TraceError {
+        TraceError::MissingLoopDelta { loop_name: self.loops[d].name.clone() }
+    }
     /// In-bounds steps of loop `d` (which must be simple) from the current
     /// variable values.
     fn simple_steps(&self, d: usize) -> (usize, usize, i64) {
@@ -132,12 +195,13 @@ impl Walker<'_> {
         (steps, v, stride)
     }
 
-    fn walk(&mut self, d: usize, hier: &mut Hierarchy) {
+    fn walk(&mut self, d: usize, hier: &mut Hierarchy) -> Result<(), TraceError> {
+        self.check_guards(hier)?;
         if d == self.loops.len() {
             for a in &self.accesses {
                 hier.access_range(a.addr as u64, self.dts as u64, a.kind);
             }
-            return;
+            return Ok(());
         }
         let l = &self.loops[d];
         let simple = l.contribs.len() == 1 && l.contribs[0].divisor == 1;
@@ -146,20 +210,25 @@ impl Walker<'_> {
         if simple {
             let (steps, v, stride) = self.simple_steps(d);
             if innermost {
-                self.issue_innermost(d, steps, hier);
-                return;
+                return self.issue_innermost(d, steps, hier);
             }
             for _ in 0..steps {
-                self.walk(d + 1, hier);
+                self.walk(d + 1, hier)?;
                 self.values[v] += stride;
-                for a in &mut self.accesses {
-                    a.addr += a.loop_deltas[d].expect("simple loop has delta");
+                for ai in 0..self.accesses.len() {
+                    match self.accesses[ai].loop_deltas[d] {
+                        Some(delta) => self.accesses[ai].addr += delta,
+                        None => return Err(self.missing_delta(d)),
+                    }
                 }
             }
             // restore
             self.values[v] -= stride * steps as i64;
-            for a in &mut self.accesses {
-                a.addr -= a.loop_deltas[d].expect("simple loop has delta") * steps as i64;
+            for ai in 0..self.accesses.len() {
+                match self.accesses[ai].loop_deltas[d] {
+                    Some(delta) => self.accesses[ai].addr -= delta * steps as i64,
+                    None => return Err(self.missing_delta(d)),
+                }
             }
         } else {
             // Fused loop: recompute contributions per iteration.
@@ -188,7 +257,7 @@ impl Walker<'_> {
                 for (ai, a) in self.accesses.iter_mut().enumerate() {
                     a.addr += addr_deltas[ai];
                 }
-                self.walk(d + 1, hier);
+                self.walk(d + 1, hier)?;
                 for &(v, dv) in &val_deltas {
                     self.values[v] -= dv;
                 }
@@ -197,17 +266,27 @@ impl Walker<'_> {
                 }
             }
         }
+        Ok(())
     }
 
     /// Issues the accesses of the innermost (simple) loop with `steps`
     /// in-bounds iterations, batching contiguous runs.
-    fn issue_innermost(&mut self, d: usize, steps: usize, hier: &mut Hierarchy) {
+    fn issue_innermost(
+        &mut self,
+        d: usize,
+        steps: usize,
+        hier: &mut Hierarchy,
+    ) -> Result<(), TraceError> {
         if steps == 0 {
-            return;
+            return Ok(());
         }
         let n = steps as i64;
-        for a in &self.accesses {
-            let delta = a.loop_deltas[d].expect("simple loop has delta");
+        for ai in 0..self.accesses.len() {
+            self.check_guards(hier)?;
+            let a = &self.accesses[ai];
+            let Some(delta) = a.loop_deltas[d] else {
+                return Err(self.missing_delta(d));
+            };
             if delta == 0 {
                 hier.access_range(a.addr as u64, self.dts as u64, a.kind);
             } else if delta > 0 && delta <= self.line {
@@ -218,13 +297,17 @@ impl Walker<'_> {
                 let span = (n - 1) * (-delta) + self.dts;
                 hier.access_range(start as u64, span as u64, a.kind);
             } else {
-                let mut addr = a.addr;
-                for _ in 0..steps {
-                    hier.access_range(addr as u64, self.dts as u64, a.kind);
+                let (mut addr, dts, kind) = (a.addr, self.dts, a.kind);
+                for step in 0..steps {
+                    if step % DEADLINE_CHECK_INTERVAL as usize == 0 {
+                        self.check_guards(hier)?;
+                    }
+                    hier.access_range(addr as u64, dts as u64, kind);
                     addr += delta;
                 }
             }
         }
+        Ok(())
     }
 }
 
@@ -264,7 +347,7 @@ mod tests {
         let nest = copy_nest(n);
         let lowered = Schedule::new().lower(&nest).unwrap();
         let mut hier = Hierarchy::from_architecture(&presets::intel_i7_6700());
-        trace_into(&nest, &lowered, &mut hier, &TraceOptions::default());
+        trace_into(&nest, &lowered, &mut hier, &TraceOptions::default()).unwrap();
         // 4096 lines read + 4096 lines written
         assert_eq!(hier.stats().total_accesses, 8192);
     }
@@ -276,7 +359,7 @@ mod tests {
         s.store_nt();
         let lowered = s.lower(&nest).unwrap();
         let mut hier = Hierarchy::from_architecture(&presets::intel_i7_6700());
-        trace_into(&nest, &lowered, &mut hier, &TraceOptions::default());
+        trace_into(&nest, &lowered, &mut hier, &TraceOptions::default()).unwrap();
         assert_eq!(hier.stats().nt_store_lines, 64 * 64 * 4 / 64);
     }
 
@@ -290,7 +373,7 @@ mod tests {
         let nest = matmul(n);
         let lowered = Schedule::new().lower(&nest).unwrap();
         let mut hier = Hierarchy::from_architecture(&presets::intel_i7_6700());
-        trace_into(&nest, &lowered, &mut hier, &TraceOptions::default());
+        trace_into(&nest, &lowered, &mut hier, &TraceOptions::default()).unwrap();
         let lines_per_row = n / 16;
         let expected = (n * n) as u64 * (2 + lines_per_row + n) as u64;
         assert_eq!(hier.stats().total_accesses, expected);
@@ -309,9 +392,9 @@ mod tests {
 
         let arch = presets::intel_i7_6700();
         let mut h1 = Hierarchy::from_architecture(&arch);
-        trace_into(&nest, &naive, &mut h1, &TraceOptions::default());
+        trace_into(&nest, &naive, &mut h1, &TraceOptions::default()).unwrap();
         let mut h2 = Hierarchy::from_architecture(&arch);
-        trace_into(&nest, &tiled, &mut h2, &TraceOptions::default());
+        trace_into(&nest, &tiled, &mut h2, &TraceOptions::default()).unwrap();
 
         // Both compute the same work; both should touch far fewer memory
         // lines than total accesses, and miss counts must be positive.
@@ -326,13 +409,13 @@ mod tests {
         s.split("j", "jj", "jt", 16);
         let lowered = s.lower(&nest).unwrap();
         let mut hier = Hierarchy::from_architecture(&presets::intel_i7_6700());
-        trace_into(&nest, &lowered, &mut hier, &TraceOptions::default());
+        trace_into(&nest, &lowered, &mut hier, &TraceOptions::default()).unwrap();
         // 50*50 elements * 4B = 10000 B per array; rows of 50*4=200B are
         // not line aligned, so count lines via the walk: just require that
         // the total equals the unguarded program-order walk.
         let plain = Schedule::new().lower(&nest).unwrap();
         let mut h2 = Hierarchy::from_architecture(&presets::intel_i7_6700());
-        trace_into(&nest, &plain, &mut h2, &TraceOptions::default());
+        trace_into(&nest, &plain, &mut h2, &TraceOptions::default()).unwrap();
         // Tiled-with-tail touches each line at least once; totals may
         // differ (batch boundaries) but memory traffic must match to
         // within the per-row rounding.
@@ -355,9 +438,65 @@ mod tests {
         let nest = b.build().unwrap();
         let lowered = Schedule::new().lower(&nest).unwrap();
         let mut hier = Hierarchy::from_architecture(&presets::intel_i7_6700());
-        trace_into(&nest, &lowered, &mut hier, &TraceOptions::default());
+        trace_into(&nest, &lowered, &mut hier, &TraceOptions::default()).unwrap();
         // 64 f32 = 4 lines for A (batched descending) + 4 for out.
         assert_eq!(hier.stats().total_accesses, 8);
+    }
+
+    #[test]
+    fn line_budget_aborts_and_reports_limit() {
+        let nest = copy_nest(256);
+        let lowered = Schedule::new().lower(&nest).unwrap();
+        let mut hier = Hierarchy::from_architecture(&presets::intel_i7_6700());
+        let opts = TraceOptions { max_lines: Some(100), ..TraceOptions::default() };
+        let err = trace_into(&nest, &lowered, &mut hier, &opts).unwrap_err();
+        assert_eq!(err, TraceError::LineBudgetExceeded { limit: 100 });
+        // The guard trips between walk steps, so a small batch overshoot
+        // is allowed — but the trace must stop near the budget, far from
+        // the 8192 lines of the full walk.
+        assert!(hier.stats().total_accesses >= 100);
+        assert!(hier.stats().total_accesses < 200);
+    }
+
+    #[test]
+    fn zero_line_budget_aborts_immediately() {
+        let nest = copy_nest(64);
+        let lowered = Schedule::new().lower(&nest).unwrap();
+        let mut hier = Hierarchy::from_architecture(&presets::intel_i7_6700());
+        let opts = TraceOptions { max_lines: Some(0), ..TraceOptions::default() };
+        let err = trace_into(&nest, &lowered, &mut hier, &opts).unwrap_err();
+        assert_eq!(err, TraceError::LineBudgetExceeded { limit: 0 });
+        assert_eq!(hier.stats().total_accesses, 0);
+    }
+
+    #[test]
+    fn zero_deadline_aborts_with_deadline_error() {
+        // A zero budget expires before the first probe, so the trace must
+        // abort within one probe interval rather than walk 256^2 points.
+        let nest = copy_nest(256);
+        let lowered = Schedule::new().lower(&nest).unwrap();
+        let mut hier = Hierarchy::from_architecture(&presets::intel_i7_6700());
+        let opts = TraceOptions { deadline: Some(Duration::ZERO), ..TraceOptions::default() };
+        let err = trace_into(&nest, &lowered, &mut hier, &opts).unwrap_err();
+        assert_eq!(err, TraceError::DeadlineExceeded { budget: Duration::ZERO });
+    }
+
+    #[test]
+    fn generous_guards_do_not_change_results() {
+        let nest = copy_nest(64);
+        let lowered = Schedule::new().lower(&nest).unwrap();
+        let arch = presets::intel_i7_6700();
+        let mut h1 = Hierarchy::from_architecture(&arch);
+        trace_into(&nest, &lowered, &mut h1, &TraceOptions::default()).unwrap();
+        let mut h2 = Hierarchy::from_architecture(&arch);
+        let opts = TraceOptions {
+            max_lines: Some(u64::MAX),
+            deadline: Some(Duration::from_secs(3600)),
+            ..TraceOptions::default()
+        };
+        trace_into(&nest, &lowered, &mut h2, &opts).unwrap();
+        assert_eq!(h1.stats().total_accesses, h2.stats().total_accesses);
+        assert_eq!(h1.stats().mem_demand_fills, h2.stats().mem_demand_fills);
     }
 
     #[test]
@@ -374,8 +513,8 @@ mod tests {
         let arch = presets::intel_i7_6700();
         let mut h1 = Hierarchy::from_architecture(&arch);
         let mut h2 = Hierarchy::from_architecture(&arch);
-        trace_into(&nest, &l1, &mut h1, &TraceOptions::default());
-        trace_into(&nest, &l2, &mut h2, &TraceOptions::default());
+        trace_into(&nest, &l1, &mut h1, &TraceOptions::default()).unwrap();
+        trace_into(&nest, &l2, &mut h2, &TraceOptions::default()).unwrap();
         assert_eq!(h1.stats().total_accesses, h2.stats().total_accesses);
         assert_eq!(h1.stats().mem_demand_fills, h2.stats().mem_demand_fills);
     }

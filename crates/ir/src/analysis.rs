@@ -92,13 +92,13 @@ impl NestInfo {
     /// Whether any input access indexes with a variable set different from
     /// the output's — the paper's trigger for the temporal optimizer.
     pub fn has_temporal_reuse(&self) -> bool {
-        self.input_patterns.iter().any(|p| *p == AccessPattern::DifferentIndices)
+        self.input_patterns.contains(&AccessPattern::DifferentIndices)
     }
 
     /// Whether any input access appears transposed relative to the output
     /// — the paper's trigger for the spatial optimizer.
     pub fn has_transposed_input(&self) -> bool {
-        self.input_patterns.iter().any(|p| *p == AccessPattern::Transposed)
+        self.input_patterns.contains(&AccessPattern::Transposed)
     }
 }
 

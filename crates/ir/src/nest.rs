@@ -144,7 +144,7 @@ impl LoopNest {
             }
         }
         for a in &self.arrays {
-            if a.dims.iter().any(|&d| d == 0) {
+            if a.dims.contains(&0) {
                 return Err(IrError::EmptyArray { array: a.name.clone() });
             }
         }
@@ -233,7 +233,7 @@ mod tests {
         let out = b.array("out", &[8]);
         let ix = AffineIndex::var(x) + AffineIndex::var(rx);
         let ld = Expr::Load(Access::new(input, vec![ix]));
-        b.store_expr(out, vec![AffineIndex::var(x).into()], ld + b.load(out, &[x]));
+        b.store_expr(out, vec![AffineIndex::var(x)], ld + b.load(out, &[x]));
         match b.build() {
             Err(IrError::OutOfBounds { array, .. }) => assert_eq!(array, "in"),
             other => panic!("unexpected {other:?}"),

@@ -124,6 +124,32 @@ impl Schedule {
     pub fn uses_nt_stores(&self) -> bool {
         self.directives.iter().any(|d| matches!(d, Directive::StoreNt))
     }
+
+    /// A copy with every execution hint removed — `vectorize`,
+    /// `parallel`, and `store_nt` are dropped, while the loop-structure
+    /// directives (`split`, `reorder`, `fuse`) are kept.
+    ///
+    /// This is the first fallback rung of a degradation ladder: the hint
+    /// directives affect how iterations execute but never which points
+    /// are visited, so stripping them preserves semantics while removing
+    /// the most failure-prone part of a proposed schedule.
+    pub fn without_execution_hints(&self) -> Schedule {
+        Schedule {
+            directives: self
+                .directives
+                .iter()
+                .filter(|d| {
+                    !matches!(
+                        d,
+                        Directive::Vectorize { .. }
+                            | Directive::Parallel { .. }
+                            | Directive::StoreNt
+                    )
+                })
+                .cloned()
+                .collect(),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -141,5 +167,24 @@ mod tests {
     #[test]
     fn empty_schedule_has_no_nt() {
         assert!(!Schedule::new().uses_nt_stores());
+    }
+
+    #[test]
+    fn without_execution_hints_keeps_structure() {
+        let mut s = Schedule::new();
+        s.split("i", "i_o", "i_i", 32)
+            .reorder(&["i_o", "i_i"])
+            .vectorize("i_i", 8)
+            .parallel("i_o")
+            .store_nt();
+        let stripped = s.without_execution_hints();
+        assert_eq!(stripped.directives().len(), 2);
+        assert!(!stripped.uses_nt_stores());
+        assert!(stripped
+            .directives()
+            .iter()
+            .all(|d| matches!(d, Directive::Split { .. } | Directive::Reorder { .. })));
+        // Already-bare schedules are returned unchanged.
+        assert_eq!(stripped.without_execution_hints(), stripped);
     }
 }

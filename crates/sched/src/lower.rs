@@ -121,18 +121,36 @@ impl LoweredNest {
     /// Intended for tests and small problems; the executor implements its
     /// own walker with per-loop batching.
     pub fn for_each_point(&self, mut f: impl FnMut(&[i64])) {
+        if let Err(e) = self.try_for_each_point::<std::convert::Infallible, _>(|p| {
+            f(p);
+            Ok(())
+        }) {
+            match e {}
+        }
+    }
+
+    /// [`Self::for_each_point`] with a fallible visitor: stops at the
+    /// first error and propagates it.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the visitor returns.
+    pub fn try_for_each_point<E, F: FnMut(&[i64]) -> Result<(), E>>(
+        &self,
+        mut f: F,
+    ) -> Result<(), E> {
         let n = self.loops.len();
         let mut idx = vec![0usize; n];
         let mut point = vec![0i64; self.extents.len()];
         if n == 0 {
             if self.point(&idx, &mut point) {
-                f(&point);
+                f(&point)?;
             }
-            return;
+            return Ok(());
         }
         'outer: loop {
             if self.point(&idx, &mut point) {
-                f(&point);
+                f(&point)?;
             }
             // odometer increment
             let mut d = n;
@@ -148,6 +166,7 @@ impl LoweredNest {
                 idx[d] = 0;
             }
         }
+        Ok(())
     }
 
     /// The innermost loop's vector lanes, or 1 when not vectorized.

@@ -4,12 +4,18 @@ use palo::exec::estimate_time;
 use palo::suite::kernels;
 fn main() {
     let size: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(96);
-    let nest = kernels::doitgen(size).unwrap();
+    let Ok(nest) = kernels::doitgen(size) else { return eprintln!("bad size {size}") };
     let arch = presets::repro::intel_i7_5930k();
     for t in [Technique::Proposed, Technique::Baseline, Technique::AutoScheduler] {
         let s = schedule_for(t, &nest, &arch, 0);
-        let l = s.lower(&nest).unwrap();
-        let e = estimate_time(&nest, &l, &arch);
+        let l = match s.lower(&nest) {
+            Ok(l) => l,
+            Err(e) => { eprintln!("{}: failed to lower: {e}", t.label()); continue }
+        };
+        let e = match estimate_time(&nest, &l, &arch) {
+            Ok(e) => e,
+            Err(e) => { eprintln!("{}: failed to simulate: {e}", t.label()); continue }
+        };
         println!("{:>14}: ms {:.3} mem_cyc {:.2e} comp_cyc {:.2e} speedup {:.1} | L1h {} L2h {} L3h {} memfill {} pf_fill {} wb {}",
             t.label(), e.ms, e.memory_cycles, e.compute_cycles, e.speedup,
             e.stats.levels[0].demand_hits, e.stats.levels[1].demand_hits, e.stats.levels[2].demand_hits,

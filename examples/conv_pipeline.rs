@@ -6,13 +6,14 @@
 //! Run with: `cargo run --release --example conv_pipeline`
 
 use palo::arch::presets;
-use palo::core::Optimizer;
-use palo::exec::{estimate_time, run, run_reference, Buffers};
+use palo::core::{Optimizer, Pipeline};
+use palo::exec::{run, run_reference, Buffers};
 use palo::suite::kernels;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let arch = presets::repro::intel_i7_6700();
     let opt = Optimizer::new(&arch);
+    let pipeline = Pipeline::new(&arch);
 
     // Small instances so the functional check is instant; the estimate
     // afterwards uses the real scaled sizes.
@@ -22,7 +23,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     for (name, small, full) in stages {
-        let decision = opt.optimize(&full);
+        let decision = opt.try_optimize(&full)?;
         println!("== {name} ==");
         println!("class {:?}, tile {:?}", decision.class, decision.tile);
         println!("schedule: {}", decision.schedule());
@@ -30,24 +31,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Functional verification at the small size: the same schedule
         // shape re-derived for the small instance must compute exactly
         // the reference result.
-        let small_decision = opt.optimize(&small);
+        let small_decision = opt.try_optimize(&small)?;
         let lowered = small_decision.schedule().lower(&small)?;
         let mut expect = Buffers::for_nest(&small, 2024);
         let mut got = expect.clone();
-        run_reference(&small, &mut expect);
-        run(&small, &lowered, &mut got);
+        run_reference(&small, &mut expect)?;
+        run(&small, &lowered, &mut got)?;
         assert_eq!(expect, got, "{name}: optimized schedule changed the result");
         println!("functional check: OK (bit-exact vs. reference)");
 
-        // Performance estimate at the full scaled size.
-        let full_lowered = decision.schedule().lower(&full)?;
-        let est = estimate_time(&full, &full_lowered, &arch);
-        println!(
-            "estimated {:.2} ms on {} ({} lines of memory traffic)\n",
-            est.ms,
-            arch.name,
-            est.stats.mem_traffic_lines()
-        );
+        // Performance estimate at the full scaled size, through the
+        // guarded pipeline (degrades instead of failing).
+        let out = pipeline.run_schedule(&full, decision.schedule())?;
+        if out.report.fallback_fired() {
+            println!("note: fell back to the {} schedule", out.report.rung);
+        }
+        match &out.report.estimate {
+            Some(est) => println!(
+                "estimated {:.2} ms on {} ({} lines of memory traffic)\n",
+                est.ms,
+                arch.name,
+                est.stats.mem_traffic_lines()
+            ),
+            None => println!("no estimate: simulation failed\n"),
+        }
     }
     Ok(())
 }

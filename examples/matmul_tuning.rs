@@ -5,7 +5,7 @@
 
 use palo::arch::presets;
 use palo::baselines::{schedule_for, Technique};
-use palo::exec::estimate_time;
+use palo::core::Pipeline;
 use palo::suite::kernels;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -21,12 +21,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     for arch in [presets::repro::intel_i7_5930k(), presets::repro::arm_cortex_a15()] {
         println!("\n=== {} ===", arch.name);
+        let pipeline = Pipeline::new(&arch);
         let mut results = Vec::new();
         for t in techniques {
             let sched = schedule_for(t, &nest, &arch, 42);
-            let lowered = sched.lower(&nest)?;
-            let est = estimate_time(&nest, &lowered, &arch);
-            results.push((t.label(), est.ms, sched.to_string()));
+            let out = pipeline.run_schedule(&nest, &sched)?;
+            if out.report.fallback_fired() {
+                println!("{:>15}: fell back to the {} schedule", t.label(), out.report.rung);
+            }
+            let ms = out.report.estimate.as_ref().map(|e| e.ms).unwrap_or(f64::INFINITY);
+            results.push((t.label(), ms, out.schedule.to_string()));
         }
         let best = results.iter().map(|r| r.1).fold(f64::INFINITY, f64::min);
         results.sort_by(|a, b| a.1.total_cmp(&b.1));

@@ -1,11 +1,11 @@
-//! Quickstart: describe a loop nest, let the optimizer schedule it, and
-//! compare the result against the naive schedule on the simulator.
+//! Quickstart: describe a loop nest, run it through the fault-tolerant
+//! pipeline, and compare the result against the naive schedule on the
+//! simulator.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use palo::arch::presets;
-use palo::core::Optimizer;
-use palo::exec::estimate_time;
+use palo::core::Pipeline;
 use palo::ir::{DType, NestBuilder};
 use palo::sched::Schedule;
 
@@ -24,23 +24,43 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let nest = b.build()?;
     println!("Algorithm:\n{nest}");
 
-    // 2. Pick a target platform (Table 3 presets) and optimize.
+    // 2. Pick a target platform (Table 3 presets) and run the pipeline:
+    //    optimize -> lower -> validate -> simulate. If any stage of the
+    //    proposed schedule fails, the pipeline degrades through stripped
+    //    -> baseline -> naive instead of erroring out.
     let arch = presets::repro::intel_i7_5930k();
-    let decision = Optimizer::new(&arch).optimize(&nest);
-    println!("Classification: {:?}", decision.class);
-    println!("Tile sizes:     {:?}", decision.tile);
-    println!("Schedule:       {}", decision.schedule());
+    let pipeline = Pipeline::new(&arch);
+    let out = pipeline.run(&nest)?;
+    if let Some(decision) = &out.decision {
+        println!("Classification: {:?}", decision.class);
+        println!("Tile sizes:     {:?}", decision.tile);
+    }
+    println!("Schedule ({} rung): {}", out.report.rung, out.schedule);
+    if out.report.fallback_fired() {
+        for f in &out.report.failures {
+            println!("  degraded past {} rung: {}", f.rung, f.error);
+        }
+    }
 
-    // 3. Lower and inspect the concrete loop structure.
-    let optimized = decision.schedule().lower(&nest)?;
-    println!("\nLowered nest:\n{optimized}");
+    // 3. Inspect the concrete loop structure the pipeline lowered.
+    println!("\nLowered nest:\n{}", out.lowered);
 
-    // 4. Measure on the cache simulator vs. the naive program order.
-    let naive = Schedule::new().lower(&nest)?;
-    let t_naive = estimate_time(&nest, &naive, &arch);
-    let t_opt = estimate_time(&nest, &optimized, &arch);
-    println!("naive:     {:8.2} ms  ({} mem lines)", t_naive.ms, t_naive.stats.mem_traffic_lines());
-    println!("optimized: {:8.2} ms  ({} mem lines)", t_opt.ms, t_opt.stats.mem_traffic_lines());
+    // 4. Compare against the naive program order (also via the pipeline).
+    let naive = pipeline.run_schedule(&nest, &Schedule::new())?;
+    let (t_opt, t_naive) = match (&out.report.estimate, &naive.report.estimate) {
+        (Some(o), Some(n)) => (o, n),
+        _ => return Err("simulation produced no estimate".into()),
+    };
+    println!(
+        "naive:     {:8.2} ms  ({} mem lines)",
+        t_naive.ms,
+        t_naive.stats.mem_traffic_lines()
+    );
+    println!(
+        "optimized: {:8.2} ms  ({} mem lines)",
+        t_opt.ms,
+        t_opt.stats.mem_traffic_lines()
+    );
     println!("speedup:   {:.2}x", t_naive.ms / t_opt.ms);
     Ok(())
 }

@@ -14,13 +14,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let nest = kernels::tpm(1024)?;
     let arch = presets::repro::intel_i7_5930k();
 
-    let with_nti = Optimizer::new(&arch).optimize(&nest);
+    let with_nti = Optimizer::new(&arch).try_optimize(&nest)?;
     assert_eq!(with_nti.class, Class::Spatial);
     let without = Optimizer::with_config(
         &arch,
         OptimizerConfig { enable_nti: false, ..OptimizerConfig::default() },
     )
-    .optimize(&nest);
+    .try_optimize(&nest)?;
 
     println!("Kernel:\n{nest}");
     println!("Spatial tile (y, x): {:?}", &with_nti.tile);
@@ -28,8 +28,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let l_nti = with_nti.schedule().lower(&nest)?;
     let l_plain = without.schedule().lower(&nest)?;
-    let t_nti = estimate_time(&nest, &l_nti, &arch);
-    let t_plain = estimate_time(&nest, &l_plain, &arch);
+    let t_nti = estimate_time(&nest, &l_nti, &arch)?;
+    let t_plain = estimate_time(&nest, &l_plain, &arch)?;
 
     println!("\n              est. time   mem lines   NT lines");
     println!(
@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // On ARM (no vector NT stores) the optimizer must not emit the hint.
     let arm = presets::repro::arm_cortex_a15();
-    let arm_decision = Optimizer::new(&arm).optimize(&nest);
+    let arm_decision = Optimizer::new(&arm).try_optimize(&nest)?;
     println!("\nARM Cortex-A15 uses NTI: {}", arm_decision.use_nti);
     Ok(())
 }

@@ -11,8 +11,7 @@
 
 use palo::arch::{presets, Architecture};
 use palo::baselines::{schedule_for, Technique};
-use palo::core::{Optimizer, OptimizerConfig};
-use palo::exec::estimate_time;
+use palo::core::{Optimizer, OptimizerConfig, Pipeline, PipelineConfig};
 use palo::suite::Benchmark;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -117,7 +116,13 @@ fn main() -> ExitCode {
         let (schedule, detail) = match args.technique.as_str() {
             "proposed" => {
                 let config = OptimizerConfig { enable_nti: args.nti, ..OptimizerConfig::default() };
-                let d = Optimizer::with_config(&arch, config).optimize(nest);
+                let d = match Optimizer::with_config(&arch, config).try_optimize(nest) {
+                    Ok(d) => d,
+                    Err(e) => {
+                        eprintln!("optimizer failed: {e}");
+                        return ExitCode::FAILURE;
+                    }
+                };
                 let detail = format!(
                     "class {:?}, tile {:?}, predicted cost {:.3e}",
                     d.class, d.tile, d.predicted_cost
@@ -145,17 +150,29 @@ fn main() -> ExitCode {
         println!("{schedule}");
 
         if args.estimate {
-            match schedule.lower(nest) {
-                Ok(lowered) => {
-                    let est = estimate_time(nest, &lowered, &arch);
-                    println!(
-                        "// estimated {:.3} ms ({} lines of memory traffic, speedup {:.1}x)",
-                        est.ms,
-                        est.stats.mem_traffic_lines(),
-                        est.speedup
-                    );
+            let pipeline = Pipeline::with_config(&arch, PipelineConfig::default());
+            match pipeline.run_schedule(nest, &schedule) {
+                Ok(out) => {
+                    if out.report.fallback_fired() {
+                        eprintln!(
+                            "// schedule unusable, fell back to the {} schedule",
+                            out.report.rung
+                        );
+                    }
+                    for f in &out.report.failures {
+                        eprintln!("//   {} rung: {}", f.rung, f.error);
+                    }
+                    match &out.report.estimate {
+                        Some(est) => println!(
+                            "// estimated {:.3} ms ({} lines of memory traffic, speedup {:.1}x)",
+                            est.ms,
+                            est.stats.mem_traffic_lines(),
+                            est.speedup
+                        ),
+                        None => eprintln!("// no estimate: simulation failed (see above)"),
+                    }
                 }
-                Err(e) => eprintln!("schedule failed to lower: {e}"),
+                Err(e) => eprintln!("pipeline failed: {e}"),
             }
         }
     }

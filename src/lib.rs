@@ -31,10 +31,26 @@
 //!
 //! let nest = kernels::matmul(256)?;
 //! let arch = presets::intel_i7_5930k();
-//! let decision = Optimizer::new(&arch).optimize(&nest);
+//! let decision = Optimizer::new(&arch).try_optimize(&nest)?;
 //! let schedule = decision.schedule();
 //! assert!(!schedule.directives().is_empty());
-//! # Ok::<(), palo::ir::IrError>(())
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! Or run the whole fault-tolerant flow — optimize, lower, validate,
+//! simulate — through [`core::Pipeline`], which degrades to simpler
+//! schedules instead of failing and reports what happened:
+//!
+//! ```
+//! use palo::arch::presets;
+//! use palo::core::{Pipeline, Rung};
+//! use palo::suite::kernels;
+//!
+//! let nest = kernels::matmul(96)?;
+//! let out = Pipeline::new(&presets::intel_i7_5930k()).run(&nest)?;
+//! assert_eq!(out.report.rung, Rung::Proposed); // no degradation needed
+//! assert!(out.report.estimate.is_some());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 pub use palo_arch as arch;

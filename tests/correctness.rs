@@ -29,8 +29,8 @@ fn check(b: Benchmark, technique: Technique, arch: &palo::arch::Architecture) {
             .unwrap_or_else(|e| panic!("{} {}: {e}", b.name(), technique.label()));
         let mut expect = Buffers::for_nest(&nest, 7);
         let mut got = expect.clone();
-        run_reference(&nest, &mut expect);
-        run(&nest, &lowered, &mut got);
+        run_reference(&nest, &mut expect).expect("reference run succeeds");
+        run(&nest, &lowered, &mut got).expect("schedule run succeeds");
         assert_eq!(
             expect,
             got,

@@ -31,7 +31,8 @@ fn optimize_lower_trace_all_benchmarks_all_platforms() {
                     .lower(&nest)
                     .unwrap_or_else(|e| panic!("{} on {}: {e}", b.name(), arch.name));
                 let mut hier = Hierarchy::from_architecture(&arch);
-                trace_into(&nest, &lowered, &mut hier, &TraceOptions::default());
+                trace_into(&nest, &lowered, &mut hier, &TraceOptions::default())
+                    .unwrap_or_else(|e| panic!("{} on {}: {e}", b.name(), arch.name));
                 assert!(
                     hier.stats().total_accesses > 0,
                     "{} on {}: empty trace",

@@ -1,6 +1,9 @@
 //! Property-based tests over the core invariants:
 //!
 //! * any legal schedule of a random nest computes the reference result;
+//! * the fault-tolerant pipeline never panics on arbitrary (often
+//!   illegal) schedules and always degrades to an executable schedule
+//!   that is bit-identical to the naive interpreter;
 //! * Algorithm 1's bound is safe: the emulated footprint it admits never
 //!   conflicts (re-checked against an actual set-mapping replay);
 //! * the cache simulator never hallucinates hits (occupancy bounds) and
@@ -8,6 +11,7 @@
 
 use palo::arch::presets;
 use palo::cachesim::{AccessKind, Hierarchy};
+use palo::core::{Pipeline, PipelineConfig};
 use palo::exec::{run, run_reference, Buffers};
 use palo::ir::{DType, LoopNest, NestBuilder};
 use palo::sched::Schedule;
@@ -49,8 +53,8 @@ proptest! {
 
         let mut expect = Buffers::for_nest(&nest, 3);
         let mut got = expect.clone();
-        run_reference(&nest, &mut expect);
-        run(&nest, &lowered, &mut got);
+        run_reference(&nest, &mut expect).expect("reference run succeeds");
+        run(&nest, &lowered, &mut got).expect("schedule run succeeds");
         prop_assert_eq!(expect, got);
     }
 
@@ -77,8 +81,45 @@ proptest! {
         let lowered = s.lower(&nest).expect("legal schedule");
         let mut expect = Buffers::for_nest(&nest, 5);
         let mut got = expect.clone();
-        run_reference(&nest, &mut expect);
-        run(&nest, &lowered, &mut got);
+        run_reference(&nest, &mut expect).expect("reference run succeeds");
+        run(&nest, &lowered, &mut got).expect("schedule run succeeds");
+        prop_assert_eq!(expect, got);
+    }
+
+    /// Random nests pushed through `Pipeline::run_schedule` with random
+    /// directive soups — unknown loop names, zero split factors, absurd
+    /// vector lane counts, double fusions. The pipeline must never
+    /// panic, must always hand back an executable schedule (degrading as
+    /// far as the naive nest if needed), and the result must stay
+    /// bit-identical to the reference interpreter.
+    #[test]
+    fn pipeline_degrades_arbitrary_schedules_to_executable_ones(
+        ni in 1usize..8, nj in 1usize..8, nk in 1usize..8,
+        ops in proptest::collection::vec((0usize..5, 0usize..4, 0usize..9), 0..6),
+    ) {
+        let nest = matmul_nest(ni, nj, nk);
+        // "z" never names a loop, so many sampled schedules are illegal.
+        let names = ["i", "j", "k", "z"];
+        let mut s = Schedule::new();
+        for &(op, which, amt) in &ops {
+            let v = names[which];
+            match op {
+                0 => { s.split(v, &format!("{v}o"), &format!("{v}i"), amt); }
+                1 => { s.reorder(&[names[(which + 1) % 4], v]); }
+                2 => { s.vectorize(v, amt); }
+                3 => { s.parallel(v); }
+                _ => { s.fuse(v, names[(which + 1) % 4], "f"); }
+            }
+        }
+        let config = PipelineConfig { simulate: false, ..PipelineConfig::default() };
+        let out = Pipeline::with_config(&presets::repro::intel_i7_6700(), config)
+            .run_schedule(&nest, &s)
+            .expect("the ladder always bottoms out at an executable schedule");
+
+        let mut expect = Buffers::for_nest(&nest, 11);
+        let mut got = expect.clone();
+        run_reference(&nest, &mut expect).expect("reference run succeeds");
+        run(&nest, &out.lowered, &mut got).expect("accepted schedule executes");
         prop_assert_eq!(expect, got);
     }
 

@@ -11,7 +11,7 @@ use palo::suite::kernels;
 fn ms(nest: &LoopNest, t: Technique, arch: &palo::arch::Architecture) -> f64 {
     let sched = schedule_for(t, nest, arch, 11);
     let lowered = sched.lower(nest).expect("schedule lowers");
-    estimate_time(nest, &lowered, arch).ms
+    estimate_time(nest, &lowered, arch).expect("simulation succeeds").ms
 }
 
 #[test]
@@ -41,7 +41,7 @@ fn proposed_cuts_doitgen_memory_traffic() {
     let traffic = |t: Technique| {
         let sched = schedule_for(t, &nest, &arch, 11);
         let lowered = sched.lower(&nest).expect("schedule lowers");
-        estimate_time(&nest, &lowered, &arch).stats.mem_traffic_lines()
+        estimate_time(&nest, &lowered, &arch).expect("simulation succeeds").stats.mem_traffic_lines()
     };
     let p = traffic(Technique::Proposed);
     let b = traffic(Technique::Baseline);
@@ -94,7 +94,7 @@ fn parallel_baseline_beats_serial_naive() {
     // a pure copy can legitimately tie (both hit the bandwidth roof).
     let nest = kernels::matmul(128).unwrap();
     let arch = presets::repro::intel_i7_6700();
-    let serial = estimate_time(&nest, &Schedule::new().lower(&nest).unwrap(), &arch).ms;
+    let serial = estimate_time(&nest, &Schedule::new().lower(&nest).unwrap(), &arch).unwrap().ms;
     let b = ms(&nest, Technique::Baseline, &arch);
     assert!(b < serial, "baseline {b} vs serial {serial}");
 }

@@ -1,0 +1,48 @@
+//! Offline trait-only stand-in for `serde`.
+//!
+//! The build container used for this repository has no access to a crates
+//! registry, so the real `serde` cannot be fetched. The workspace only
+//! *derives* `Serialize`/`Deserialize` (there is no serializer in-tree),
+//! so this stub provides:
+//!
+//! * marker traits `Serialize` and `Deserialize<'de>` with blanket impls,
+//!   so `T: Serialize` bounds are always satisfiable;
+//! * re-exported no-op derive macros (feature `derive`), so
+//!   `#[derive(Serialize, Deserialize)]` compiles unchanged.
+//!
+//! Swapping the path dependency back to crates.io `serde = "1"` restores
+//! real serialization with zero source changes.
+
+/// Marker stand-in for `serde::Serialize`. Satisfied by every type.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize<'de>`. Satisfied by every
+/// type.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Point {
+        _x: i32,
+    }
+
+    fn requires_serialize<T: Serialize>(_t: &T) {}
+
+    #[test]
+    fn blanket_impls_satisfy_bounds() {
+        requires_serialize(&Point { _x: 1 });
+        requires_serialize(&vec![1u8, 2, 3]);
+    }
+}

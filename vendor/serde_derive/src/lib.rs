@@ -1,0 +1,24 @@
+//! No-op stand-in for `serde_derive`, used when building offline.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its public data
+//! types for downstream consumers, but nothing in-tree ever serializes a
+//! value (there is no wire format dependency such as `serde_json`). The
+//! stub therefore accepts the derive attribute and expands to nothing;
+//! the trait bounds are satisfied by the blanket impls in the sibling
+//! `serde` stub.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` (including `#[serde(...)]` helper
+/// attributes) and expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` (including `#[serde(...)]` helper
+/// attributes) and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
