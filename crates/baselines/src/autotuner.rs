@@ -17,14 +17,27 @@
 //! Tuning is *fault-tolerant*: each candidate is evaluated with panics
 //! caught ([`palo_core::catch_panic`]) and measurement errors recorded,
 //! so one pathological candidate is skipped instead of aborting the run.
+//!
+//! Candidate *generation* is sequential (it consumes the seeded RNG, so
+//! the candidate list is a pure function of the seed) with the
+//! loop-invariant facts of the space hoisted into one [`CandidateSpace`];
+//! candidate *measurement* — the expensive part, a full trace simulation
+//! each — runs on the [`palo_core::search`] worker pool, merged by
+//! `(estimated ms, candidate index)` so the parallel tuner returns
+//! bit-identically what the sequential first-best rule returned.
 
 use palo_arch::Architecture;
+use palo_core::search::{
+    self, cost_bits, resolve_threads, Candidate, SearchStats,
+};
 use palo_core::{catch_panic, PaloError};
 use palo_exec::estimate_time;
 use palo_ir::LoopNest;
 use palo_sched::Schedule;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// Result of a tuning run.
@@ -40,6 +53,8 @@ pub struct TuneResult {
     pub skipped: usize,
     /// Whether the wall-clock deadline cut the run short.
     pub deadline_hit: bool,
+    /// What the candidate search did (workers, wall time).
+    pub search: SearchStats,
 }
 
 /// The stochastic autotuner.
@@ -53,17 +68,64 @@ pub struct Autotuner {
     /// Optional wall-clock guard: no new candidate starts once this much
     /// time has elapsed (`None` = evaluation budget only).
     pub deadline: Option<Duration>,
+    /// Worker threads for candidate measurement (`None` defers to
+    /// `PALO_SEARCH_THREADS`, then to the machine).
+    pub threads: Option<usize>,
+}
+
+/// The loop-invariant facts of the schedule space, computed once per
+/// tuning run instead of once per candidate.
+struct CandidateSpace<'a> {
+    extents: Vec<usize>,
+    names: Vec<&'a str>,
+    out_vars: Vec<usize>,
+    col: Option<usize>,
+    lanes: usize,
+}
+
+impl<'a> CandidateSpace<'a> {
+    fn of(nest: &'a LoopNest, arch: &Architecture) -> Self {
+        CandidateSpace {
+            extents: nest.extents(),
+            names: nest.vars().iter().map(|v| v.name.as_str()).collect(),
+            out_vars: nest.statement().output.var_order().iter().map(|v| v.index()).collect(),
+            col: nest.column_var().map(|v| v.index()),
+            lanes: arch.vector_lanes(nest.dtype().size_bytes()),
+        }
+    }
+}
+
+/// One measured candidate, ranked by `(est ms, trial index)` — the index
+/// tie-break reproduces the sequential tuner's first-best rule.
+struct TunedCand {
+    est_ms: f64,
+    idx: [usize; 1],
+}
+
+impl Candidate for TunedCand {
+    fn cost_key(&self) -> (u64, u64) {
+        (cost_bits(self.est_ms), 0)
+    }
+    fn tie_key(&self) -> &[usize] {
+        &self.idx
+    }
 }
 
 impl Autotuner {
     /// A tuner with the given evaluation budget and seed, no deadline.
     pub fn new(budget: usize, seed: u64) -> Self {
-        Autotuner { budget, seed, deadline: None }
+        Autotuner { budget, seed, deadline: None, threads: None }
     }
 
     /// Sets the wall-clock deadline.
     pub fn with_deadline(mut self, deadline: Duration) -> Self {
         self.deadline = Some(deadline);
+        self
+    }
+
+    /// Sets the measurement worker count.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads);
         self
     }
 
@@ -77,6 +139,7 @@ impl Autotuner {
             evals: 0,
             skipped: self.budget.max(1),
             deadline_hit: false,
+            search: SearchStats::default(),
         })
     }
 
@@ -93,26 +156,40 @@ impl Autotuner {
     /// when the deadline fired before any evaluation.
     pub fn try_tune(&self, nest: &LoopNest, arch: &Architecture) -> Result<TuneResult, PaloError> {
         let start = Instant::now();
-        let mut rng = StdRng::seed_from_u64(self.seed);
-        let mut best: Option<(f64, Schedule)> = None;
-        let mut evals = 0usize;
-        let mut skipped = 0usize;
-        let mut deadline_hit = false;
-        let mut last_err: Option<PaloError> = None;
+        let space = CandidateSpace::of(nest, arch);
 
-        for trial in 0..self.budget.max(1) {
+        // Generate candidates sequentially: the list is a pure function
+        // of the seed, independent of worker count and deadline.
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let schedules: Vec<Schedule> = (0..self.budget.max(1))
+            .map(|trial| {
+                if trial == 0 {
+                    crate::basic::baseline(nest, arch)
+                } else {
+                    random_candidate(&space, &mut rng)
+                }
+            })
+            .collect();
+
+        // Measure in parallel; each measurement is a full (panic-guarded)
+        // trace simulation. The deadline gates *starting* a measurement,
+        // as in the sequential tuner.
+        let evals = AtomicUsize::new(0);
+        let skipped = AtomicUsize::new(0);
+        let deadline_hit = AtomicBool::new(false);
+        let last_err: Mutex<Option<PaloError>> = Mutex::new(None);
+        let workers = resolve_threads(self.threads);
+        // Chunk of 1: each candidate is a whole trace simulation, so even
+        // a budget of 10 is worth spreading across the pool.
+        let best = search::search_min_grained(workers, schedules.len(), 1, |i, _incumbent| {
             if let Some(dl) = self.deadline {
                 if start.elapsed() >= dl {
-                    deadline_hit = true;
-                    break;
+                    deadline_hit.store(true, Ordering::Relaxed);
+                    return None;
                 }
             }
-            let sched = if trial == 0 {
-                crate::basic::baseline(nest, arch)
-            } else {
-                self.random_candidate(nest, arch, &mut rng)
-            };
-            let Ok(lowered) = sched.lower(nest) else { continue };
+            let sched = &schedules[i];
+            let Ok(lowered) = sched.lower(nest) else { return None };
             // A panicking or failing measurement skips the candidate, it
             // does not abort the tuning run.
             let measured = catch_panic("autotuner candidate", || {
@@ -121,112 +198,118 @@ impl Autotuner {
             .and_then(|r| r.map_err(PaloError::from));
             match measured {
                 Ok(est) => {
-                    evals += 1;
-                    if best.as_ref().is_none_or(|(b, _)| est.ms < *b) {
-                        best = Some((est.ms, sched));
-                    }
+                    evals.fetch_add(1, Ordering::Relaxed);
+                    Some(TunedCand { est_ms: est.ms, idx: [i] })
                 }
                 Err(e) => {
-                    skipped += 1;
-                    last_err = Some(e);
+                    skipped.fetch_add(1, Ordering::Relaxed);
+                    if let Ok(mut slot) = last_err.lock() {
+                        *slot = Some(e);
+                    }
+                    None
                 }
             }
-        }
-        match best {
-            Some((est_ms, schedule)) => {
-                Ok(TuneResult { schedule, est_ms, evals, skipped, deadline_hit })
-            }
-            None => Err(last_err.unwrap_or(PaloError::DeadlineExceeded {
-                budget: self.deadline.unwrap_or(Duration::ZERO),
-            })),
-        }
-    }
+        });
 
-    /// One random point of the restricted space: power-of-two tiles on
-    /// output dims (possibly untiled), random inter order, intra order
-    /// with the column dim innermost, parallel outermost, vectorized
-    /// column.
-    fn random_candidate(
-        &self,
-        nest: &LoopNest,
-        arch: &Architecture,
-        rng: &mut StdRng,
-    ) -> Schedule {
-        let extents = nest.extents();
-        let n = extents.len();
-        let names: Vec<&str> = nest.vars().iter().map(|v| v.name.as_str()).collect();
-        let out_vars: Vec<usize> =
-            nest.statement().output.var_order().iter().map(|v| v.index()).collect();
-        let col = nest.column_var().map(|v| v.index());
-        let lanes = arch.vector_lanes(nest.dtype().size_bytes());
-
-        let mut s = Schedule::new();
-        let mut tiled: Vec<usize> = Vec::new();
-        let mut tile = extents.clone();
-        for &v in &out_vars {
-            if rng.gen_bool(0.8) && extents[v] >= 4 {
-                let max_pow = (usize::BITS - 1 - extents[v].leading_zeros()) as usize;
-                let p = rng.gen_range(1..=max_pow);
-                let t = (1usize << p).min(extents[v]);
-                if t < extents[v] {
-                    tile[v] = t;
-                    tiled.push(v);
-                    s.split(names[v], &format!("{}_o", names[v]), &format!("{}_i", names[v]), t);
-                }
-            }
-        }
-
-        // Random inter order over the tiled dims.
-        let mut inter = tiled.clone();
-        for i in (1..inter.len()).rev() {
-            let j = rng.gen_range(0..=i);
-            inter.swap(i, j);
-        }
-        let mut order: Vec<String> =
-            inter.iter().map(|&v| format!("{}_o", names[v])).collect();
-        // Reduction loops in random relative position: before or after
-        // the intra tiles (coin flip), column always innermost.
-        let reductions: Vec<usize> = (0..n).filter(|&v| !out_vars.contains(&v)).collect();
-        let red_first = rng.gen_bool(0.5);
-        let mut intra: Vec<usize> = out_vars.clone();
-        if let Some(c) = col {
-            intra.retain(|&v| v != c);
-            intra.push(c);
-        }
-        let intra_names = |v: usize| {
-            if tile[v] < extents[v] {
-                format!("{}_i", names[v])
-            } else {
-                names[v].to_string()
-            }
+        let stats = SearchStats {
+            workers,
+            candidates_evaluated: evals.load(Ordering::Relaxed) as u64,
+            wall: start.elapsed(),
+            ..SearchStats::default()
         };
-        match (red_first, intra.split_last()) {
-            (false, Some((last, rest))) => {
-                order.extend(rest.iter().map(|&v| intra_names(v)));
-                order.extend(reductions.iter().map(|&v| names[v].to_string()));
-                order.push(intra_names(*last));
-            }
-            _ => {
-                order.extend(reductions.iter().map(|&v| names[v].to_string()));
-                order.extend(intra.iter().map(|&v| intra_names(v)));
-            }
-        }
-        if order.len() > 1 {
-            let refs: Vec<&str> = order.iter().map(|x| x.as_str()).collect();
-            s.reorder(&refs);
-        }
-        if let (Some(c), Some(innermost)) = (col, order.last()) {
-            if lanes > 1 && tile[c] >= lanes {
-                s.vectorize(innermost, lanes);
+        match best {
+            Some(TunedCand { est_ms, idx: [i] }) => Ok(TuneResult {
+                schedule: schedules[i].clone(),
+                est_ms,
+                evals: evals.load(Ordering::Relaxed),
+                skipped: skipped.load(Ordering::Relaxed),
+                deadline_hit: deadline_hit.load(Ordering::Relaxed),
+                search: stats,
+            }),
+            None => {
+                let held = last_err.lock().ok().and_then(|mut s| s.take());
+                Err(held.unwrap_or(PaloError::DeadlineExceeded {
+                    budget: self.deadline.unwrap_or(Duration::ZERO),
+                }))
             }
         }
-        if n > 1 {
-            if let Some(first) = order.first() {
-                s.parallel(first);
-            }
-        }
-        s
     }
+}
+
+/// One random point of the restricted space: power-of-two tiles on
+/// output dims (possibly untiled), random inter order, intra order
+/// with the column dim innermost, parallel outermost, vectorized
+/// column.
+fn random_candidate(space: &CandidateSpace<'_>, rng: &mut StdRng) -> Schedule {
+    let CandidateSpace { extents, names, out_vars, col, lanes } = space;
+    let n = extents.len();
+
+    let mut s = Schedule::new();
+    let mut tiled: Vec<usize> = Vec::new();
+    let mut tile = extents.clone();
+    for &v in out_vars {
+        if rng.gen_bool(0.8) && extents[v] >= 4 {
+            let max_pow = (usize::BITS - 1 - extents[v].leading_zeros()) as usize;
+            let p = rng.gen_range(1..=max_pow);
+            let t = (1usize << p).min(extents[v]);
+            if t < extents[v] {
+                tile[v] = t;
+                tiled.push(v);
+                s.split(names[v], &format!("{}_o", names[v]), &format!("{}_i", names[v]), t);
+            }
+        }
+    }
+
+    // Random inter order over the tiled dims.
+    let mut inter = tiled.clone();
+    for i in (1..inter.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        inter.swap(i, j);
+    }
+    let mut order: Vec<String> =
+        inter.iter().map(|&v| format!("{}_o", names[v])).collect();
+    // Reduction loops in random relative position: before or after
+    // the intra tiles (coin flip), column always innermost.
+    let reductions: Vec<usize> = (0..n).filter(|&v| !out_vars.contains(&v)).collect();
+    let red_first = rng.gen_bool(0.5);
+    let mut intra: Vec<usize> = out_vars.clone();
+    if let Some(c) = *col {
+        intra.retain(|&v| v != c);
+        intra.push(c);
+    }
+    let intra_names = |v: usize| {
+        if tile[v] < extents[v] {
+            format!("{}_i", names[v])
+        } else {
+            names[v].to_string()
+        }
+    };
+    match (red_first, intra.split_last()) {
+        (false, Some((last, rest))) => {
+            order.extend(rest.iter().map(|&v| intra_names(v)));
+            order.extend(reductions.iter().map(|&v| names[v].to_string()));
+            order.push(intra_names(*last));
+        }
+        _ => {
+            order.extend(reductions.iter().map(|&v| names[v].to_string()));
+            order.extend(intra.iter().map(|&v| intra_names(v)));
+        }
+    }
+    if order.len() > 1 {
+        let refs: Vec<&str> = order.iter().map(|x| x.as_str()).collect();
+        s.reorder(&refs);
+    }
+    if let (Some(c), Some(innermost)) = (*col, order.last()) {
+        if *lanes > 1 && tile[c] >= *lanes {
+            s.vectorize(innermost, *lanes);
+        }
+    }
+    if n > 1 {
+        if let Some(first) = order.first() {
+            s.parallel(first);
+        }
+    }
+    s
 }
 
 #[cfg(test)]
@@ -258,6 +341,19 @@ mod tests {
         assert_eq!(r1.est_ms, r2.est_ms);
         assert_eq!(r1.skipped, 0);
         assert!(!r1.deadline_hit);
+    }
+
+    #[test]
+    fn worker_count_does_not_change_the_winner() {
+        let nest = matmul(64);
+        let arch = presets::intel_i7_6700();
+        let seq = Autotuner::new(8, 42).with_threads(1).tune(&nest, &arch);
+        for threads in [2, 5] {
+            let par = Autotuner::new(8, 42).with_threads(threads).tune(&nest, &arch);
+            assert_eq!(par.schedule, seq.schedule, "threads {threads}");
+            assert_eq!(par.est_ms.to_bits(), seq.est_ms.to_bits());
+            assert_eq!(par.evals, seq.evals);
+        }
     }
 
     #[test]

@@ -42,10 +42,12 @@ mod cache;
 mod error;
 mod hierarchy;
 mod prefetch;
+mod sink;
 mod stats;
 
 pub use cache::{Cache, Eviction};
 pub use error::SimConfigError;
 pub use hierarchy::{AccessKind, Hierarchy, ServedBy};
 pub use prefetch::StridePrefetcher;
+pub use sink::{CountingSink, LineSink};
 pub use stats::{HierarchyStats, LevelStats};

@@ -15,13 +15,20 @@
 pub fn tile_candidates(b: usize, bound: usize, max: usize, multiple_of: usize) -> Vec<usize> {
     let cap = bound.min(b).max(1);
     let mut cands: Vec<usize> = Vec::new();
-    for d in 1..=b {
-        if d > cap {
-            break;
-        }
+    // Divisors come in pairs (d, b/d) with the smaller member ≤ √b, so
+    // O(√b) trial divisions enumerate them all.
+    let mut d = 1usize;
+    while d * d <= b {
         if b.is_multiple_of(d) {
-            cands.push(d);
+            if d <= cap {
+                cands.push(d);
+            }
+            let q = b / d;
+            if q <= cap {
+                cands.push(q);
+            }
         }
+        d += 1;
     }
     let mut p = 1usize;
     while p <= cap {
@@ -114,5 +121,28 @@ mod tests {
     fn never_empty() {
         assert!(!tile_candidates(1, 1, 4, 8).is_empty());
         assert!(!tile_candidates(3, 1, 4, 1).is_empty());
+    }
+
+    #[test]
+    fn divisor_pairs_match_linear_enumeration() {
+        // The √b pair enumeration must produce exactly the divisor set of
+        // the old O(b) scan for every (extent, bound) combination.
+        for b in [1usize, 2, 6, 36, 97, 360, 1024, 1155] {
+            for bound in [1usize, 3, 17, b, 2 * b] {
+                let cap = bound.min(b).max(1);
+                let mut want: Vec<usize> =
+                    (1..=cap).filter(|&d| b.is_multiple_of(d)).collect();
+                let mut p = 1usize;
+                while p <= cap {
+                    want.push(p);
+                    p *= 2;
+                }
+                want.push(cap);
+                want.sort_unstable();
+                want.dedup();
+                let got = tile_candidates(b, bound, usize::MAX, 1);
+                assert_eq!(got, want, "b={b} bound={bound}");
+            }
+        }
     }
 }

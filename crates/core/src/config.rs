@@ -31,6 +31,41 @@ pub struct OptimizerConfig {
     /// Upper bound on tile-size candidates examined per dimension
     /// (candidates are divisor-based and thinned geometrically).
     pub max_candidates_per_dim: usize,
+    /// Knobs of the candidate-search engine ([`crate::search`]).
+    pub search: SearchOptions,
+}
+
+/// Knobs of the candidate-search engine ([`crate::search`]).
+///
+/// All combinations return bit-identical schedules (the engine's
+/// determinism contract); the knobs only trade search time, and exist so
+/// tests and benches can compare the pruned/memoized parallel search
+/// against the exhaustive sequential one.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SearchOptions {
+    /// Worker threads for the candidate search. `None` defers to the
+    /// `PALO_SEARCH_THREADS` environment variable, then to the machine's
+    /// available parallelism.
+    pub threads: Option<usize>,
+    /// Branch-and-bound pruning against the shared incumbent.
+    pub prune: bool,
+    /// Memoize `emu()` bounds and per-reference footprint terms.
+    pub memo: bool,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions { threads: None, prune: true, memo: true }
+    }
+}
+
+impl SearchOptions {
+    /// The pre-engine behavior: sequential, exhaustive, uncached. The
+    /// determinism/soundness tests and the bench harness use this as the
+    /// ground truth to compare against.
+    pub fn exhaustive() -> Self {
+        SearchOptions { threads: Some(1), prune: false, memo: false }
+    }
 }
 
 impl Default for OptimizerConfig {
@@ -43,6 +78,7 @@ impl Default for OptimizerConfig {
             enable_nti: true,
             bandwidth_term: true,
             max_candidates_per_dim: 12,
+            search: SearchOptions::default(),
         }
     }
 }
@@ -78,5 +114,17 @@ mod tests {
         assert!(!c.prefetch_discount);
         assert!(!c.halve_l2_sets);
         assert!(c.reorder_step);
+    }
+
+    #[test]
+    fn search_defaults_and_exhaustive_mode() {
+        let s = SearchOptions::default();
+        assert_eq!(s.threads, None);
+        assert!(s.prune);
+        assert!(s.memo);
+        let e = SearchOptions::exhaustive();
+        assert_eq!(e.threads, Some(1));
+        assert!(!e.prune);
+        assert!(!e.memo);
     }
 }

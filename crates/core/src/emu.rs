@@ -15,7 +15,9 @@
 //!   within `L2maxpref` of the demand frontier, the `L2pref` lines a
 //!   stride prefetcher would fetch are tested against set fullness too.
 
+use crate::search::{MemoTable, SearchCounters};
 use palo_arch::CacheLevel;
+use std::sync::OnceLock;
 
 /// Inputs of [`emu`] (the parameter list of Algorithm 1).
 #[derive(Debug, Clone)]
@@ -99,6 +101,67 @@ pub fn emu(p: &EmuParams<'_>) -> usize {
     max_ti.max(1)
 }
 
+/// Canonical memo key of one [`emu`] invocation: exactly the inputs the
+/// replay reads. The cache-level *geometry* stands in for the level
+/// itself, so equal levels from different `Architecture` clones share
+/// entries.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EmuKey {
+    num_sets: usize,
+    associativity: usize,
+    line_size: usize,
+    dts: usize,
+    row_len: usize,
+    row_stride: usize,
+    threads: usize,
+    addr: usize,
+    l2_pref: usize,
+    l2_max_pref: usize,
+    for_l2: bool,
+    halve_l2_sets: bool,
+    cap: usize,
+}
+
+impl EmuKey {
+    /// The canonical key of `p`.
+    pub fn of(p: &EmuParams<'_>) -> Self {
+        EmuKey {
+            num_sets: p.level.num_sets(),
+            associativity: p.level.associativity,
+            line_size: p.level.line_size,
+            dts: p.dts,
+            row_len: p.row_len,
+            row_stride: p.row_stride,
+            threads: p.threads,
+            addr: p.addr,
+            l2_pref: p.l2_pref,
+            l2_max_pref: p.l2_max_pref,
+            for_l2: p.for_l2,
+            halve_l2_sets: p.halve_l2_sets,
+            cap: p.cap,
+        }
+    }
+}
+
+/// The process-wide `emu()` memo: Algorithm 1 is a pure function of
+/// [`EmuKey`], so bounds computed for one candidate (or one pipeline
+/// invocation) are reused by every later one.
+fn emu_memo() -> &'static MemoTable<EmuKey, usize> {
+    static MEMO: OnceLock<MemoTable<EmuKey, usize>> = OnceLock::new();
+    MEMO.get_or_init(|| MemoTable::new(16))
+}
+
+/// [`emu`] through the process-wide memo table, recording hits/misses in
+/// `counters`.
+pub fn emu_cached(p: &EmuParams<'_>, counters: &SearchCounters) -> usize {
+    emu_memo().get_or_compute(
+        EmuKey::of(p),
+        &counters.emu_memo_hits,
+        &counters.emu_memo_misses,
+        || emu(p),
+    )
+}
+
 /// Convenience wrapper: the L1 bound for a tile whose rows are `row_len`
 /// elements long in an array with leading dimension `row_stride`.
 pub fn emu_l1(
@@ -109,7 +172,19 @@ pub fn emu_l1(
     threads: usize,
     cap: usize,
 ) -> usize {
-    emu(&EmuParams {
+    emu(&l1_params(level, dts, row_len, row_stride, threads, cap))
+}
+
+/// The [`EmuParams`] of the L1 variant (next-line row inflation).
+pub fn l1_params(
+    level: &CacheLevel,
+    dts: usize,
+    row_len: usize,
+    row_stride: usize,
+    threads: usize,
+    cap: usize,
+) -> EmuParams<'_> {
+    EmuParams {
         level,
         dts,
         row_len,
@@ -121,7 +196,7 @@ pub fn emu_l1(
         for_l2: false,
         halve_l2_sets: true,
         cap,
-    })
+    }
 }
 
 /// Convenience wrapper: the L2 bound, testing stride-prefetch injections.
@@ -137,7 +212,24 @@ pub fn emu_l2(
     halve_l2_sets: bool,
     cap: usize,
 ) -> usize {
-    emu(&EmuParams {
+    emu(&l2_params(level, dts, row_len, row_stride, threads, l2_pref, l2_max_pref, halve_l2_sets, cap))
+}
+
+/// The [`EmuParams`] of the L2 variant (halved sets, stride-prefetch
+/// tests).
+#[allow(clippy::too_many_arguments)]
+pub fn l2_params(
+    level: &CacheLevel,
+    dts: usize,
+    row_len: usize,
+    row_stride: usize,
+    threads: usize,
+    l2_pref: usize,
+    l2_max_pref: usize,
+    halve_l2_sets: bool,
+    cap: usize,
+) -> EmuParams<'_> {
+    EmuParams {
         level,
         dts,
         row_len,
@@ -149,7 +241,7 @@ pub fn emu_l2(
         for_l2: true,
         halve_l2_sets,
         cap,
-    })
+    }
 }
 
 #[cfg(test)]
@@ -247,6 +339,23 @@ mod tests {
             cap: 4096,
         });
         assert!(b_l1 <= b_l2, "{b_l1} vs {b_l2}");
+    }
+
+    #[test]
+    fn cached_emu_matches_uncached_and_records_hits() {
+        use crate::search::SearchCounters;
+        use std::sync::atomic::Ordering;
+        let level = l1();
+        let counters = SearchCounters::default();
+        // An address nothing else in the test suite uses, so the second
+        // lookup is a guaranteed hit regardless of test interleaving.
+        let mut p = l1_params(&level, 4, 48, 4096 + 48, 1, 9999);
+        p.addr = 0xA110C;
+        let direct = emu(&p);
+        assert_eq!(emu_cached(&p, &counters), direct);
+        assert_eq!(emu_cached(&p, &counters), direct);
+        assert!(counters.emu_memo_hits.load(Ordering::Relaxed) >= 1);
+        assert!(counters.emu_memo_misses.load(Ordering::Relaxed) >= 1);
     }
 
     #[test]

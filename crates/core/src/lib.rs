@@ -63,19 +63,21 @@ mod footprint;
 pub mod order;
 mod pipeline;
 pub mod post;
+pub mod search;
 pub mod spatial;
 pub mod temporal;
 
 pub use classify::{classify, Class};
-pub use config::OptimizerConfig;
+pub use config::{OptimizerConfig, SearchOptions};
 pub use decision::Decision;
-pub use emu::{emu, EmuParams};
+pub use emu::{emu, emu_cached, EmuKey, EmuParams};
 pub use error::{catch_panic, PaloError};
 pub use footprint::Footprints;
 pub use pipeline::{
     FaultPlan, Pipeline, PipelineConfig, PipelineOutcome, PipelineReport, ResourceBudget,
     Rung, RungFailure,
 };
+pub use search::{SearchCounters, SearchStats};
 
 use palo_arch::Architecture;
 use palo_ir::{LoopNest, NestInfo};
@@ -115,12 +117,26 @@ impl Optimizer {
 
     /// Runs the full flow on `nest` and returns the scheduling decision.
     pub fn optimize(&self, nest: &LoopNest) -> Decision {
+        self.optimize_with_stats(nest).0
+    }
+
+    /// [`Optimizer::optimize`], also reporting what the candidate search
+    /// did ([`SearchStats`]: workers, candidates evaluated/pruned, memo
+    /// hit rates, wall time).
+    pub fn optimize_with_stats(&self, nest: &LoopNest) -> (Decision, SearchStats) {
         let info = NestInfo::analyze(nest);
         let class = classify(&info);
         match class {
-            Class::Temporal => temporal::optimize(nest, &info, &self.arch, &self.config),
-            Class::Spatial => spatial::optimize(nest, &info, &self.arch, &self.config),
-            Class::ContiguousOnly => post::passthrough(nest, &info, &self.arch, &self.config),
+            Class::Temporal => {
+                temporal::optimize_with_stats(nest, &info, &self.arch, &self.config)
+            }
+            Class::Spatial => {
+                spatial::optimize_with_stats(nest, &info, &self.arch, &self.config)
+            }
+            Class::ContiguousOnly => (
+                post::passthrough(nest, &info, &self.arch, &self.config),
+                SearchStats::default(),
+            ),
         }
     }
 

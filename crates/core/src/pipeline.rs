@@ -24,6 +24,7 @@
 
 use crate::decision::Decision;
 use crate::error::{catch_panic, PaloError};
+use crate::search::SearchStats;
 use crate::Optimizer;
 use crate::OptimizerConfig;
 use palo_arch::Architecture;
@@ -149,6 +150,11 @@ pub struct PipelineReport {
     /// The simulated time estimate of the accepted schedule; `None` when
     /// simulation was disabled or failed (the failure is recorded).
     pub estimate: Option<TimeEstimate>,
+    /// What the optimizer's candidate search did (workers, candidates
+    /// evaluated/pruned, memo hit rates, wall time); `None` when the
+    /// optimizer stage was skipped ([`Pipeline::run_schedule`]) or
+    /// failed.
+    pub search: Option<SearchStats>,
     /// Wall-clock time of the whole run.
     pub elapsed: Duration,
 }
@@ -247,21 +253,21 @@ impl Pipeline {
 
         let optimizer = Optimizer::with_config(&self.arch, self.config.optimizer.clone());
         let faults = self.config.faults;
-        let decision = match catch_panic("optimizer", || {
+        let (decision, search) = match catch_panic("optimizer", || {
             if faults.panic_in_optimizer {
                 panic!("injected optimizer fault");
             }
-            optimizer.optimize(nest)
+            optimizer.optimize_with_stats(nest)
         }) {
-            Ok(d) => Some(d),
+            Ok((d, s)) => (Some(d), Some(s)),
             Err(e) => {
                 state.failures.push(RungFailure { rung: Rung::Proposed, error: e });
-                None
+                (None, None)
             }
         };
 
         let proposed = decision.as_ref().map(|d| d.schedule().clone());
-        self.finish(nest, decision, proposed, state, start)
+        self.finish(nest, decision, proposed, search, state, start)
     }
 
     /// Executes the degradation ladder for a caller-supplied schedule
@@ -281,7 +287,7 @@ impl Pipeline {
         let start = Instant::now();
         self.validate_arch()?;
         let state = RunState { lowerings_attempted: 0, failures: Vec::new() };
-        self.finish(nest, None, Some(proposed.clone()), state, start)
+        self.finish(nest, None, Some(proposed.clone()), None, state, start)
     }
 
     fn validate_arch(&self) -> Result<(), PaloError> {
@@ -299,6 +305,7 @@ impl Pipeline {
         nest: &LoopNest,
         decision: Option<Decision>,
         proposed: Option<Schedule>,
+        search: Option<SearchStats>,
         mut state: RunState,
         start: Instant,
     ) -> Result<PipelineOutcome, PaloError> {
@@ -352,6 +359,7 @@ impl Pipeline {
                 rung,
                 failures: state.failures,
                 estimate,
+                search,
                 elapsed: start.elapsed(),
             },
         })
@@ -488,6 +496,18 @@ mod tests {
         assert!(out.report.failures.is_empty());
         assert!(out.decision.is_some());
         assert!(out.report.estimate.is_some());
+        let stats = out.report.search.as_ref().unwrap();
+        assert!(stats.workers >= 1);
+        assert!(stats.candidates_evaluated > 0);
+    }
+
+    #[test]
+    fn run_schedule_has_no_search_stats() {
+        let nest = matmul(8);
+        let out = Pipeline::new(&presets::intel_i7_6700())
+            .run_schedule(&nest, &Schedule::new())
+            .unwrap();
+        assert!(out.report.search.is_none());
     }
 
     #[test]

@@ -13,11 +13,33 @@ use crate::candidates::tile_candidates;
 use crate::classify::Class;
 use crate::config::OptimizerConfig;
 use crate::decision::Decision;
-use crate::emu::emu_l2;
+use crate::emu::{emu, emu_cached, l2_params};
 use crate::footprint::Footprints;
 use crate::post;
+use crate::search::{
+    self, cost_bits, resolve_threads, Candidate, SearchCounters, SearchStats,
+};
 use palo_arch::Architecture;
 use palo_ir::{AccessPattern, LoopNest, NestInfo};
+use std::sync::atomic::Ordering;
+use std::time::Instant;
+
+/// One evaluated `(Twidth, Theight)` point, ranked by cost then linear
+/// index — the index tie-break reproduces the sequential first-best rule.
+struct SpatialCand {
+    cost: f64,
+    tile: Vec<usize>,
+    key: [usize; 1],
+}
+
+impl Candidate for SpatialCand {
+    fn cost_key(&self) -> (u64, u64) {
+        (cost_bits(self.cost), 0)
+    }
+    fn tie_key(&self) -> &[usize] {
+        &self.key
+    }
+}
 
 /// Runs the spatial optimizer on a nest classified [`Class::Spatial`].
 pub fn optimize(
@@ -26,8 +48,19 @@ pub fn optimize(
     arch: &Architecture,
     config: &OptimizerConfig,
 ) -> Decision {
+    optimize_with_stats(nest, info, arch, config).0
+}
+
+/// [`optimize`], also reporting what the candidate search did.
+pub fn optimize_with_stats(
+    nest: &LoopNest,
+    info: &NestInfo,
+    arch: &Architecture,
+    config: &OptimizerConfig,
+) -> (Decision, SearchStats) {
+    let start = Instant::now();
     let Some(col) = nest.column_var().map(|v| v.index()) else {
-        return post::passthrough(nest, info, arch, config);
+        return (post::passthrough(nest, info, arch, config), SearchStats::default());
     };
     let extents = nest.extents();
     let n = extents.len();
@@ -35,7 +68,7 @@ pub fn optimize(
     // subscript (2-D kernels in the paper; extra dims stay untiled).
     let out_order = nest.statement().output.var_order();
     let Some(row) = out_order.iter().rev().map(|v| v.index()).find(|&v| v != col) else {
-        return post::passthrough(nest, info, arch, config);
+        return (post::passthrough(nest, info, arch, config), SearchStats::default());
     };
 
     let dts = nest.dtype().size_bytes();
@@ -63,10 +96,19 @@ pub fn optimize(
     let width_cands =
         tile_candidates(extents[col], extents[col], config.max_candidates_per_dim, lanes);
 
-    let mut best: Option<(f64, Vec<usize>)> = None;
+    let counters = SearchCounters::default();
+
+    // Flatten the (width, height) space: one plan per width, heights
+    // bounded by Algorithm 1 (L2 variant, stride-prefetch tests on).
+    struct Plan {
+        tw: usize,
+        heights: Vec<usize>,
+        offset: usize,
+    }
+    let mut plans: Vec<Plan> = Vec::with_capacity(width_cands.len());
+    let mut total = 0usize;
     for &tw in &width_cands {
-        // Bound the tile height against the L2 (Algorithm 1, L2 variant).
-        let cap = emu_l2(
+        let p = l2_params(
             arch.l2(),
             dts,
             tw,
@@ -77,48 +119,57 @@ pub fn optimize(
             config.halve_l2_sets,
             extents[row],
         );
-        for &th in &tile_candidates(extents[row], cap, config.max_candidates_per_dim, 1) {
-            let mut tile = extents.clone();
-            tile[col] = tw;
-            tile[row] = th;
-
-            // Working sets (Eqs. 18–19 generalized): transposed inputs pay
-            // a full line per row they touch in one column sweep.
-            let mut col_slice = vec![1usize; n];
-            col_slice[col] = tw;
-            let ws_l1: f64 = inputs
-                .iter()
-                .map(|&a| fp.lines(a, &col_slice) * lc as f64)
-                .sum();
-            let ws_l2: f64 = inputs.iter().map(|&a| fp.elems(a, &tile)).sum();
-            if ws_l1 > l1_budget || ws_l2 > l2_budget {
-                continue;
-            }
-            if config.parallel_grain_constraint {
-                let trips = (extents[row] as f64 / th as f64).ceil()
-                    * (extents[col] as f64 / tw as f64).ceil();
-                if trips < threads as f64 {
-                    continue;
-                }
-            }
-
-            // CTotal = Σ inputs rows(tile) × ntiles × (Tw / lc) (Eqs. 15, 17).
-            let ntiles: f64 = (0..n)
-                .map(|v| (extents[v] as f64 / tile[v] as f64).ceil())
-                .product();
-            let eff = tw as f64 / lc as f64;
-            let c_total: f64 = inputs
-                .iter()
-                .map(|&a| fp.misses(a, &tile, config.prefetch_discount) * ntiles * eff)
-                .sum();
-            if best.as_ref().is_none_or(|(bc, _)| c_total < *bc) {
-                best = Some((c_total, tile));
-            }
-        }
+        let cap = if config.search.memo { emu_cached(&p, &counters) } else { emu(&p) };
+        let heights = tile_candidates(extents[row], cap, config.max_candidates_per_dim, 1);
+        let len = heights.len();
+        plans.push(Plan { tw, heights, offset: total });
+        total += len;
     }
 
-    let Some((cost, tile)) = best else {
-        return post::passthrough(nest, info, arch, config);
+    let workers = resolve_threads(config.search.threads);
+    let best = search::search_min(workers, total, |i, _incumbent| {
+        let p = &plans[plans.partition_point(|pl| pl.offset <= i) - 1];
+        let (tw, th) = (p.tw, p.heights[i - p.offset]);
+        let mut tile = extents.clone();
+        tile[col] = tw;
+        tile[row] = th;
+
+        // Working sets (Eqs. 18–19 generalized): transposed inputs pay
+        // a full line per row they touch in one column sweep.
+        let mut col_slice = vec![1usize; n];
+        col_slice[col] = tw;
+        let ws_l1: f64 = inputs
+            .iter()
+            .map(|&a| fp.lines(a, &col_slice) * lc as f64)
+            .sum();
+        let ws_l2: f64 = inputs.iter().map(|&a| fp.elems(a, &tile)).sum();
+        if ws_l1 > l1_budget || ws_l2 > l2_budget {
+            return None;
+        }
+        if config.parallel_grain_constraint {
+            let trips = (extents[row] as f64 / th as f64).ceil()
+                * (extents[col] as f64 / tw as f64).ceil();
+            if trips < threads as f64 {
+                return None;
+            }
+        }
+        counters.evaluated.fetch_add(1, Ordering::Relaxed);
+
+        // CTotal = Σ inputs rows(tile) × ntiles × (Tw / lc) (Eqs. 15, 17).
+        let ntiles: f64 = (0..n)
+            .map(|v| (extents[v] as f64 / tile[v] as f64).ceil())
+            .product();
+        let eff = tw as f64 / lc as f64;
+        let c_total: f64 = inputs
+            .iter()
+            .map(|&a| fp.misses(a, &tile, config.prefetch_discount) * ntiles * eff)
+            .sum();
+        Some(SpatialCand { cost: c_total, tile, key: [i] })
+    });
+    let stats = counters.snapshot(workers, start.elapsed());
+
+    let Some(SpatialCand { cost, tile, .. }) = best else {
+        return (post::passthrough(nest, info, arch, config), stats);
     };
 
     // Order per Listing 2: untiled outer vars, then row_o, col_o,
@@ -130,7 +181,9 @@ pub fn optimize(
         .collect();
     let intra_order = inter_order.clone();
     let use_nti = post::nti_eligible(info, arch, config);
-    post::emit(nest, arch, Class::Spatial, tile, inter_order, intra_order, use_nti, cost)
+    let decision =
+        post::emit(nest, arch, Class::Spatial, tile, inter_order, intra_order, use_nti, cost);
+    (decision, stats)
 }
 
 /// Whether the nest has a transposed input (sanity helper used by tests
@@ -202,6 +255,26 @@ mod tests {
         let d = optimize(&nest, &info, &presets::arm_cortex_a15(), &OptimizerConfig::default());
         assert!(!d.use_nti);
         d.schedule().lower(&nest).unwrap();
+    }
+
+    #[test]
+    fn engine_matches_exhaustive_and_reports_stats() {
+        use crate::config::SearchOptions;
+        let nest = tp(1024);
+        let info = NestInfo::analyze(&nest);
+        let arch = presets::intel_i7_5930k();
+        let exhaustive = OptimizerConfig {
+            search: SearchOptions::exhaustive(),
+            ..OptimizerConfig::default()
+        };
+        let engine = OptimizerConfig {
+            search: SearchOptions { threads: Some(4), prune: true, memo: true },
+            ..OptimizerConfig::default()
+        };
+        let (de, _) = optimize_with_stats(&nest, &info, &arch, &exhaustive);
+        let (dg, sg) = optimize_with_stats(&nest, &info, &arch, &engine);
+        assert_eq!(de, dg);
+        assert!(sg.candidates_evaluated > 0);
     }
 
     #[test]

@@ -15,19 +15,34 @@
 //! access its tile rows once per iteration of every inter-tile loop it
 //! depends on, with reuse granted across the innermost inter-tile loop
 //! for accesses independent of it (Eq. 10).
+//!
+//! Step 1 runs on the [`crate::search`] engine: the per-`Tcol` candidate
+//! lists are flattened into one linear index space, sharded across the
+//! worker pool, pruned against the shared incumbent with the admissible
+//! bound `a2·CL1 ≤ Ctotal`, and memoized at two levels (process-wide
+//! Algorithm-1 bounds, per-search footprint terms). The engine's total
+//! order makes the winner independent of worker count.
 
 use crate::candidates::tile_candidates;
 use crate::classify::Class;
 use crate::config::OptimizerConfig;
 use crate::decision::Decision;
-use crate::emu::{emu_l1, emu_l2};
+use crate::emu::{emu, emu_cached, l1_params, l2_params};
 use crate::footprint::Footprints;
 use crate::order::{corder, inter_trip, permutations};
 use crate::post;
+use crate::search::{
+    self, cost_bits, resolve_threads, Candidate, Incumbent, MemoTable, SearchCounters,
+    SearchStats,
+};
 use palo_arch::{Architecture, SharingScope};
 use palo_ir::{LoopNest, NestInfo};
+use std::sync::atomic::Ordering;
+use std::time::Instant;
 
-struct BestCand {
+/// One fully evaluated Step-1 candidate: a tile plus the order-defining
+/// `(x, u)` pair, ranked by `(Ctotal, tie cost, linear index, x, u)`.
+struct TempCand {
     cost: f64,
     /// Undiscounted (line-granular) variant of the cost, used to break
     /// ties: the prefetch-discounted model (Eq. 3) makes row cost
@@ -40,12 +55,17 @@ struct BestCand {
     x: usize,
     /// Innermost inter-tile variable.
     u: usize,
+    /// `[linear candidate index, x, u]` — the lexicographic tail of the
+    /// engine's total order.
+    key: [usize; 3],
 }
 
-impl BestCand {
-    fn is_beaten_by(&self, cost: f64, tie_cost: f64) -> bool {
-        let tol = 1e-9 * self.cost.max(1.0);
-        cost < self.cost - tol || ((cost - self.cost).abs() <= tol && tie_cost < self.tie_cost)
+impl Candidate for TempCand {
+    fn cost_key(&self) -> (u64, u64) {
+        (cost_bits(self.cost), cost_bits(self.tie_cost))
+    }
+    fn tie_key(&self) -> &[usize] {
+        &self.key
     }
 }
 
@@ -59,6 +79,13 @@ fn sharing_divisor(level: &palo_arch::CacheLevel, arch: &Architecture) -> usize 
     }
 }
 
+/// One `Tcol` slice of the candidate space: the per-variable tile-size
+/// lists and the slice's offset in the flattened linear index space.
+struct Plan {
+    lists: Vec<Vec<usize>>,
+    offset: usize,
+}
+
 /// Runs the temporal optimizer on a nest classified [`Class::Temporal`].
 pub fn optimize(
     nest: &LoopNest,
@@ -66,13 +93,24 @@ pub fn optimize(
     arch: &Architecture,
     config: &OptimizerConfig,
 ) -> Decision {
+    optimize_with_stats(nest, info, arch, config).0
+}
+
+/// [`optimize`], also reporting what the candidate search did.
+pub fn optimize_with_stats(
+    nest: &LoopNest,
+    info: &NestInfo,
+    arch: &Architecture,
+    config: &OptimizerConfig,
+) -> (Decision, SearchStats) {
+    let start = Instant::now();
     let Some(col) = nest.column_var().map(|v| v.index()) else {
-        return post::passthrough(nest, info, arch, config);
+        return (post::passthrough(nest, info, arch, config), SearchStats::default());
     };
     let extents = nest.extents();
     let n = extents.len();
     if n < 2 {
-        return post::passthrough(nest, info, arch, config);
+        return (post::passthrough(nest, info, arch, config), SearchStats::default());
     }
     let dts = nest.dtype().size_bytes();
     let fp = Footprints::new(nest, arch.l1().line_size);
@@ -104,10 +142,21 @@ pub fn optimize(
     let col_cands =
         tile_candidates(extents[col], extents[col], config.max_candidates_per_dim, lanes);
 
-    let mut best: Option<BestCand> = None;
+    let counters = SearchCounters::default();
+    let bound = |p: &crate::emu::EmuParams<'_>| {
+        if config.search.memo {
+            emu_cached(p, &counters)
+        } else {
+            emu(p)
+        }
+    };
+
+    let mut plans: Vec<Plan> = Vec::with_capacity(col_cands.len());
+    let mut total = 0usize;
     for &tcol in &col_cands {
-        let cap1 = emu_l1(arch.l1(), dts, tcol, ld, arch.threads_per_core, usize::MAX >> 1);
-        let cap2 = emu_l2(
+        let cap1 =
+            bound(&l1_params(arch.l1(), dts, tcol, ld, arch.threads_per_core, usize::MAX >> 1));
+        let cap2 = bound(&l2_params(
             arch.l2(),
             dts,
             tcol,
@@ -117,9 +166,10 @@ pub fn optimize(
             l2maxpref,
             config.halve_l2_sets,
             usize::MAX >> 1,
-        );
+        ));
 
-        // Per-variable candidate lists.
+        // Per-variable candidate lists, shrunk until the slice's
+        // cross-product is tractable.
         let mut lists: Vec<Vec<usize>> = vec![Vec::new(); n];
         lists[col] = vec![tcol];
         let mut budget = config.max_candidates_per_dim;
@@ -138,42 +188,51 @@ pub fn optimize(
             }
             budget -= 1;
         }
-
-        // Odometer over the cartesian product.
-        let mut idx = vec![0usize; n];
-        let mut tile = vec![0usize; n];
-        'combos: loop {
-            for v in 0..n {
-                tile[v] = lists[v][idx[v]];
-            }
-            evaluate(
-                &fp, &tile, &extents, col, na, n, l1_budget, l2_budget, a2, a3, am,
-                threads, config, &mut best,
-            );
-
-            // advance odometer
-            let mut d = n;
-            loop {
-                if d == 0 {
-                    break 'combos;
-                }
-                d -= 1;
-                idx[d] += 1;
-                if idx[d] < lists[d].len() {
-                    break;
-                }
-                idx[d] = 0;
-            }
-        }
+        let combos: usize = lists.iter().map(|l| l.len().max(1)).product();
+        plans.push(Plan { lists, offset: total });
+        total += combos;
     }
 
+    let ctx = EvalCtx {
+        fp: &fp,
+        extents: &extents,
+        col,
+        na,
+        n,
+        l1_budget,
+        l2_budget,
+        a2,
+        a3,
+        am,
+        threads,
+        config,
+        fp_cache: MemoTable::new(32),
+        counters: &counters,
+    };
+    let workers = resolve_threads(config.search.threads);
+    let best = search::search_min(workers, total, |i, incumbent| {
+        // Decode the linear index: which Tcol slice, then the odometer
+        // position inside its cross-product (last variable fastest).
+        let p = plans.partition_point(|pl| pl.offset <= i) - 1;
+        let lists = &plans[p].lists;
+        let mut rem = i - plans[p].offset;
+        let mut tile = vec![0usize; n];
+        for v in (0..n).rev() {
+            let len = lists[v].len();
+            tile[v] = lists[v][rem % len];
+            rem /= len;
+        }
+        ctx.evaluate(i, tile, incumbent)
+    });
+    let stats = counters.snapshot(workers, start.elapsed());
+
     let Some(best) = best else {
-        return post::passthrough(nest, info, arch, config);
+        return (post::passthrough(nest, info, arch, config), stats);
     };
 
     let (inter_order, intra_order) = choose_orders(&best, col, &extents, config);
     let use_nti = post::nti_eligible(info, arch, config);
-    post::emit(
+    let decision = post::emit(
         nest,
         arch,
         Class::Temporal,
@@ -182,14 +241,15 @@ pub fn optimize(
         intra_order,
         use_nti,
         best.cost,
-    )
+    );
+    (decision, stats)
 }
 
-#[allow(clippy::too_many_arguments)]
-fn evaluate(
-    fp: &Footprints,
-    tile: &[usize],
-    extents: &[usize],
+/// Everything [`EvalCtx::evaluate`] needs, shared read-only across the
+/// worker pool.
+struct EvalCtx<'a> {
+    fp: &'a Footprints,
+    extents: &'a [usize],
     col: usize,
     na: usize,
     n: usize,
@@ -199,73 +259,126 @@ fn evaluate(
     a3: f64,
     am: f64,
     threads: usize,
-    config: &OptimizerConfig,
-    best: &mut Option<BestCand>,
-) {
-    // Working set of the whole tile (Eq. 6).
-    let mut ws_l2 = 0.0;
-    let mut rows_tile = vec![0.0f64; na];
-    let mut lines_tile = vec![0.0f64; na];
-    for a in 0..na {
-        ws_l2 += fp.elems(a, tile);
-        rows_tile[a] = fp.misses(a, tile, config.prefetch_discount);
-        lines_tile[a] = fp.lines(a, tile);
-    }
-    if ws_l2 > l2_budget {
-        return;
-    }
+    config: &'a OptimizerConfig,
+    /// Per-search footprint-term memo: `(shape, sizes projected onto the
+    /// shape's variables) → (elems, discounted misses, lines)`. The
+    /// projection makes every tile that agrees on the shape's variables
+    /// share one entry.
+    fp_cache: MemoTable<(usize, Vec<usize>), (f64, f64, f64)>,
+    counters: &'a SearchCounters,
+}
 
-    let trips: Vec<f64> = (0..n).map(|v| inter_trip(v, tile, extents)).collect();
-    let ntiles: f64 = trips.iter().product();
-    let cl1: f64 = rows_tile.iter().sum::<f64>() * ntiles;
-    let cl1_lines: f64 = lines_tile.iter().sum::<f64>() * ntiles;
-
-    // Early bound: even a perfect CL2 cannot beat the incumbent.
-    if let Some(b) = best {
-        if a2 * cl1 > b.cost + 1e-9 * b.cost.max(1.0) {
-            return;
+impl EvalCtx<'_> {
+    /// `(elems, prefetch-discounted misses, lines)` of shape `a` under
+    /// `sizes`, through the per-search memo.
+    fn terms(&self, a: usize, sizes: &[usize]) -> (f64, f64, f64) {
+        let compute = || {
+            (
+                self.fp.elems(a, sizes),
+                self.fp.misses(a, sizes, self.config.prefetch_discount),
+                self.fp.lines(a, sizes),
+            )
+        };
+        if !self.config.search.memo {
+            return compute();
         }
+        let key: Vec<usize> =
+            self.fp.shapes()[a].vars.iter().map(|&v| sizes[v]).collect();
+        self.fp_cache.get_or_compute(
+            (a, key),
+            &self.counters.memo_hits,
+            &self.counters.memo_misses,
+            compute,
+        )
     }
 
-    for x in 0..n {
-        if x == col || tile[x] <= 1 {
-            continue;
+    /// Scores one tile: feasibility (Eqs. 1, 6, 13), the admissible
+    /// `a2·CL1` bound against the incumbent, then the full `(x, u)` sweep
+    /// (Eqs. 10–11). Returns the tile's best candidate, `None` when
+    /// infeasible or pruned.
+    fn evaluate(&self, i: usize, tile: Vec<usize>, incumbent: &Incumbent) -> Option<TempCand> {
+        // Working set of the whole tile (Eq. 6).
+        let mut ws_l2 = 0.0;
+        let mut rows_tile = vec![0.0f64; self.na];
+        let mut lines_tile = vec![0.0f64; self.na];
+        for a in 0..self.na {
+            let (elems, rows, lines) = self.terms(a, &tile);
+            ws_l2 += elems;
+            rows_tile[a] = rows;
+            lines_tile[a] = lines;
         }
-        // Working set of one iteration of the outermost intra loop (Eq. 1).
-        let mut slice = tile.to_vec();
-        slice[x] = 1;
-        let ws_l1: f64 = (0..na).map(|a| fp.elems(a, &slice)).sum();
-        if ws_l1 > l1_budget {
-            continue;
+        if ws_l2 > self.l2_budget {
+            return None;
         }
 
-        for u in 0..n {
-            if config.parallel_grain_constraint {
-                // Eq. 13: the parallelizable outer inter-tile loops (all
-                // but the innermost-inter `u` and the column loop) must
-                // provide at least one iteration per hardware thread.
-                let outer_cap: f64 = (0..n)
-                    .filter(|&v| v != u && v != col)
-                    .map(|v| trips[v])
-                    .product();
-                if outer_cap < threads as f64 {
-                    continue;
+        let trips: Vec<f64> =
+            (0..self.n).map(|v| inter_trip(v, &tile, self.extents)).collect();
+        let ntiles: f64 = trips.iter().product();
+        let cl1: f64 = rows_tile.iter().sum::<f64>() * ntiles;
+        let cl1_lines: f64 = lines_tile.iter().sum::<f64>() * ntiles;
+
+        // Branch and bound: `Ctotal = a2·CL1 + a3·CL2 + am·CL2_lines`
+        // with every term non-negative, so `a2·CL1` is an admissible
+        // lower bound. Strict comparison inside `prunes` keeps cost-tied
+        // candidates alive for the deterministic tie-break.
+        if self.config.search.prune && incumbent.prunes(self.a2 * cl1) {
+            self.counters.pruned.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        self.counters.evaluated.fetch_add(1, Ordering::Relaxed);
+
+        let mut best: Option<TempCand> = None;
+        for x in 0..self.n {
+            if x == self.col || tile[x] <= 1 {
+                continue;
+            }
+            // Working set of one iteration of the outermost intra loop
+            // (Eq. 1).
+            let mut slice = tile.clone();
+            slice[x] = 1;
+            let ws_l1: f64 = (0..self.na).map(|a| self.terms(a, &slice).0).sum();
+            if ws_l1 > self.l1_budget {
+                continue;
+            }
+
+            for u in 0..self.n {
+                if self.config.parallel_grain_constraint {
+                    // Eq. 13: the parallelizable outer inter-tile loops
+                    // (all but the innermost-inter `u` and the column
+                    // loop) must provide at least one iteration per
+                    // hardware thread.
+                    let outer_cap: f64 = (0..self.n)
+                        .filter(|&v| v != u && v != self.col)
+                        .map(|v| trips[v])
+                        .product();
+                    if outer_cap < self.threads as f64 {
+                        continue;
+                    }
+                }
+                // Eq. 10 generalized.
+                let mut cl2 = 0.0;
+                let mut cl2_lines = 0.0;
+                for a in 0..self.na {
+                    let reuse = if self.fp.uses_var(a, u) { 1.0 } else { trips[u] };
+                    cl2 += rows_tile[a] * ntiles / reuse;
+                    cl2_lines += lines_tile[a] * ntiles / reuse;
+                }
+                let cost = self.a2 * cl1 + self.a3 * cl2 + self.am * cl2_lines;
+                let tie_cost = self.a2 * cl1_lines + self.a3 * cl2_lines;
+                let cand = TempCand {
+                    cost,
+                    tie_cost,
+                    tile: tile.clone(),
+                    x,
+                    u,
+                    key: [i, x, u],
+                };
+                if best.as_ref().is_none_or(|b| search::beats(&cand, b)) {
+                    best = Some(cand);
                 }
             }
-            // Eq. 10 generalized.
-            let mut cl2 = 0.0;
-            let mut cl2_lines = 0.0;
-            for a in 0..na {
-                let reuse = if fp.uses_var(a, u) { 1.0 } else { trips[u] };
-                cl2 += rows_tile[a] * ntiles / reuse;
-                cl2_lines += lines_tile[a] * ntiles / reuse;
-            }
-            let cost = a2 * cl1 + a3 * cl2 + am * cl2_lines;
-            let tie_cost = a2 * cl1_lines + a3 * cl2_lines;
-            if best.as_ref().is_none_or(|b| b.is_beaten_by(cost, tie_cost)) {
-                *best = Some(BestCand { cost, tie_cost, tile: tile.to_vec(), x, u });
-            }
         }
+        best
     }
 }
 
@@ -273,7 +386,7 @@ fn evaluate(
 /// to: `x` outermost intra-tile, the column loop innermost intra-tile,
 /// `u` innermost inter-tile, and the column loop not outermost.
 fn choose_orders(
-    best: &BestCand,
+    best: &TempCand,
     col: usize,
     extents: &[usize],
     config: &OptimizerConfig,
@@ -342,6 +455,7 @@ fn choose_orders(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::SearchOptions;
     use palo_arch::presets;
     use palo_ir::{DType, NestBuilder, NestInfo};
 
@@ -450,5 +564,39 @@ mod tests {
         let d = optimize(&nest, &info, &presets::intel_i7_6700(), &OptimizerConfig::default());
         // Degenerate nest: no tiling emitted, still a valid schedule.
         d.schedule().lower(&nest).unwrap();
+    }
+
+    #[test]
+    fn search_stats_report_work_and_pruning() {
+        let nest = matmul(512);
+        let info = NestInfo::analyze(&nest);
+        let arch = presets::intel_i7_5930k();
+        let (d, stats) =
+            optimize_with_stats(&nest, &info, &arch, &OptimizerConfig::default());
+        assert_eq!(d.class, Class::Temporal);
+        assert!(stats.workers >= 1);
+        assert!(stats.candidates_evaluated > 0, "{stats:?}");
+        assert!(stats.candidates_pruned > 0, "{stats:?}");
+        assert!(stats.memo_hits > 0, "{stats:?}");
+    }
+
+    #[test]
+    fn exhaustive_and_engine_search_agree() {
+        // Pruning + memoization + parallelism must not change the answer.
+        let nest = matmul(256);
+        let info = NestInfo::analyze(&nest);
+        let arch = presets::intel_i7_6700();
+        let exhaustive = OptimizerConfig {
+            search: SearchOptions::exhaustive(),
+            ..OptimizerConfig::default()
+        };
+        let engine = OptimizerConfig {
+            search: SearchOptions { threads: Some(3), prune: true, memo: true },
+            ..OptimizerConfig::default()
+        };
+        let (de, _) = optimize_with_stats(&nest, &info, &arch, &exhaustive);
+        let (dg, _) = optimize_with_stats(&nest, &info, &arch, &engine);
+        assert_eq!(de, dg);
+        assert_eq!(de.predicted_cost.to_bits(), dg.predicted_cost.to_bits());
     }
 }

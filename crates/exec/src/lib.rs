@@ -52,4 +52,4 @@ pub use buffers::Buffers;
 pub use error::{ExecError, TraceError};
 pub use interp::{run, run_reference};
 pub use timing::{estimate_time, estimate_time_with, TimeEstimate};
-pub use trace::{trace_into, TraceOptions};
+pub use trace::{trace_into, trace_stream, TraceOptions};

@@ -1,13 +1,16 @@
 //! Trace-mode execution: walk a lowered nest and feed the address stream
-//! of every array reference to the cache simulator.
+//! of every array reference to a streaming [`LineSink`].
 //!
-//! Contiguous runs of the innermost loop are batched into
-//! [`Hierarchy::access_range`] calls (line-granular), which keeps tracing
-//! of multi-hundred-megabyte iteration spaces tractable while preserving
-//! the per-line demand/prefetch behaviour the paper's analysis is about.
+//! The walker never materializes a trace: contiguous runs of the
+//! innermost loop are batched into [`LineSink::access_range`] calls
+//! (line-granular), which keeps tracing of multi-hundred-megabyte
+//! iteration spaces tractable while preserving the per-line
+//! demand/prefetch behaviour the paper's analysis is about. The
+//! production sink is the cache simulator ([`Hierarchy`]); a
+//! [`palo_cachesim::CountingSink`] sizes a trace without simulating it.
 
 use crate::error::TraceError;
-use palo_cachesim::{AccessKind, Hierarchy};
+use palo_cachesim::{AccessKind, Hierarchy, LineSink};
 use palo_ir::{Access, LoopNest};
 use palo_sched::LoweredNest;
 use std::time::{Duration, Instant};
@@ -67,7 +70,23 @@ struct Walker<'a> {
 const DEADLINE_CHECK_INTERVAL: u32 = 4096;
 
 /// Streams every memory reference of `lowered` (a schedule of `nest`)
-/// into `hier`.
+/// into the cache simulator `hier`. Equivalent to [`trace_stream`] with a
+/// [`Hierarchy`] sink.
+///
+/// # Errors
+///
+/// As for [`trace_stream`].
+pub fn trace_into(
+    nest: &LoopNest,
+    lowered: &LoweredNest,
+    hier: &mut Hierarchy,
+    opts: &TraceOptions,
+) -> Result<(), TraceError> {
+    trace_stream(nest, lowered, hier, opts)
+}
+
+/// Streams every memory reference of `lowered` (a schedule of `nest`)
+/// into `sink`, one batched contiguous run at a time.
 ///
 /// Array base addresses are assigned sequentially, page-aligned, with one
 /// guard page between arrays, mirroring what a real allocator does for
@@ -76,18 +95,18 @@ const DEADLINE_CHECK_INTERVAL: u32 = 4096;
 /// # Errors
 ///
 /// Returns [`TraceError::LineBudgetExceeded`] / [`TraceError::DeadlineExceeded`]
-/// when the corresponding [`TraceOptions`] guard trips (statistics
-/// accumulated up to that point remain in `hier`), and
+/// when the corresponding [`TraceOptions`] guard trips (whatever the sink
+/// accumulated up to that point is kept), and
 /// [`TraceError::MissingLoopDelta`] when the lowered nest is internally
 /// inconsistent.
-pub fn trace_into(
+pub fn trace_stream<S: LineSink>(
     nest: &LoopNest,
     lowered: &LoweredNest,
-    hier: &mut Hierarchy,
+    sink: &mut S,
     opts: &TraceOptions,
 ) -> Result<(), TraceError> {
     if opts.flush_first {
-        hier.flush();
+        sink.flush();
     }
     let dts = nest.dtype().size_bytes() as i64;
     let nvars = nest.vars().len();
@@ -139,23 +158,23 @@ pub fn trace_into(
         values: vec![0i64; nvars],
         accesses,
         dts,
-        line: hier.line_size() as i64,
-        line_limit: opts.max_lines.map(|m| hier.stats().total_accesses.saturating_add(m)),
+        line: sink.line_size() as i64,
+        line_limit: opts.max_lines.map(|m| sink.lines_issued().saturating_add(m)),
         max_lines: opts.max_lines.unwrap_or(u64::MAX),
         deadline_at: opts.deadline.map(|d| Instant::now() + d),
         deadline_budget: opts.deadline.unwrap_or(Duration::ZERO),
         steps_since_check: 0,
     };
-    walker.walk(0, hier)
+    walker.walk(0, sink)
 }
 
 impl Walker<'_> {
     /// Trips the line-budget and wall-clock guards. Called once per walk
     /// step; the clock is only read every [`DEADLINE_CHECK_INTERVAL`]
     /// steps.
-    fn check_guards(&mut self, hier: &Hierarchy) -> Result<(), TraceError> {
+    fn check_guards(&mut self, sink: &impl LineSink) -> Result<(), TraceError> {
         if let Some(limit) = self.line_limit {
-            if hier.stats().total_accesses >= limit {
+            if sink.lines_issued() >= limit {
                 return Err(TraceError::LineBudgetExceeded { limit: self.max_lines });
             }
         }
@@ -195,11 +214,11 @@ impl Walker<'_> {
         (steps, v, stride)
     }
 
-    fn walk(&mut self, d: usize, hier: &mut Hierarchy) -> Result<(), TraceError> {
-        self.check_guards(hier)?;
+    fn walk<S: LineSink>(&mut self, d: usize, sink: &mut S) -> Result<(), TraceError> {
+        self.check_guards(sink)?;
         if d == self.loops.len() {
             for a in &self.accesses {
-                hier.access_range(a.addr as u64, self.dts as u64, a.kind);
+                sink.access_range(a.addr as u64, self.dts as u64, a.kind);
             }
             return Ok(());
         }
@@ -210,10 +229,10 @@ impl Walker<'_> {
         if simple {
             let (steps, v, stride) = self.simple_steps(d);
             if innermost {
-                return self.issue_innermost(d, steps, hier);
+                return self.issue_innermost(d, steps, sink);
             }
             for _ in 0..steps {
-                self.walk(d + 1, hier)?;
+                self.walk(d + 1, sink)?;
                 self.values[v] += stride;
                 for ai in 0..self.accesses.len() {
                     match self.accesses[ai].loop_deltas[d] {
@@ -257,7 +276,7 @@ impl Walker<'_> {
                 for (ai, a) in self.accesses.iter_mut().enumerate() {
                     a.addr += addr_deltas[ai];
                 }
-                self.walk(d + 1, hier)?;
+                self.walk(d + 1, sink)?;
                 for &(v, dv) in &val_deltas {
                     self.values[v] -= dv;
                 }
@@ -271,38 +290,38 @@ impl Walker<'_> {
 
     /// Issues the accesses of the innermost (simple) loop with `steps`
     /// in-bounds iterations, batching contiguous runs.
-    fn issue_innermost(
+    fn issue_innermost<S: LineSink>(
         &mut self,
         d: usize,
         steps: usize,
-        hier: &mut Hierarchy,
+        sink: &mut S,
     ) -> Result<(), TraceError> {
         if steps == 0 {
             return Ok(());
         }
         let n = steps as i64;
         for ai in 0..self.accesses.len() {
-            self.check_guards(hier)?;
+            self.check_guards(sink)?;
             let a = &self.accesses[ai];
             let Some(delta) = a.loop_deltas[d] else {
                 return Err(self.missing_delta(d));
             };
             if delta == 0 {
-                hier.access_range(a.addr as u64, self.dts as u64, a.kind);
+                sink.access_range(a.addr as u64, self.dts as u64, a.kind);
             } else if delta > 0 && delta <= self.line {
                 let span = (n - 1) * delta + self.dts;
-                hier.access_range(a.addr as u64, span as u64, a.kind);
+                sink.access_range(a.addr as u64, span as u64, a.kind);
             } else if delta < 0 && -delta <= self.line {
                 let start = a.addr + (n - 1) * delta;
                 let span = (n - 1) * (-delta) + self.dts;
-                hier.access_range(start as u64, span as u64, a.kind);
+                sink.access_range(start as u64, span as u64, a.kind);
             } else {
                 let (mut addr, dts, kind) = (a.addr, self.dts, a.kind);
                 for step in 0..steps {
                     if step % DEADLINE_CHECK_INTERVAL as usize == 0 {
-                        self.check_guards(hier)?;
+                        self.check_guards(sink)?;
                     }
-                    hier.access_range(addr as u64, dts as u64, kind);
+                    sink.access_range(addr as u64, dts as u64, kind);
                     addr += delta;
                 }
             }
@@ -497,6 +516,32 @@ mod tests {
         trace_into(&nest, &lowered, &mut h2, &opts).unwrap();
         assert_eq!(h1.stats().total_accesses, h2.stats().total_accesses);
         assert_eq!(h1.stats().mem_demand_fills, h2.stats().mem_demand_fills);
+    }
+
+    #[test]
+    fn counting_sink_sees_exactly_the_simulated_lines() {
+        use palo_cachesim::CountingSink;
+        let nest = matmul(64);
+        let lowered = Schedule::new().lower(&nest).unwrap();
+        let mut hier = Hierarchy::from_architecture(&presets::intel_i7_6700());
+        trace_into(&nest, &lowered, &mut hier, &TraceOptions::default()).unwrap();
+        let mut count = CountingSink::new(64);
+        trace_stream(&nest, &lowered, &mut count, &TraceOptions::default()).unwrap();
+        assert_eq!(count.lines_issued(), hier.stats().total_accesses);
+        assert!(count.runs() > 0);
+    }
+
+    #[test]
+    fn counting_sink_respects_line_budget_guard() {
+        use palo_cachesim::CountingSink;
+        let nest = copy_nest(256);
+        let lowered = Schedule::new().lower(&nest).unwrap();
+        let mut count = CountingSink::new(64);
+        let opts = TraceOptions { max_lines: Some(100), ..TraceOptions::default() };
+        let err = trace_stream(&nest, &lowered, &mut count, &opts).unwrap_err();
+        assert_eq!(err, TraceError::LineBudgetExceeded { limit: 100 });
+        assert!(count.lines_issued() >= 100);
+        assert!(count.lines_issued() < 200);
     }
 
     #[test]
