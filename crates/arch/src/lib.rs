@@ -112,8 +112,7 @@ impl Architecture {
             ));
         }
         for (i, c) in self.caches.iter().enumerate() {
-            c.validate()
-                .map_err(|e| format!("cache level L{}: {e}", i + 1))?;
+            c.validate().map_err(|e| format!("cache level L{}: {e}", i + 1))?;
         }
         for w in self.caches.windows(2) {
             if w[1].line_size < w[0].line_size {
@@ -139,11 +138,9 @@ mod tests {
 
     #[test]
     fn presets_validate() {
-        for arch in [
-            presets::intel_i7_6700(),
-            presets::intel_i7_5930k(),
-            presets::arm_cortex_a15(),
-        ] {
+        for arch in
+            [presets::intel_i7_6700(), presets::intel_i7_5930k(), presets::arm_cortex_a15()]
+        {
             arch.validate().unwrap_or_else(|e| panic!("{}: {e}", arch.name));
         }
     }

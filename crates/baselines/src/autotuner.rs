@@ -6,7 +6,9 @@
 //!
 //! * it "iteratively run\[s\] an application using different optimization
 //!   configurations" — here each candidate is *measured* on the cache
-//!   simulator ([`palo_exec::estimate_time`]);
+//!   simulator through the shared measurement oracle
+//!   ([`SimulatedModel::score_lowered`], the same model the optimizer can
+//!   select via `OptimizerConfig::model`);
 //! * "part of the design space is sometimes actually excluded": candidates
 //!   only tile the *output* dimensions (Fig. 5's observation), with
 //!   power-of-two sizes;
@@ -27,11 +29,8 @@
 //! bit-identically what the sequential first-best rule returned.
 
 use palo_arch::Architecture;
-use palo_core::search::{
-    self, cost_bits, resolve_threads, Candidate, SearchStats,
-};
-use palo_core::{catch_panic, PaloError};
-use palo_exec::estimate_time;
+use palo_core::search::{self, cost_bits, resolve_threads, Candidate, SearchStats};
+use palo_core::{PaloError, SimulatedModel};
 use palo_ir::LoopNest;
 use palo_sched::Schedule;
 use rand::rngs::StdRng;
@@ -154,7 +153,11 @@ impl Autotuner {
     /// evaluated (e.g. the trace budget aborts the first estimate, or the
     /// deadline was already spent), or [`PaloError::DeadlineExceeded`]
     /// when the deadline fired before any evaluation.
-    pub fn try_tune(&self, nest: &LoopNest, arch: &Architecture) -> Result<TuneResult, PaloError> {
+    pub fn try_tune(
+        &self,
+        nest: &LoopNest,
+        arch: &Architecture,
+    ) -> Result<TuneResult, PaloError> {
         let start = Instant::now();
         let space = CandidateSpace::of(nest, arch);
 
@@ -179,6 +182,7 @@ impl Autotuner {
         let deadline_hit = AtomicBool::new(false);
         let last_err: Mutex<Option<PaloError>> = Mutex::new(None);
         let workers = resolve_threads(self.threads);
+        let oracle = SimulatedModel::default();
         // Chunk of 1: each candidate is a whole trace simulation, so even
         // a budget of 10 is worth spreading across the pool.
         let best = search::search_min_grained(workers, schedules.len(), 1, |i, _incumbent| {
@@ -191,15 +195,12 @@ impl Autotuner {
             let sched = &schedules[i];
             let Ok(lowered) = sched.lower(nest) else { return None };
             // A panicking or failing measurement skips the candidate, it
-            // does not abort the tuning run.
-            let measured = catch_panic("autotuner candidate", || {
-                estimate_time(nest, &lowered, arch)
-            })
-            .and_then(|r| r.map_err(PaloError::from));
-            match measured {
-                Ok(est) => {
+            // does not abort the tuning run (`score_lowered` catches
+            // panics internally).
+            match oracle.score_lowered(nest, arch, &lowered) {
+                Ok(bd) => {
                     evals.fetch_add(1, Ordering::Relaxed);
-                    Some(TunedCand { est_ms: est.ms, idx: [i] })
+                    Some(TunedCand { est_ms: bd.total, idx: [i] })
                 }
                 Err(e) => {
                     skipped.fetch_add(1, Ordering::Relaxed);
@@ -266,8 +267,7 @@ fn random_candidate(space: &CandidateSpace<'_>, rng: &mut StdRng) -> Schedule {
         let j = rng.gen_range(0..=i);
         inter.swap(i, j);
     }
-    let mut order: Vec<String> =
-        inter.iter().map(|&v| format!("{}_o", names[v])).collect();
+    let mut order: Vec<String> = inter.iter().map(|&v| format!("{}_o", names[v])).collect();
     // Reduction loops in random relative position: before or after
     // the intra tiles (coin flip), column always innermost.
     let reductions: Vec<usize> = (0..n).filter(|&v| !out_vars.contains(&v)).collect();

@@ -19,8 +19,7 @@ pub fn baseline(nest: &LoopNest, arch: &Architecture) -> Schedule {
     // program order.
     let order: Vec<&str> = match col {
         Some(c) => {
-            let mut o: Vec<&str> =
-                (0..n).filter(|&v| v != c).map(|v| names[v]).collect();
+            let mut o: Vec<&str> = (0..n).filter(|&v| v != c).map(|v| names[v]).collect();
             o.push(names[c]);
             o
         }

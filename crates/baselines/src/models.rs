@@ -1,8 +1,10 @@
 //! Reimplementations of the TSS and TTS analytical tile-size models
-//! (§5.2, Table 6).
+//! (§5.2, Table 6), expressed as [`CostModel`] impls.
 //!
-//! Both models are expressed by reconfiguring the shared cost machinery
-//! of [`palo_core`]:
+//! Both models are the shared cost machinery of [`palo_core::model`]
+//! running under an *effective* configuration
+//! ([`ModelKind::effective_config`]) — the same search engine, the same
+//! [`CostBreakdown`](palo_core::CostBreakdown) reporting:
 //!
 //! * **TSS** \[Mehta et al., TACO 2013\] exploits reuse in the L1 and L2
 //!   with associativity awareness but "without taking prefetching into
@@ -11,58 +13,87 @@
 //! * **TTS / TurboTiling** \[Mehta et al., ICS 2016\] "optimizes for L2
 //!   and L3 cache while taking advantage of hardware prefetching.
 //!   However, prefetching is not considered in the analytical model":
-//!   the same search is run one level down the hierarchy (L2 plays L1's
-//!   role, the L3 — or memory on two-level platforms — plays L2's), again
-//!   without prefetch discounting. The resulting tiles are characteristically
-//!   larger than TSS's.
+//!   the same search is run one level down the hierarchy
+//!   ([`palo_core::shift_hierarchy`]: L2 plays L1's role, the L3 — or
+//!   memory on two-level platforms — plays L2's), again without prefetch
+//!   discounting. The resulting tiles are characteristically larger than
+//!   TSS's.
 
 use palo_arch::Architecture;
-use palo_core::{temporal, Decision, OptimizerConfig};
+use palo_core::model::{
+    CandidatePoint, CostBreakdown, CostModel, PrefetchAwareModel, TileContext,
+};
+use palo_core::{temporal, Decision, ModelKind, OptimizerConfig};
 use palo_ir::{LoopNest, NestInfo};
 
+/// The TSS cost model: the paper's analytical machinery with the
+/// prefetch awareness switched off. The prefetch-free knobs live in the
+/// *effective* configuration carried by the [`TileContext`]
+/// ([`ModelKind::Tss`]), so this impl only rebrands the shared scoring.
+pub struct TssModel;
+
+impl CostModel for TssModel {
+    fn name(&self) -> &'static str {
+        "tss"
+    }
+    fn lower_bound(&self, ctx: &TileContext<'_>, tile: &[usize]) -> Option<f64> {
+        PrefetchAwareModel::named("tss").lower_bound(ctx, tile)
+    }
+    fn evaluate(
+        &self,
+        ctx: &TileContext<'_>,
+        point: &CandidatePoint<'_>,
+    ) -> Option<CostBreakdown> {
+        PrefetchAwareModel::named("tss").evaluate(ctx, point)
+    }
+}
+
+/// The TTS/TurboTiling cost model: [`TssModel`]'s scoring against the
+/// shifted hierarchy ([`ModelKind::Tts`]'s effective architecture).
+pub struct TtsModel;
+
+impl CostModel for TtsModel {
+    fn name(&self) -> &'static str {
+        "tts"
+    }
+    fn lower_bound(&self, ctx: &TileContext<'_>, tile: &[usize]) -> Option<f64> {
+        PrefetchAwareModel::named("tts").lower_bound(ctx, tile)
+    }
+    fn evaluate(
+        &self,
+        ctx: &TileContext<'_>,
+        point: &CandidatePoint<'_>,
+    ) -> Option<CostBreakdown> {
+        PrefetchAwareModel::named("tts").evaluate(ctx, point)
+    }
+}
+
 /// TSS tile-size selection: L1+L2 reuse, associativity-aware, no
-/// prefetch modeling.
+/// prefetch modeling. (The original models are temporal-reuse tilers, so
+/// every kernel runs through the temporal driver, as in the paper's
+/// comparison.)
 pub fn tss(nest: &LoopNest, arch: &Architecture) -> Decision {
-    let config = OptimizerConfig {
-        prefetch_discount: false,
-        halve_l2_sets: false,
-        ..OptimizerConfig::default()
-    };
+    let mut config = ModelKind::Tss.effective_config(&OptimizerConfig::default());
+    config.model = ModelKind::Tss;
     let info = NestInfo::analyze(nest);
-    temporal::optimize(nest, &info, arch, &config)
+    temporal::optimize_with_model(nest, &info, arch, &config, &TssModel).0
 }
 
 /// TTS/TurboTiling tile-size selection: L2+L3 reuse, prefetch streams
 /// assumed to fill the LLC but not modeled in the miss estimates.
 pub fn tts(nest: &LoopNest, arch: &Architecture) -> Decision {
-    let shifted = shift_hierarchy(arch);
-    let config = OptimizerConfig {
-        prefetch_discount: false,
-        halve_l2_sets: false,
-        ..OptimizerConfig::default()
-    };
+    let mut config = ModelKind::Tts.effective_config(&OptimizerConfig::default());
+    config.model = ModelKind::Tts;
+    let shifted = ModelKind::Tts.effective_arch(arch);
     let info = NestInfo::analyze(nest);
-    temporal::optimize(nest, &info, &shifted, &config)
-}
-
-/// Builds a pseudo-architecture whose first two levels are the real L2
-/// and L3 (so the level-generic search optimizes one level further out).
-/// On two-level platforms the L2 doubles as both.
-fn shift_hierarchy(arch: &Architecture) -> Architecture {
-    let mut shifted = arch.clone();
-    let caches = &arch.caches;
-    shifted.caches = if caches.len() >= 3 {
-        caches[1..].to_vec()
-    } else {
-        vec![caches[1].clone(), caches[1].clone()]
-    };
-    shifted
+    temporal::optimize_with_model(nest, &info, &shifted, &config, &TtsModel).0
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use palo_arch::presets;
+    use palo_core::{shift_hierarchy, Optimizer};
     use palo_suite::kernels;
 
     #[test]
@@ -84,6 +115,24 @@ mod tests {
         let v_tss: usize = tss(&nest, &arch).tile.iter().product();
         let v_tts: usize = tts(&nest, &arch).tile.iter().product();
         assert!(v_tts >= v_tss, "tts {v_tts} < tss {v_tss}");
+    }
+
+    #[test]
+    fn baseline_models_match_config_level_model_selection() {
+        // The dedicated entry points and `OptimizerConfig::model` are two
+        // doors to the same machinery: identical decisions, same cost
+        // bits.
+        let nest = kernels::matmul(256).unwrap();
+        let arch = presets::intel_i7_5930k();
+        for (kind, d_fn) in
+            [(ModelKind::Tss, tss(&nest, &arch)), (ModelKind::Tts, tts(&nest, &arch))]
+        {
+            let config = OptimizerConfig { model: kind, ..OptimizerConfig::default() };
+            let d_cfg = Optimizer::with_config(&arch, config).optimize(&nest);
+            assert_eq!(d_fn.tile, d_cfg.tile, "{kind:?}");
+            assert_eq!(d_fn.predicted_cost.to_bits(), d_cfg.predicted_cost.to_bits());
+            assert_eq!(d_fn.breakdown, d_cfg.breakdown);
+        }
     }
 
     #[test]

@@ -63,7 +63,9 @@ pub fn schedule_for(
         Technique::ProposedNti => Optimizer::new(arch).optimize(nest).into_schedule(),
         Technique::AutoScheduler => auto_scheduler(nest, arch),
         Technique::Baseline => baseline(nest, arch),
-        Technique::Autotuner { budget } => Autotuner::new(budget, seed).tune(nest, arch).schedule,
+        Technique::Autotuner { budget } => {
+            Autotuner::new(budget, seed).tune(nest, arch).schedule
+        }
         Technique::Tss => tss(nest, arch).into_schedule(),
         Technique::Tts => tts(nest, arch).into_schedule(),
     }

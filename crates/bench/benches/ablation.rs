@@ -38,10 +38,7 @@ fn main() {
         ("no NTI", OptimizerConfig { enable_nti: false, ..OptimizerConfig::default() }),
     ];
 
-    let nests = [
-        ("matmul 512", kernels::matmul(512)),
-        ("tpm 1024", kernels::tpm(1024)),
-    ];
+    let nests = [("matmul 512", kernels::matmul(512)), ("tpm 1024", kernels::tpm(1024))];
     for (bench, nest) in nests {
         let nest = match nest {
             Ok(n) => n,

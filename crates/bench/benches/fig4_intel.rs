@@ -18,10 +18,8 @@ fn main() {
         ];
         let mut rows = Vec::new();
         for b in Benchmark::all() {
-            let times: Vec<f64> = techniques
-                .iter()
-                .map(|&t| measure_benchmark(b, t, &arch, 0xC60))
-                .collect();
+            let times: Vec<f64> =
+                techniques.iter().map(|&t| measure_benchmark(b, t, &arch, 0xC60)).collect();
             let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
             let mut row = vec![b.name().to_string()];
             for ms in &times {
@@ -35,7 +33,14 @@ fn main() {
                 "Figure 4: throughput relative to fastest — {} (autotuner budget {budget})",
                 arch.name
             ),
-            &["Benchmark", "Proposed", "Proposed+NTI", "Auto-Scheduler", "Baseline", "Autotuner"],
+            &[
+                "Benchmark",
+                "Proposed",
+                "Proposed+NTI",
+                "Auto-Scheduler",
+                "Baseline",
+                "Autotuner",
+            ],
             &rows,
         );
     }

@@ -14,12 +14,8 @@ use palo_suite::Benchmark;
 fn main() {
     let arch = presets::repro::intel_i7_5930k();
     let budget = autotuner_budget_1d();
-    let benchmarks = [
-        Benchmark::Tpm,
-        Benchmark::Convlayer,
-        Benchmark::Matmul,
-        Benchmark::Doitgen,
-    ];
+    let benchmarks =
+        [Benchmark::Tpm, Benchmark::Convlayer, Benchmark::Matmul, Benchmark::Doitgen];
     let mut rows = Vec::new();
     for b in benchmarks {
         let proposed = measure_benchmark(b, Technique::ProposedNti, &arch, 0);

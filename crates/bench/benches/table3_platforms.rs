@@ -7,11 +7,8 @@ use palo_arch::presets;
 use palo_bench::print_table;
 
 fn main() {
-    let archs = [
-        presets::intel_i7_5930k(),
-        presets::intel_i7_6700(),
-        presets::arm_cortex_a15(),
-    ];
+    let archs =
+        [presets::intel_i7_5930k(), presets::intel_i7_6700(), presets::arm_cortex_a15()];
     let mut rows = Vec::new();
     let field = |name: &str, f: &dyn Fn(&palo_arch::Architecture) -> String| {
         let mut row = vec![name.to_string()];

@@ -14,8 +14,7 @@ use palo_suite::Benchmark;
 fn main() {
     let arch = presets::repro::intel_i7_5930k();
     let sizes: &[usize] = if quick() { &[128, 256] } else { &[128, 256, 320, 512] };
-    let benchmarks =
-        [Benchmark::Matmul, Benchmark::Trmm, Benchmark::Syrk, Benchmark::Syr2k];
+    let benchmarks = [Benchmark::Matmul, Benchmark::Trmm, Benchmark::Syrk, Benchmark::Syr2k];
     let techniques = [Technique::Tts, Technique::Tss, Technique::Proposed];
 
     for &size in sizes {
@@ -30,7 +29,9 @@ fn main() {
             rows.push(row);
         }
         print_table(
-            &format!("Table 6: estimated execution time (ms), problem size {size} — Intel 5930K"),
+            &format!(
+                "Table 6: estimated execution time (ms), problem size {size} — Intel 5930K"
+            ),
             &["Benchmark", "TTS", "TSS", "Proposed"],
             &rows,
         );

@@ -1,0 +1,378 @@
+//! Model-fidelity harness: how well does each *analytical* cost model
+//! rank candidates compared to the simulator's measured time?
+//!
+//! For each kernel this enumerates a fixed grid of candidate points
+//! (tile + the driver-default `(x, u)` orders), scores every point with
+//! the three analytical models — the paper's prefetch-aware model, TSS
+//! and TTS, each under its own *effective* `(config, arch)` pair — and
+//! with the [`SimulatedModel`] oracle (estimated milliseconds on the
+//! cache simulator). Per model it reports the Spearman rank correlation
+//! between predicted cost and simulated time (average ranks under ties;
+//! model-infeasible points count as tied-worst), plus whether the
+//! model's argmin point is also the simulator's. Results go to
+//! `BENCH_models.json`.
+//!
+//! Exit status is non-zero when a kernel fails to build, when the
+//! simulator cannot score any point, or when *no* analytical model
+//! achieves a positive rank correlation on any kernel (the models would
+//! then be anti-predictive, which the acceptance criteria treat as a
+//! regression).
+//!
+//! Environment:
+//!
+//! * `PALO_BENCH_MODELS_OUT` — output path, default `BENCH_models.json`.
+//!
+//! Usage: `bench_models [kernel ...]`; default is the temporal trio
+//! `matmul gemm syrk` plus the spatial `tp`, at sizes small enough that
+//! simulating the full grid takes seconds.
+
+use palo_arch::presets;
+use palo_baselines::{TssModel, TtsModel};
+use palo_core::{
+    classify, post, CandidatePoint, Class, CostModel, Footprints, ModelKind, OptimizerConfig,
+    PrefetchAwareModel, SearchCounters, SimulatedModel, TileContext,
+};
+use palo_ir::{LoopNest, NestInfo};
+use palo_suite::Benchmark;
+use std::fmt::Write as _;
+
+/// One candidate point of the shared grid: every model and the oracle
+/// score exactly this `(tile, x, u)` triple.
+struct Point {
+    tile: Vec<usize>,
+    x: Option<usize>,
+    u: Option<usize>,
+}
+
+struct ModelRow {
+    model: &'static str,
+    spearman: Option<f64>,
+    finite_points: usize,
+    best_agrees: bool,
+}
+
+struct KernelRow {
+    name: &'static str,
+    size: usize,
+    points: usize,
+    models: Vec<ModelRow>,
+}
+
+/// Benchmark size: the simulator traces the full kernel once per point,
+/// so sizes stay small (seconds per kernel, not minutes).
+fn bench_size(b: Benchmark) -> usize {
+    match b {
+        Benchmark::Convlayer => 12,
+        Benchmark::Doitgen => 32,
+        Benchmark::Tpm | Benchmark::Tp | Benchmark::Copy | Benchmark::Mask => 768,
+        _ => 160,
+    }
+}
+
+/// The candidate grid. Temporal: a coarse sweep of column-tile ×
+/// other-dims tile sizes under the driver-default `(x, u)` (x = first
+/// non-column variable, u = the column loop). Spatial: a width × height
+/// sweep with the remaining dims untiled. Tiles are clipped to the
+/// extents and deduplicated.
+fn candidate_points(class: Class, extents: &[usize], col: usize, row: usize) -> Vec<Point> {
+    let n = extents.len();
+    let mut points: Vec<Point> = Vec::new();
+    let mut seen: Vec<Vec<usize>> = Vec::new();
+    let mut push = |tile: Vec<usize>, x: Option<usize>, u: Option<usize>| {
+        if !seen.contains(&tile) {
+            seen.push(tile.clone());
+            points.push(Point { tile, x, u });
+        }
+    };
+    match class {
+        Class::Temporal => {
+            let x = (0..n).find(|&v| v != col);
+            for tc in [8usize, 32, usize::MAX] {
+                for t in [4usize, 16, 64, usize::MAX] {
+                    let mut tile: Vec<usize> = extents.iter().map(|&e| t.min(e)).collect();
+                    tile[col] = tc.min(extents[col]);
+                    push(tile, x, Some(col));
+                }
+            }
+        }
+        _ => {
+            for tw in [8usize, 32, 128] {
+                for th in [8usize, 32, 128] {
+                    let mut tile = extents.to_vec();
+                    tile[col] = tw.min(extents[col]);
+                    tile[row] = th.min(extents[row]);
+                    push(tile, None, None);
+                }
+            }
+        }
+    }
+    points
+}
+
+/// Scores every point with `model` under its effective `(config, arch)`
+/// pair; a point the model rejects (budget/validity) scores `+inf`.
+#[allow(clippy::too_many_arguments)]
+fn score_points(
+    nest: &LoopNest,
+    info: &NestInfo,
+    class: Class,
+    kind: ModelKind,
+    model: &dyn CostModel,
+    col: usize,
+    row: usize,
+    points: &[Point],
+) -> Vec<f64> {
+    let base_arch = presets::intel_i7_5930k();
+    let config = kind.effective_config(&OptimizerConfig::default());
+    let arch = kind.effective_arch(&base_arch);
+    let extents = nest.extents();
+    let fp = Footprints::new(nest, arch.l1().line_size);
+    let use_nti = post::nti_eligible(info, &arch, &config);
+    let counters = SearchCounters::default();
+    let ctx = match class {
+        Class::Temporal => {
+            TileContext::temporal(nest, &fp, &extents, &arch, &config, col, use_nti, &counters)
+        }
+        _ => TileContext::spatial(
+            nest, &fp, &extents, &arch, &config, col, row, use_nti, &counters,
+        ),
+    };
+    points
+        .iter()
+        .map(|p| {
+            let point = CandidatePoint { tile: &p.tile, x: p.x, u: p.u };
+            model.evaluate(&ctx, &point).map(|bd| bd.total).unwrap_or(f64::INFINITY)
+        })
+        .collect()
+}
+
+/// Average ranks (1-based, ties share the mean rank); `+inf` entries tie
+/// at the bottom.
+fn average_ranks(scores: &[f64]) -> Vec<f64> {
+    let n = scores.len();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| {
+        scores[a].partial_cmp(&scores[b]).unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut ranks = vec![0.0; n];
+    let mut i = 0;
+    while i < n {
+        let mut j = i;
+        while j + 1 < n && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        let mean = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            ranks[k] = mean;
+        }
+        i = j + 1;
+    }
+    ranks
+}
+
+/// Spearman's rho as the Pearson correlation of the average ranks
+/// (exact under ties). `None` when either ranking is constant.
+fn spearman(a: &[f64], b: &[f64]) -> Option<f64> {
+    let (ra, rb) = (average_ranks(a), average_ranks(b));
+    let n = ra.len() as f64;
+    let (ma, mb) = (ra.iter().sum::<f64>() / n, rb.iter().sum::<f64>() / n);
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (x, y) in ra.iter().zip(&rb) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma).powi(2);
+        vb += (y - mb).powi(2);
+    }
+    if va == 0.0 || vb == 0.0 {
+        return None;
+    }
+    Some(cov / (va * vb).sqrt())
+}
+
+fn argmin(scores: &[f64]) -> usize {
+    let mut best = 0;
+    for (i, &s) in scores.iter().enumerate() {
+        if s < scores[best] {
+            best = i;
+        }
+    }
+    best
+}
+
+fn run_kernel(b: Benchmark) -> Result<Option<KernelRow>, String> {
+    let size = bench_size(b);
+    let nests: Vec<LoopNest> = b.build(size).map_err(|e| format!("{}: {e}", b.name()))?;
+    // Multi-stage benchmarks: score the first transformable stage.
+    for nest in &nests {
+        let info = NestInfo::analyze(nest);
+        let class = classify(&info);
+        if class == Class::ContiguousOnly {
+            continue;
+        }
+        let Some(col) = nest.column_var().map(|v| v.index()) else { continue };
+        let out_order = nest.statement().output.var_order();
+        let Some(row) = out_order.iter().rev().map(|v| v.index()).find(|&v| v != col) else {
+            continue;
+        };
+        let extents = nest.extents();
+        let points = candidate_points(class, &extents, col, row);
+
+        // The oracle: simulated milliseconds under the *real* arch and
+        // the paper-default config (budgets are irrelevant for explicit
+        // points; only the canonical schedule matters).
+        let truth = score_points(
+            nest,
+            &info,
+            class,
+            ModelKind::Paper,
+            &SimulatedModel::default(),
+            col,
+            row,
+            &points,
+        );
+        let measured = truth.iter().filter(|t| t.is_finite()).count();
+        if measured == 0 {
+            return Err(format!("{}: simulator scored no candidate point", b.name()));
+        }
+        let truth_best = argmin(&truth);
+
+        let analytical: [(&'static str, ModelKind, &dyn CostModel); 3] = [
+            ("paper", ModelKind::Paper, &PrefetchAwareModel::paper()),
+            ("tss", ModelKind::Tss, &TssModel),
+            ("tts", ModelKind::Tts, &TtsModel),
+        ];
+        let mut models = Vec::new();
+        for (name, kind, model) in analytical {
+            let pred = score_points(nest, &info, class, kind, model, col, row, &points);
+            models.push(ModelRow {
+                model: name,
+                spearman: spearman(&pred, &truth),
+                finite_points: pred.iter().filter(|p| p.is_finite()).count(),
+                best_agrees: argmin(&pred) == truth_best,
+            });
+        }
+        return Ok(Some(KernelRow { name: b.name(), size, points: points.len(), models }));
+    }
+    Ok(None) // nothing transformable (contiguous benchmark)
+}
+
+fn render_json(rows: &[KernelRow]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"models\",\n  \"kernels\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            out,
+            "    {{\"kernel\": \"{}\", \"size\": {}, \"points\": {}, \"models\": [",
+            r.name, r.size, r.points
+        );
+        for (j, m) in r.models.iter().enumerate() {
+            let rho = match m.spearman {
+                Some(v) => format!("{v:.4}"),
+                None => "null".into(),
+            };
+            let _ = write!(
+                out,
+                "{{\"model\": \"{}\", \"spearman\": {}, \"finite_points\": {}, \
+                 \"best_agrees\": {}}}",
+                m.model, rho, m.finite_points, m.best_agrees
+            );
+            if j + 1 < r.models.len() {
+                out.push_str(", ");
+            }
+        }
+        out.push_str("]}");
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ],\n  \"mean_spearman\": {");
+    for (j, name) in ["paper", "tss", "tts"].iter().enumerate() {
+        let rhos: Vec<f64> = rows
+            .iter()
+            .flat_map(|r| &r.models)
+            .filter(|m| m.model == *name)
+            .filter_map(|m| m.spearman)
+            .collect();
+        let mean = if rhos.is_empty() {
+            "null".into()
+        } else {
+            format!("{:.4}", rhos.iter().sum::<f64>() / rhos.len() as f64)
+        };
+        let _ = write!(out, "\"{name}\": {mean}");
+        if j < 2 {
+            out.push_str(", ");
+        }
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+fn main() {
+    let out_path =
+        std::env::var("PALO_BENCH_MODELS_OUT").unwrap_or_else(|_| "BENCH_models.json".into());
+    let requested: Vec<String> = std::env::args().skip(1).collect();
+    let kernels: Vec<Benchmark> = if requested.is_empty() {
+        vec![Benchmark::Matmul, Benchmark::Gemm, Benchmark::Syrk, Benchmark::Tp]
+    } else {
+        let mut ks = Vec::new();
+        for want in &requested {
+            match Benchmark::all().iter().find(|b| b.name() == want) {
+                Some(b) => ks.push(*b),
+                None => {
+                    eprintln!("bench_models: unknown kernel '{want}'");
+                    std::process::exit(2);
+                }
+            }
+        }
+        ks
+    };
+
+    let mut rows = Vec::new();
+    let mut failed = false;
+    for b in kernels {
+        match run_kernel(b) {
+            Ok(Some(row)) => {
+                for m in &row.models {
+                    println!(
+                        "{:<10} size {:>4}, {:>2} points: {:<5} spearman {}, \
+                         argmin agrees: {}",
+                        row.name,
+                        row.size,
+                        row.points,
+                        m.model,
+                        m.spearman.map(|v| format!("{v:+.3}")).unwrap_or("n/a ".into()),
+                        m.best_agrees,
+                    );
+                }
+                rows.push(row);
+            }
+            Ok(None) => println!("{:<10} skipped (no transformable stage)", b.name()),
+            Err(e) => {
+                eprintln!("bench_models: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    // Regression tripwire: at least one analytical model must rank
+    // usefully (positive rho) on at least one kernel.
+    let any_positive =
+        rows.iter().flat_map(|r| &r.models).any(|m| m.spearman.is_some_and(|v| v > 0.0));
+    if !rows.is_empty() && !any_positive {
+        eprintln!("bench_models: no model achieved a positive rank correlation");
+        failed = true;
+    }
+    if rows.is_empty() {
+        eprintln!("bench_models: no kernel produced data");
+        failed = true;
+    }
+
+    let json = render_json(&rows);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("bench_models: cannot write {out_path}: {e}");
+        failed = true;
+    } else {
+        println!("wrote {out_path}");
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -225,8 +225,7 @@ fn main() {
     // The acceptance criteria track these counters: an engine that never
     // prunes or memoizes is a regression even if it agrees.
     let total_pruned: u64 = rows.iter().map(|r| r.stats.candidates_pruned).sum();
-    let total_memo: u64 =
-        rows.iter().map(|r| r.stats.memo_hits + r.stats.emu_memo_hits).sum();
+    let total_memo: u64 = rows.iter().map(|r| r.stats.memo_hits + r.stats.emu_memo_hits).sum();
     if rows.iter().any(|r| r.name != "tp") && total_pruned == 0 {
         eprintln!("bench_search: no candidate was ever pruned");
         failed = true;

@@ -304,17 +304,15 @@ impl Hierarchy {
         if served.level >= 1 {
             // L1 missed: the L1 next-line streamer fetches the successor,
             // and the L2 prefetcher sees the access.
-            let sequential = line == self.l1_last_miss.wrapping_add(1) || line == self.l1_last_miss;
+            let sequential =
+                line == self.l1_last_miss.wrapping_add(1) || line == self.l1_last_miss;
             self.l1_last_miss = line;
             if self.l1_next_line && sequential && self.throttle.allow() {
                 self.prefetch_fill(0, line + 1);
                 self.throttle.on_fill();
             }
-            let prefetches = self
-                .l2_stride
-                .as_mut()
-                .map(|p| p.observe(line))
-                .unwrap_or_default();
+            let prefetches =
+                self.l2_stride.as_mut().map(|p| p.observe(line)).unwrap_or_default();
             for pline in prefetches {
                 if !self.throttle.allow() {
                     continue;
@@ -503,11 +501,9 @@ mod tests {
 
     #[test]
     fn try_from_architecture_accepts_presets() {
-        for arch in [
-            presets::intel_i7_6700(),
-            presets::intel_i7_5930k(),
-            presets::arm_cortex_a15(),
-        ] {
+        for arch in
+            [presets::intel_i7_6700(), presets::intel_i7_5930k(), presets::arm_cortex_a15()]
+        {
             assert!(Hierarchy::try_from_architecture(&arch).is_ok(), "{}", arch.name);
         }
     }

@@ -63,11 +63,7 @@ impl HierarchyStats {
     /// most of this; scale by [`TimingModel::hit_exposed_fraction`] for a
     /// time estimate.
     pub fn hit_cycles(&self, latencies: &[f64]) -> f64 {
-        self.levels
-            .iter()
-            .zip(latencies)
-            .map(|(s, &lat)| s.demand_hits as f64 * lat)
-            .sum()
+        self.levels.iter().zip(latencies).map(|(s, &lat)| s.demand_hits as f64 * lat).sum()
     }
 
     /// Exposed-latency cycles of demand misses to memory.
@@ -102,7 +98,10 @@ impl HierarchyStats {
     /// Total lines transferred on the memory bus (reads + writes),
     /// the bandwidth figure of merit.
     pub fn mem_traffic_lines(&self) -> u64 {
-        self.mem_demand_fills + self.mem_prefetch_fills + self.mem_writebacks + self.nt_store_lines
+        self.mem_demand_fills
+            + self.mem_prefetch_fills
+            + self.mem_writebacks
+            + self.nt_store_lines
     }
 }
 

@@ -130,8 +130,7 @@ mod tests {
         for b in [1usize, 2, 6, 36, 97, 360, 1024, 1155] {
             for bound in [1usize, 3, 17, b, 2 * b] {
                 let cap = bound.min(b).max(1);
-                let mut want: Vec<usize> =
-                    (1..=cap).filter(|&d| b.is_multiple_of(d)).collect();
+                let mut want: Vec<usize> = (1..=cap).filter(|&d| b.is_multiple_of(d)).collect();
                 let mut p = 1usize;
                 while p <= cap {
                     want.push(p);

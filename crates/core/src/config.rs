@@ -1,6 +1,82 @@
 //! Optimizer configuration and ablation switches.
 
+use palo_arch::Architecture;
 use serde::{Deserialize, Serialize};
+
+/// Which [`CostModel`](crate::model::CostModel) scores the candidate
+/// search (DESIGN.md §11).
+///
+/// The kind is *resolved once* at the driver entry
+/// ([`crate::model::resolve`]) into a model instance plus the effective
+/// `(arch, config)` pair it runs under — the baselines are the paper's
+/// analytical machinery with the prefetch awareness switched off, not a
+/// separate code path.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelKind {
+    /// The paper's prefetch-aware analytical model (Eqs. 1–19).
+    #[default]
+    Paper,
+    /// The TSS baseline: the same machinery without the prefetch
+    /// discount or the halved effective L2.
+    Tss,
+    /// The TurboTiling-style baseline: TSS on a hierarchy shifted one
+    /// level out ([`crate::model::shift_hierarchy`]).
+    Tts,
+    /// The cachesim-backed empirical oracle: candidates are lowered and
+    /// traced, scored by estimated milliseconds.
+    Simulated,
+}
+
+impl ModelKind {
+    /// Short machine-readable name, matching the CLI's `--model` values.
+    pub fn name(self) -> &'static str {
+        match self {
+            ModelKind::Paper => "paper",
+            ModelKind::Tss => "tss",
+            ModelKind::Tts => "tts",
+            ModelKind::Simulated => "sim",
+        }
+    }
+
+    /// Parses a CLI `--model` value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "paper" => Some(ModelKind::Paper),
+            "tss" => Some(ModelKind::Tss),
+            "tts" => Some(ModelKind::Tts),
+            "sim" => Some(ModelKind::Simulated),
+            _ => None,
+        }
+    }
+
+    /// The configuration the drivers must run under for this model: the
+    /// TSS/TTS baselines switch the prefetch awareness off; the
+    /// simulated oracle thins the candidate grid (each point costs a
+    /// full cache-hierarchy trace).
+    pub fn effective_config(self, config: &OptimizerConfig) -> OptimizerConfig {
+        let mut cfg = config.clone();
+        match self {
+            ModelKind::Paper => {}
+            ModelKind::Tss | ModelKind::Tts => {
+                cfg.prefetch_discount = false;
+                cfg.halve_l2_sets = false;
+            }
+            ModelKind::Simulated => {
+                cfg.max_candidates_per_dim = cfg.max_candidates_per_dim.min(4);
+            }
+        }
+        cfg
+    }
+
+    /// The architecture the drivers must run under: identity except for
+    /// [`ModelKind::Tts`], which optimizes against the shifted hierarchy.
+    pub fn effective_arch(self, arch: &Architecture) -> Architecture {
+        match self {
+            ModelKind::Tts => crate::model::shift_hierarchy(arch),
+            _ => arch.clone(),
+        }
+    }
+}
 
 /// Switches for the optimization flow.
 ///
@@ -31,6 +107,8 @@ pub struct OptimizerConfig {
     /// Upper bound on tile-size candidates examined per dimension
     /// (candidates are divisor-based and thinned geometrically).
     pub max_candidates_per_dim: usize,
+    /// Which cost model scores the candidate search (DESIGN.md §11).
+    pub model: ModelKind,
     /// Knobs of the candidate-search engine ([`crate::search`]).
     pub search: SearchOptions,
 }
@@ -78,6 +156,7 @@ impl Default for OptimizerConfig {
             enable_nti: true,
             bandwidth_term: true,
             max_candidates_per_dim: 12,
+            model: ModelKind::default(),
             search: SearchOptions::default(),
         }
     }
@@ -106,6 +185,27 @@ mod tests {
         assert!(c.reorder_step);
         assert!(c.parallel_grain_constraint);
         assert!(c.enable_nti);
+        assert_eq!(c.model, ModelKind::Paper);
+    }
+
+    #[test]
+    fn model_kind_names_round_trip() {
+        for kind in [ModelKind::Paper, ModelKind::Tss, ModelKind::Tts, ModelKind::Simulated] {
+            assert_eq!(ModelKind::parse(kind.name()), Some(kind));
+        }
+        assert_eq!(ModelKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn effective_config_maps_baselines_and_sim() {
+        let base = OptimizerConfig::default();
+        let tss = ModelKind::Tss.effective_config(&base);
+        assert!(!tss.prefetch_discount && !tss.halve_l2_sets);
+        assert_eq!(tss.max_candidates_per_dim, base.max_candidates_per_dim);
+        let sim = ModelKind::Simulated.effective_config(&base);
+        assert!(sim.prefetch_discount, "sim keeps the paper switches");
+        assert!(sim.max_candidates_per_dim <= 4, "sim thins the grid");
+        assert_eq!(ModelKind::Paper.effective_config(&base), base);
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! The optimizer's output.
 
 use crate::classify::Class;
+use crate::model::CostBreakdown;
 use palo_sched::Schedule;
 use serde::{Deserialize, Serialize};
 
@@ -26,8 +27,13 @@ pub struct Decision {
     /// Variable whose (inter-tile) loop is parallelized, if any.
     pub parallel_var: Option<usize>,
     /// The model cost of the winning candidate (`Ctotal`, or the spatial
-    /// `CTotal`; 0 for contiguous-only kernels).
+    /// `CTotal`; 0 for contiguous-only kernels). Always equals
+    /// `breakdown.total`.
     pub predicted_cost: f64,
+    /// Per-term decomposition of the winning candidate's cost under the
+    /// model that scored the search (all-zero for contiguous-only
+    /// kernels, which skip the search).
+    pub breakdown: CostBreakdown,
     /// The emitted schedule.
     pub(crate) sched: Schedule,
 }

@@ -184,6 +184,20 @@ pub fn l1_params(
     threads: usize,
     cap: usize,
 ) -> EmuParams<'_> {
+    base_params(level, dts, row_len, row_stride, threads, cap)
+}
+
+/// Shared base of the two parameter builders: the L1 defaults, which the
+/// L2 variant overrides field-wise (`halve_l2_sets` is unused by the L1
+/// variant).
+fn base_params(
+    level: &CacheLevel,
+    dts: usize,
+    row_len: usize,
+    row_stride: usize,
+    threads: usize,
+    cap: usize,
+) -> EmuParams<'_> {
     EmuParams {
         level,
         dts,
@@ -212,7 +226,17 @@ pub fn emu_l2(
     halve_l2_sets: bool,
     cap: usize,
 ) -> usize {
-    emu(&l2_params(level, dts, row_len, row_stride, threads, l2_pref, l2_max_pref, halve_l2_sets, cap))
+    emu(&l2_params(
+        level,
+        dts,
+        row_len,
+        row_stride,
+        threads,
+        l2_pref,
+        l2_max_pref,
+        halve_l2_sets,
+        cap,
+    ))
 }
 
 /// The [`EmuParams`] of the L2 variant (halved sets, stride-prefetch
@@ -230,17 +254,11 @@ pub fn l2_params(
     cap: usize,
 ) -> EmuParams<'_> {
     EmuParams {
-        level,
-        dts,
-        row_len,
-        row_stride,
-        threads,
-        addr: 0,
         l2_pref,
         l2_max_pref,
         for_l2: true,
         halve_l2_sets,
-        cap,
+        ..base_params(level, dts, row_len, row_stride, threads, cap)
     }
 }
 

@@ -149,10 +149,7 @@ impl PaloError {
     /// Whether the error is a resource-guard abort (budget or deadline)
     /// rather than a genuine failure.
     pub fn is_resource_guard(&self) -> bool {
-        matches!(
-            self,
-            PaloError::BudgetExceeded { .. } | PaloError::DeadlineExceeded { .. }
-        )
+        matches!(self, PaloError::BudgetExceeded { .. } | PaloError::DeadlineExceeded { .. })
     }
 }
 
@@ -189,8 +186,7 @@ mod tests {
         assert_eq!(e, PaloError::DeadlineExceeded { budget });
         assert!(e.is_resource_guard());
 
-        let e: PaloError =
-            TraceError::MissingLoopDelta { loop_name: "i".into() }.into();
+        let e: PaloError = TraceError::MissingLoopDelta { loop_name: "i".into() }.into();
         assert!(matches!(e, PaloError::Trace(_)));
         assert!(!e.is_resource_guard());
     }

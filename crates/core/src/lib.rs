@@ -3,10 +3,10 @@
 //! This crate implements the optimization flow of *Loop Transformations
 //! Leveraging Hardware Prefetching* (CGO'18), Figure 1:
 //!
-//! 1. **Classification** ([`classify`]) — Figure 2: inspect the index sets
+//! 1. **Classification** ([`mod@classify`]) — Figure 2: inspect the index sets
 //!    of the statement to decide between the temporal optimizer, the
 //!    spatial optimizer, or no loop transformation at all.
-//! 2. **Cache emulation** ([`emu`]) — Algorithm 1: bound tile dimensions
+//! 2. **Cache emulation** ([`mod@emu`]) — Algorithm 1: bound tile dimensions
 //!    so that no interference (conflict) misses occur, accounting for the
 //!    lines injected by the L1 next-line and L2 constant-stride
 //!    prefetchers.
@@ -20,6 +20,12 @@
 //!    efficiency `Tx / lc` (Eqs. 14–19).
 //! 5. **Post optimizations** ([`post`]) — parallelization (Eq. 13
 //!    constraint), vectorization, and non-temporal stores.
+//!
+//! Steps 3–4 are *drivers*: they enumerate candidate tiles and delegate
+//! all scoring to the pluggable [`model`] layer ([`CostModel`]), selected
+//! via [`OptimizerConfig::model`] ([`ModelKind`]) — the paper's
+//! analytical [`PrefetchAwareModel`], the TSS/TTS baselines, or the
+//! cachesim-backed [`SimulatedModel`].
 //!
 //! The entry point is [`Optimizer`], which produces a [`Decision`]
 //! containing the chosen [`palo_sched::Schedule`]. For end-to-end use,
@@ -60,6 +66,7 @@ mod decision;
 pub mod emu;
 mod error;
 mod footprint;
+pub mod model;
 pub mod order;
 mod pipeline;
 pub mod post;
@@ -68,14 +75,18 @@ pub mod spatial;
 pub mod temporal;
 
 pub use classify::{classify, Class};
-pub use config::{OptimizerConfig, SearchOptions};
+pub use config::{ModelKind, OptimizerConfig, SearchOptions};
 pub use decision::Decision;
 pub use emu::{emu, emu_cached, EmuKey, EmuParams};
 pub use error::{catch_panic, PaloError};
 pub use footprint::Footprints;
+pub use model::{
+    shift_hierarchy, CandidatePoint, CostBreakdown, CostModel, PrefetchAwareModel,
+    SimulatedModel, TileContext,
+};
 pub use pipeline::{
-    FaultPlan, Pipeline, PipelineConfig, PipelineOutcome, PipelineReport, ResourceBudget,
-    Rung, RungFailure,
+    FaultPlan, Pipeline, PipelineConfig, PipelineOutcome, PipelineReport, ResourceBudget, Rung,
+    RungFailure,
 };
 pub use search::{SearchCounters, SearchStats};
 

@@ -22,16 +22,16 @@
 //! [`FaultPlan`] can inject failures at each guarded site to exercise the
 //! ladder in tests.
 
+use crate::config::ModelKind;
 use crate::decision::Decision;
 use crate::error::{catch_panic, PaloError};
+use crate::model::CostBreakdown;
 use crate::search::SearchStats;
 use crate::Optimizer;
 use crate::OptimizerConfig;
 use palo_arch::Architecture;
 use palo_cachesim::Hierarchy;
-use palo_exec::{
-    estimate_time_with, run, run_reference, Buffers, TimeEstimate, TraceOptions,
-};
+use palo_exec::{estimate_time_with, run, run_reference, Buffers, TimeEstimate, TraceOptions};
 use palo_ir::LoopNest;
 use palo_sched::{LoweredNest, Schedule};
 use std::time::{Duration, Instant};
@@ -155,6 +155,12 @@ pub struct PipelineReport {
     /// optimizer stage was skipped ([`Pipeline::run_schedule`]) or
     /// failed.
     pub search: Option<SearchStats>,
+    /// Which cost model scored the candidate search
+    /// ([`OptimizerConfig::model`]).
+    pub model: ModelKind,
+    /// Per-term cost decomposition of the winning schedule under that
+    /// model; `None` when the optimizer stage was skipped or failed.
+    pub breakdown: Option<CostBreakdown>,
     /// Wall-clock time of the whole run.
     pub elapsed: Duration,
 }
@@ -351,6 +357,7 @@ impl Pipeline {
             None
         };
 
+        let breakdown = decision.as_ref().map(|d| d.breakdown.clone());
         Ok(PipelineOutcome {
             decision,
             schedule,
@@ -360,6 +367,8 @@ impl Pipeline {
                 failures: state.failures,
                 estimate,
                 search,
+                model: self.config.optimizer.model,
+                breakdown,
                 elapsed: start.elapsed(),
             },
         })
@@ -404,11 +413,8 @@ impl Pipeline {
     ) -> Result<TimeEstimate, PaloError> {
         let budget = self.config.budget;
         let deadline = budget.deadline.map(|d| d.saturating_sub(start.elapsed()));
-        let max_lines = if self.config.faults.trace_overflow {
-            Some(0)
-        } else {
-            budget.max_trace_lines
-        };
+        let max_lines =
+            if self.config.faults.trace_overflow { Some(0) } else { budget.max_trace_lines };
         let opts = TraceOptions { flush_first: true, max_lines, deadline };
         let est =
             catch_panic("simulator", || estimate_time_with(nest, lowered, &self.arch, &opts))??;
@@ -460,10 +466,7 @@ fn first_divergence(nest: &LoopNest, got: &Buffers, want: &Buffers) -> String {
         let (g, w) = (got.array(id), want.array(id));
         for (k, (gv, wv)) in g.iter().zip(w.iter()).enumerate() {
             if gv != wv {
-                return format!(
-                    "array {:?} element {k}: got {gv}, reference {wv}",
-                    decl.name
-                );
+                return format!("array {:?} element {k}: got {gv}, reference {wv}", decl.name);
             }
         }
     }
@@ -499,6 +502,11 @@ mod tests {
         let stats = out.report.search.as_ref().unwrap();
         assert!(stats.workers >= 1);
         assert!(stats.candidates_evaluated > 0);
+        // The scoring model and its per-term breakdown are surfaced next
+        // to the search stats.
+        assert_eq!(out.report.model, ModelKind::Paper);
+        let bd = out.report.breakdown.as_ref().unwrap();
+        assert_eq!(bd.total, out.decision.as_ref().unwrap().predicted_cost);
     }
 
     #[test]
@@ -508,6 +516,7 @@ mod tests {
             .run_schedule(&nest, &Schedule::new())
             .unwrap();
         assert!(out.report.search.is_none());
+        assert!(out.report.breakdown.is_none());
     }
 
     #[test]
@@ -515,9 +524,7 @@ mod tests {
         let nest = matmul(8);
         let mut bad = Schedule::new();
         bad.reorder(&["nonexistent"]); // fails to lower
-        let out = Pipeline::new(&presets::intel_i7_6700())
-            .run_schedule(&nest, &bad)
-            .unwrap();
+        let out = Pipeline::new(&presets::intel_i7_6700()).run_schedule(&nest, &bad).unwrap();
         assert!(out.report.fallback_fired());
         assert!(out
             .report

@@ -4,6 +4,7 @@
 use crate::classify::Class;
 use crate::config::OptimizerConfig;
 use crate::decision::Decision;
+use crate::model::CostBreakdown;
 use palo_arch::Architecture;
 use palo_ir::{LoopNest, NestInfo};
 use palo_sched::Schedule;
@@ -35,7 +36,7 @@ pub fn emit(
     inter_order: Vec<usize>,
     intra_order: Vec<usize>,
     use_nti: bool,
-    predicted_cost: f64,
+    breakdown: CostBreakdown,
 ) -> Decision {
     let extents = nest.extents();
     let names: Vec<&str> = nest.vars().iter().map(|v| v.name.as_str()).collect();
@@ -44,12 +45,7 @@ pub fn emit(
 
     let mut sched = Schedule::new();
     for &v in &tiled {
-        sched.split(
-            names[v],
-            &format!("{}_o", names[v]),
-            &format!("{}_i", names[v]),
-            tile[v],
-        );
+        sched.split(names[v], &format!("{}_o", names[v]), &format!("{}_i", names[v]), tile[v]);
     }
 
     // Full loop order, outermost first.
@@ -124,7 +120,8 @@ pub fn emit(
         use_nti,
         vector_lanes,
         parallel_var,
-        predicted_cost,
+        predicted_cost: breakdown.total,
+        breakdown,
         sched,
     }
 }
@@ -149,7 +146,7 @@ pub fn passthrough(
         Vec::new(),
         intra_order,
         use_nti,
-        0.0,
+        CostBreakdown::default(),
     )
 }
 
@@ -190,7 +187,8 @@ mod tests {
     fn passthrough_on_arm_has_no_nti() {
         let nest = copy_nest(256);
         let info = NestInfo::analyze(&nest);
-        let d = passthrough(&nest, &info, &presets::arm_cortex_a15(), &OptimizerConfig::default());
+        let d =
+            passthrough(&nest, &info, &presets::arm_cortex_a15(), &OptimizerConfig::default());
         assert!(!d.use_nti);
     }
 
@@ -206,7 +204,7 @@ mod tests {
             vec![0, 1],
             vec![0, 1],
             false,
-            1.0,
+            CostBreakdown { total: 1.0, ..Default::default() },
         );
         let lowered = d.schedule().lower(&nest).unwrap();
         // i_o (trip 16) cannot feed 8 threads with balanced chunks, so the
@@ -232,7 +230,7 @@ mod tests {
             vec![0, 1],
             vec![0, 1],
             false,
-            1.0,
+            CostBreakdown { total: 1.0, ..Default::default() },
         );
         let lowered = d.schedule().lower(&nest).unwrap();
         assert_eq!(lowered.loops()[0].name, "par_fused");
@@ -252,7 +250,7 @@ mod tests {
             vec![0, 1],
             vec![0, 1],
             false,
-            1.0,
+            CostBreakdown { total: 1.0, ..Default::default() },
         );
         let lowered = d.schedule().lower(&nest).unwrap();
         let names: Vec<_> = lowered.loops().iter().map(|l| l.name.as_str()).collect();

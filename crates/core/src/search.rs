@@ -313,9 +313,7 @@ const SHARD_CAP: usize = 8192;
 impl<K: Hash + Eq, V: Clone> MemoTable<K, V> {
     /// A table with `shards` stripes (rounded up to at least 1).
     pub fn new(shards: usize) -> Self {
-        MemoTable {
-            shards: (0..shards.max(1)).map(|_| Mutex::new(HashMap::new())).collect(),
-        }
+        MemoTable { shards: (0..shards.max(1)).map(|_| Mutex::new(HashMap::new())).collect() }
     }
 
     fn shard(&self, key: &K) -> &Mutex<HashMap<K, V>> {

@@ -1,24 +1,22 @@
-//! Algorithm 3: the spatial-locality optimizer.
+//! Algorithm 3: the spatial-locality optimizer (candidate-enumeration
+//! driver).
 //!
 //! For kernels with no temporal reuse but a transposed input (Fig. 2),
-//! tiling targets *cache-line* reuse: the cost of each input array is its
-//! per-tile row count times the number of tiles, weighted by the
-//! *prefetching efficiency* `Twidth / lc` (Eqs. 14–17). The working sets
-//! charge transposed accesses a full line per touched row
-//! (`wsL1 = lc·Tx + Tx`, Eq. 18; `wsL2 = Σ tile footprints`, Eq. 19), and
-//! Algorithm 1 bounds the tile height against the L2 with the
-//! stride-prefetch tests enabled.
+//! tiling targets *cache-line* reuse: scoring — the per-tile row counts
+//! weighted by the prefetching efficiency `Twidth / lc` (Eqs. 14–17) and
+//! the working-set feasibility of Eqs. 18–19 — is delegated to the active
+//! [`CostModel`]; this module only enumerates the `(Twidth, Theight)`
+//! space, with Algorithm 1 bounding the tile height against the L2
+//! (stride-prefetch tests enabled) via [`TileContext::l2_cap`].
 
 use crate::candidates::tile_candidates;
 use crate::classify::Class;
 use crate::config::OptimizerConfig;
 use crate::decision::Decision;
-use crate::emu::{emu, emu_cached, l2_params};
 use crate::footprint::Footprints;
+use crate::model::{self, CandidatePoint, CostBreakdown, CostModel, TileContext};
 use crate::post;
-use crate::search::{
-    self, cost_bits, resolve_threads, Candidate, SearchCounters, SearchStats,
-};
+use crate::search::{self, cost_bits, resolve_threads, Candidate, SearchCounters, SearchStats};
 use palo_arch::Architecture;
 use palo_ir::{AccessPattern, LoopNest, NestInfo};
 use std::sync::atomic::Ordering;
@@ -27,14 +25,14 @@ use std::time::Instant;
 /// One evaluated `(Twidth, Theight)` point, ranked by cost then linear
 /// index — the index tie-break reproduces the sequential first-best rule.
 struct SpatialCand {
-    cost: f64,
+    bd: CostBreakdown,
     tile: Vec<usize>,
     key: [usize; 1],
 }
 
 impl Candidate for SpatialCand {
     fn cost_key(&self) -> (u64, u64) {
-        (cost_bits(self.cost), 0)
+        (cost_bits(self.bd.total), cost_bits(self.bd.tie))
     }
     fn tie_key(&self) -> &[usize] {
         &self.key
@@ -52,11 +50,31 @@ pub fn optimize(
 }
 
 /// [`optimize`], also reporting what the candidate search did.
+///
+/// Resolves `config.model` into a [`CostModel`] plus the effective
+/// `(arch, config)` pair exactly once, then drives
+/// [`optimize_with_model`].
 pub fn optimize_with_stats(
     nest: &LoopNest,
     info: &NestInfo,
     arch: &Architecture,
     config: &OptimizerConfig,
+) -> (Decision, SearchStats) {
+    let resolved = model::resolve(config, arch);
+    optimize_with_model(nest, info, &resolved.arch, &resolved.config, resolved.model.as_ref())
+}
+
+/// The Algorithm-3 driver under an explicit [`CostModel`] and an
+/// already-*effective* `(arch, config)` pair.
+///
+/// The spatial space is a few hundred points at most, so the driver
+/// never consults [`CostModel::lower_bound`] for pruning (DESIGN.md §11).
+pub fn optimize_with_model(
+    nest: &LoopNest,
+    info: &NestInfo,
+    arch: &Architecture,
+    config: &OptimizerConfig,
+    cost_model: &dyn CostModel,
 ) -> (Decision, SearchStats) {
     let start = Instant::now();
     let Some(col) = nest.column_var().map(|v| v.index()) else {
@@ -73,30 +91,15 @@ pub fn optimize_with_stats(
 
     let dts = nest.dtype().size_bytes();
     let fp = Footprints::new(nest, arch.l1().line_size);
-    let lc = fp.lc();
     let lanes = arch.vector_lanes(dts);
-    let threads = arch.total_threads();
+    let use_nti = post::nti_eligible(info, arch, config);
 
-    let l1_budget = (arch.l1().size_bytes / dts / arch.threads_per_core.max(1)) as f64;
-    let l2_div = match arch.l2().sharing {
-        palo_arch::SharingScope::Core => arch.threads_per_core.max(1),
-        palo_arch::SharingScope::Chip => arch.cores.max(1),
-    };
-    let mut l2_budget = (arch.l2().size_bytes / dts / l2_div) as f64;
-    if config.halve_l2_sets {
-        l2_budget /= 2.0;
-    }
-    let l2pref = arch.l2().prefetcher.degree();
-    let l2maxpref = arch.l2().prefetcher.max_distance();
-
-    // Input shapes only (the output streams out, typically via NT stores).
-    let inputs: Vec<usize> =
-        (0..fp.shapes().len()).filter(|&a| !fp.shapes()[a].is_output).collect();
+    let counters = SearchCounters::default();
+    let ctx =
+        TileContext::spatial(nest, &fp, &extents, arch, config, col, row, use_nti, &counters);
 
     let width_cands =
         tile_candidates(extents[col], extents[col], config.max_candidates_per_dim, lanes);
-
-    let counters = SearchCounters::default();
 
     // Flatten the (width, height) space: one plan per width, heights
     // bounded by Algorithm 1 (L2 variant, stride-prefetch tests on).
@@ -108,18 +111,7 @@ pub fn optimize_with_stats(
     let mut plans: Vec<Plan> = Vec::with_capacity(width_cands.len());
     let mut total = 0usize;
     for &tw in &width_cands {
-        let p = l2_params(
-            arch.l2(),
-            dts,
-            tw,
-            extents[col],
-            arch.threads_per_core,
-            l2pref,
-            l2maxpref,
-            config.halve_l2_sets,
-            extents[row],
-        );
-        let cap = if config.search.memo { emu_cached(&p, &counters) } else { emu(&p) };
+        let cap = ctx.l2_cap(tw, extents[col], extents[row]);
         let heights = tile_candidates(extents[row], cap, config.max_candidates_per_dim, 1);
         let len = heights.len();
         plans.push(Plan { tw, heights, offset: total });
@@ -134,55 +126,25 @@ pub fn optimize_with_stats(
         tile[col] = tw;
         tile[row] = th;
 
-        // Working sets (Eqs. 18–19 generalized): transposed inputs pay
-        // a full line per row they touch in one column sweep.
-        let mut col_slice = vec![1usize; n];
-        col_slice[col] = tw;
-        let ws_l1: f64 = inputs
-            .iter()
-            .map(|&a| fp.lines(a, &col_slice) * lc as f64)
-            .sum();
-        let ws_l2: f64 = inputs.iter().map(|&a| fp.elems(a, &tile)).sum();
-        if ws_l1 > l1_budget || ws_l2 > l2_budget {
-            return None;
-        }
-        if config.parallel_grain_constraint {
-            let trips = (extents[row] as f64 / th as f64).ceil()
-                * (extents[col] as f64 / tw as f64).ceil();
-            if trips < threads as f64 {
-                return None;
-            }
-        }
+        let point = CandidatePoint { tile: &tile, x: None, u: None };
+        let bd = cost_model.evaluate(&ctx, &point)?;
         counters.evaluated.fetch_add(1, Ordering::Relaxed);
-
-        // CTotal = Σ inputs rows(tile) × ntiles × (Tw / lc) (Eqs. 15, 17).
-        let ntiles: f64 = (0..n)
-            .map(|v| (extents[v] as f64 / tile[v] as f64).ceil())
-            .product();
-        let eff = tw as f64 / lc as f64;
-        let c_total: f64 = inputs
-            .iter()
-            .map(|&a| fp.misses(a, &tile, config.prefetch_discount) * ntiles * eff)
-            .sum();
-        Some(SpatialCand { cost: c_total, tile, key: [i] })
+        Some(SpatialCand { bd, tile, key: [i] })
     });
     let stats = counters.snapshot(workers, start.elapsed());
 
-    let Some(SpatialCand { cost, tile, .. }) = best else {
+    let Some(SpatialCand { bd, tile, .. }) = best else {
         return (post::passthrough(nest, info, arch, config), stats);
     };
 
     // Order per Listing 2: untiled outer vars, then row_o, col_o,
     // row_i, col_i — intra walks the output tile row-major so that stores
     // stream and the transposed input is swept column-by-column.
-    let inter_order: Vec<usize> = (0..n)
-        .filter(|&v| v != row && v != col)
-        .chain([row, col])
-        .collect();
+    let inter_order: Vec<usize> =
+        (0..n).filter(|&v| v != row && v != col).chain([row, col]).collect();
     let intra_order = inter_order.clone();
-    let use_nti = post::nti_eligible(info, arch, config);
     let decision =
-        post::emit(nest, arch, Class::Spatial, tile, inter_order, intra_order, use_nti, cost);
+        post::emit(nest, arch, Class::Spatial, tile, inter_order, intra_order, use_nti, bd);
     (decision, stats)
 }
 
@@ -275,6 +237,18 @@ mod tests {
         let (dg, sg) = optimize_with_stats(&nest, &info, &arch, &engine);
         assert_eq!(de, dg);
         assert!(sg.candidates_evaluated > 0);
+    }
+
+    #[test]
+    fn spatial_breakdown_reports_efficiency() {
+        let nest = tp(1024);
+        let info = NestInfo::analyze(&nest);
+        let arch = presets::intel_i7_5930k();
+        let d = optimize(&nest, &info, &arch, &OptimizerConfig::default());
+        let lc = Footprints::new(&nest, arch.l1().line_size).lc();
+        let expect = d.tile[1] as f64 / lc as f64;
+        assert_eq!(d.breakdown.pref_efficiency.to_bits(), expect.to_bits());
+        assert_eq!(d.breakdown.total.to_bits(), d.predicted_cost.to_bits());
     }
 
     #[test]

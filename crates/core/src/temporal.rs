@@ -1,55 +1,43 @@
-//! Algorithm 2: the temporal-reuse optimizer.
+//! Algorithm 2: the temporal-reuse optimizer (candidate-enumeration
+//! driver).
 //!
 //! Step 1 jointly searches tile sizes and the two order-defining choices
 //! the cost model depends on — the *outermost intra-tile* loop (L1 reuse,
 //! working set of Eq. 1) and the *innermost inter-tile* loop (L2 reuse,
-//! Eq. 10) — minimizing `Ctotal = a2·CL1 + a3·CL2` (Eq. 11) under the
-//! working-set, cache-emulation (Algorithm 1) and parallel-grain (Eq. 13)
-//! constraints. Step 2 completes the full inter/intra permutation by
-//! minimizing the loop-distance cost `Corder` (Eq. 12).
-//!
-//! Generalization of the paper's matmul derivation (Eqs. 1–10): for any
-//! affine access, the prefetch-discounted cold misses of a footprint are
-//! its contiguous *row segments* ([`Footprints::rows`]); `CL1` charges
-//! each access its tile rows once per tile (Eq. 5), and `CL2` charges each
-//! access its tile rows once per iteration of every inter-tile loop it
-//! depends on, with reuse granted across the innermost inter-tile loop
-//! for accesses independent of it (Eq. 10).
+//! Eq. 10). *Scoring* is delegated to a [`CostModel`] (the paper's
+//! [`crate::model::PrefetchAwareModel`] by default; see
+//! [`crate::config::ModelKind`]): this module only enumerates the
+//! candidate space, decodes linear indices into [`CandidatePoint`]s, and
+//! ranks the model's [`CostBreakdown`]s. Step 2 completes the full
+//! inter/intra permutation by minimizing the loop-distance cost `Corder`
+//! (Eq. 12).
 //!
 //! Step 1 runs on the [`crate::search`] engine: the per-`Tcol` candidate
 //! lists are flattened into one linear index space, sharded across the
-//! worker pool, pruned against the shared incumbent with the admissible
-//! bound `a2·CL1 ≤ Ctotal`, and memoized at two levels (process-wide
-//! Algorithm-1 bounds, per-search footprint terms). The engine's total
-//! order makes the winner independent of worker count.
+//! worker pool, pruned against the shared incumbent with the model's
+//! admissible [`CostModel::lower_bound`], and memoized at two levels
+//! (process-wide Algorithm-1 bounds, per-search footprint terms — both
+//! owned by [`TileContext`]). The engine's total order makes the winner
+//! independent of worker count.
 
 use crate::candidates::tile_candidates;
 use crate::classify::Class;
 use crate::config::OptimizerConfig;
 use crate::decision::Decision;
-use crate::emu::{emu, emu_cached, l1_params, l2_params};
 use crate::footprint::Footprints;
-use crate::order::{corder, inter_trip, permutations};
+use crate::model::{self, CandidatePoint, CostBreakdown, CostModel, TileContext};
+use crate::order::{corder, permutations};
 use crate::post;
-use crate::search::{
-    self, cost_bits, resolve_threads, Candidate, Incumbent, MemoTable, SearchCounters,
-    SearchStats,
-};
-use palo_arch::{Architecture, SharingScope};
+use crate::search::{self, cost_bits, resolve_threads, Candidate, SearchCounters, SearchStats};
+use palo_arch::Architecture;
 use palo_ir::{LoopNest, NestInfo};
 use std::sync::atomic::Ordering;
 use std::time::Instant;
 
 /// One fully evaluated Step-1 candidate: a tile plus the order-defining
-/// `(x, u)` pair, ranked by `(Ctotal, tie cost, linear index, x, u)`.
+/// `(x, u)` pair, ranked by `(total, tie cost, linear index, x, u)`.
 struct TempCand {
-    cost: f64,
-    /// Undiscounted (line-granular) variant of the cost, used to break
-    /// ties: the prefetch-discounted model (Eq. 3) makes row cost
-    /// independent of row length, so candidates that differ only in
-    /// memory-bus traffic score identically; the line footprint is
-    /// exactly that traffic.
-    tie_cost: f64,
+    bd: CostBreakdown,
     tile: Vec<usize>,
     /// Outermost intra-tile variable.
     x: usize,
@@ -62,20 +50,10 @@ struct TempCand {
 
 impl Candidate for TempCand {
     fn cost_key(&self) -> (u64, u64) {
-        (cost_bits(self.cost), cost_bits(self.tie_cost))
+        (cost_bits(self.bd.total), cost_bits(self.bd.tie))
     }
     fn tie_key(&self) -> &[usize] {
         &self.key
-    }
-}
-
-/// Capacity divisor of a cache level for one thread of a fully-parallel
-/// run: private levels are shared by the core's hardware threads,
-/// chip-shared levels by all cores (§5.1's ARM correction).
-fn sharing_divisor(level: &palo_arch::CacheLevel, arch: &Architecture) -> usize {
-    match level.sharing {
-        SharingScope::Core => arch.threads_per_core.max(1),
-        SharingScope::Chip => arch.cores.max(1),
     }
 }
 
@@ -97,11 +75,29 @@ pub fn optimize(
 }
 
 /// [`optimize`], also reporting what the candidate search did.
+///
+/// Resolves `config.model` into a [`CostModel`] plus the effective
+/// `(arch, config)` pair exactly once, then drives
+/// [`optimize_with_model`].
 pub fn optimize_with_stats(
     nest: &LoopNest,
     info: &NestInfo,
     arch: &Architecture,
     config: &OptimizerConfig,
+) -> (Decision, SearchStats) {
+    let resolved = model::resolve(config, arch);
+    optimize_with_model(nest, info, &resolved.arch, &resolved.config, resolved.model.as_ref())
+}
+
+/// The Step-1/Step-2 driver under an explicit [`CostModel`] and an
+/// already-*effective* `(arch, config)` pair — callers that resolve a
+/// [`crate::config::ModelKind`] themselves (the baselines) enter here.
+pub fn optimize_with_model(
+    nest: &LoopNest,
+    info: &NestInfo,
+    arch: &Architecture,
+    config: &OptimizerConfig,
+    cost_model: &dyn CostModel,
 ) -> (Decision, SearchStats) {
     let start = Instant::now();
     let Some(col) = nest.column_var().map(|v| v.index()) else {
@@ -114,24 +110,12 @@ pub fn optimize_with_stats(
     }
     let dts = nest.dtype().size_bytes();
     let fp = Footprints::new(nest, arch.l1().line_size);
-    let na = fp.shapes().len();
     let lanes = arch.vector_lanes(dts);
-    let threads = arch.total_threads();
-
-    let l1_budget = (arch.l1().size_bytes / dts / sharing_divisor(arch.l1(), arch)) as f64;
-    let mut l2_budget = (arch.l2().size_bytes / dts / sharing_divisor(arch.l2(), arch)) as f64;
-    if config.halve_l2_sets {
-        l2_budget /= 2.0;
-    }
-    let a2 = arch.l2().latency_cycles;
-    let a3 = arch
-        .l3()
-        .map(|c| c.latency_cycles)
-        .unwrap_or(arch.timing.mem_latency_cycles);
-    let am = if config.bandwidth_term { arch.timing.mem_transfer_cycles } else { 0.0 };
-    let l2pref = arch.l2().prefetcher.degree();
-    let l2maxpref = arch.l2().prefetcher.max_distance();
+    let use_nti = post::nti_eligible(info, arch, config);
     let ld = extents[col]; // leading-dimension surrogate for Algorithm 1
+
+    let counters = SearchCounters::default();
+    let ctx = TileContext::temporal(nest, &fp, &extents, arch, config, col, use_nti, &counters);
 
     // Positional Algorithm-1 caps: the first non-column dimension is
     // bounded against the L1, the second against the L2, the rest by the
@@ -142,31 +126,11 @@ pub fn optimize_with_stats(
     let col_cands =
         tile_candidates(extents[col], extents[col], config.max_candidates_per_dim, lanes);
 
-    let counters = SearchCounters::default();
-    let bound = |p: &crate::emu::EmuParams<'_>| {
-        if config.search.memo {
-            emu_cached(p, &counters)
-        } else {
-            emu(p)
-        }
-    };
-
     let mut plans: Vec<Plan> = Vec::with_capacity(col_cands.len());
     let mut total = 0usize;
     for &tcol in &col_cands {
-        let cap1 =
-            bound(&l1_params(arch.l1(), dts, tcol, ld, arch.threads_per_core, usize::MAX >> 1));
-        let cap2 = bound(&l2_params(
-            arch.l2(),
-            dts,
-            tcol,
-            ld,
-            arch.threads_per_core,
-            l2pref,
-            l2maxpref,
-            config.halve_l2_sets,
-            usize::MAX >> 1,
-        ));
+        let cap1 = ctx.l1_cap(tcol, ld, usize::MAX >> 1);
+        let cap2 = ctx.l2_cap(tcol, ld, usize::MAX >> 1);
 
         // Per-variable candidate lists, shrunk until the slice's
         // cross-product is tractable.
@@ -193,22 +157,6 @@ pub fn optimize_with_stats(
         total += combos;
     }
 
-    let ctx = EvalCtx {
-        fp: &fp,
-        extents: &extents,
-        col,
-        na,
-        n,
-        l1_budget,
-        l2_budget,
-        a2,
-        a3,
-        am,
-        threads,
-        config,
-        fp_cache: MemoTable::new(32),
-        counters: &counters,
-    };
     let workers = resolve_threads(config.search.threads);
     let best = search::search_min(workers, total, |i, incumbent| {
         // Decode the linear index: which Tcol slice, then the odometer
@@ -222,7 +170,31 @@ pub fn optimize_with_stats(
             tile[v] = lists[v][rem % len];
             rem /= len;
         }
-        ctx.evaluate(i, tile, incumbent)
+
+        // Branch and bound against the model's admissible bound; `None`
+        // means the tile itself is infeasible. Strict comparison inside
+        // `prunes` keeps cost-tied candidates alive for the
+        // deterministic tie-break.
+        let lb = cost_model.lower_bound(&ctx, &tile)?;
+        if config.search.prune && incumbent.prunes(lb) {
+            counters.pruned.fetch_add(1, Ordering::Relaxed);
+            return None;
+        }
+        counters.evaluated.fetch_add(1, Ordering::Relaxed);
+
+        // The full `(x, u)` sweep of this tile, scored by the model.
+        let mut best: Option<TempCand> = None;
+        for x in 0..n {
+            for u in 0..n {
+                let point = CandidatePoint { tile: &tile, x: Some(x), u: Some(u) };
+                let Some(bd) = cost_model.evaluate(&ctx, &point) else { continue };
+                let cand = TempCand { bd, tile: tile.clone(), x, u, key: [i, x, u] };
+                if best.as_ref().is_none_or(|b| search::beats(&cand, b)) {
+                    best = Some(cand);
+                }
+            }
+        }
+        best
     });
     let stats = counters.snapshot(workers, start.elapsed());
 
@@ -231,7 +203,10 @@ pub fn optimize_with_stats(
     };
 
     let (inter_order, intra_order) = choose_orders(&best, col, &extents, config);
-    let use_nti = post::nti_eligible(info, arch, config);
+    let mut bd = best.bd;
+    // Step 2 never changes the ranked cost; record the winning
+    // permutation's distance cost for observability.
+    bd.corder = corder(&inter_order, &intra_order, &best.tile, &extents);
     let decision = post::emit(
         nest,
         arch,
@@ -240,146 +215,9 @@ pub fn optimize_with_stats(
         inter_order,
         intra_order,
         use_nti,
-        best.cost,
+        bd,
     );
     (decision, stats)
-}
-
-/// Everything [`EvalCtx::evaluate`] needs, shared read-only across the
-/// worker pool.
-struct EvalCtx<'a> {
-    fp: &'a Footprints,
-    extents: &'a [usize],
-    col: usize,
-    na: usize,
-    n: usize,
-    l1_budget: f64,
-    l2_budget: f64,
-    a2: f64,
-    a3: f64,
-    am: f64,
-    threads: usize,
-    config: &'a OptimizerConfig,
-    /// Per-search footprint-term memo: `(shape, sizes projected onto the
-    /// shape's variables) → (elems, discounted misses, lines)`. The
-    /// projection makes every tile that agrees on the shape's variables
-    /// share one entry.
-    fp_cache: MemoTable<(usize, Vec<usize>), (f64, f64, f64)>,
-    counters: &'a SearchCounters,
-}
-
-impl EvalCtx<'_> {
-    /// `(elems, prefetch-discounted misses, lines)` of shape `a` under
-    /// `sizes`, through the per-search memo.
-    fn terms(&self, a: usize, sizes: &[usize]) -> (f64, f64, f64) {
-        let compute = || {
-            (
-                self.fp.elems(a, sizes),
-                self.fp.misses(a, sizes, self.config.prefetch_discount),
-                self.fp.lines(a, sizes),
-            )
-        };
-        if !self.config.search.memo {
-            return compute();
-        }
-        let key: Vec<usize> =
-            self.fp.shapes()[a].vars.iter().map(|&v| sizes[v]).collect();
-        self.fp_cache.get_or_compute(
-            (a, key),
-            &self.counters.memo_hits,
-            &self.counters.memo_misses,
-            compute,
-        )
-    }
-
-    /// Scores one tile: feasibility (Eqs. 1, 6, 13), the admissible
-    /// `a2·CL1` bound against the incumbent, then the full `(x, u)` sweep
-    /// (Eqs. 10–11). Returns the tile's best candidate, `None` when
-    /// infeasible or pruned.
-    fn evaluate(&self, i: usize, tile: Vec<usize>, incumbent: &Incumbent) -> Option<TempCand> {
-        // Working set of the whole tile (Eq. 6).
-        let mut ws_l2 = 0.0;
-        let mut rows_tile = vec![0.0f64; self.na];
-        let mut lines_tile = vec![0.0f64; self.na];
-        for a in 0..self.na {
-            let (elems, rows, lines) = self.terms(a, &tile);
-            ws_l2 += elems;
-            rows_tile[a] = rows;
-            lines_tile[a] = lines;
-        }
-        if ws_l2 > self.l2_budget {
-            return None;
-        }
-
-        let trips: Vec<f64> =
-            (0..self.n).map(|v| inter_trip(v, &tile, self.extents)).collect();
-        let ntiles: f64 = trips.iter().product();
-        let cl1: f64 = rows_tile.iter().sum::<f64>() * ntiles;
-        let cl1_lines: f64 = lines_tile.iter().sum::<f64>() * ntiles;
-
-        // Branch and bound: `Ctotal = a2·CL1 + a3·CL2 + am·CL2_lines`
-        // with every term non-negative, so `a2·CL1` is an admissible
-        // lower bound. Strict comparison inside `prunes` keeps cost-tied
-        // candidates alive for the deterministic tie-break.
-        if self.config.search.prune && incumbent.prunes(self.a2 * cl1) {
-            self.counters.pruned.fetch_add(1, Ordering::Relaxed);
-            return None;
-        }
-        self.counters.evaluated.fetch_add(1, Ordering::Relaxed);
-
-        let mut best: Option<TempCand> = None;
-        for x in 0..self.n {
-            if x == self.col || tile[x] <= 1 {
-                continue;
-            }
-            // Working set of one iteration of the outermost intra loop
-            // (Eq. 1).
-            let mut slice = tile.clone();
-            slice[x] = 1;
-            let ws_l1: f64 = (0..self.na).map(|a| self.terms(a, &slice).0).sum();
-            if ws_l1 > self.l1_budget {
-                continue;
-            }
-
-            for u in 0..self.n {
-                if self.config.parallel_grain_constraint {
-                    // Eq. 13: the parallelizable outer inter-tile loops
-                    // (all but the innermost-inter `u` and the column
-                    // loop) must provide at least one iteration per
-                    // hardware thread.
-                    let outer_cap: f64 = (0..self.n)
-                        .filter(|&v| v != u && v != self.col)
-                        .map(|v| trips[v])
-                        .product();
-                    if outer_cap < self.threads as f64 {
-                        continue;
-                    }
-                }
-                // Eq. 10 generalized.
-                let mut cl2 = 0.0;
-                let mut cl2_lines = 0.0;
-                for a in 0..self.na {
-                    let reuse = if self.fp.uses_var(a, u) { 1.0 } else { trips[u] };
-                    cl2 += rows_tile[a] * ntiles / reuse;
-                    cl2_lines += lines_tile[a] * ntiles / reuse;
-                }
-                let cost = self.a2 * cl1 + self.a3 * cl2 + self.am * cl2_lines;
-                let tie_cost = self.a2 * cl1_lines + self.a3 * cl2_lines;
-                let cand = TempCand {
-                    cost,
-                    tie_cost,
-                    tile: tile.clone(),
-                    x,
-                    u,
-                    key: [i, x, u],
-                };
-                if best.as_ref().is_none_or(|b| search::beats(&cand, b)) {
-                    best = Some(cand);
-                }
-            }
-        }
-        best
-    }
 }
 
 /// Step 2: complete the permutation, minimizing `Corder` (Eq. 12) subject
@@ -399,8 +237,7 @@ fn choose_orders(
     // Default inter order: non-(u, col) vars in program order, then the
     // column loop (never outermost when another var exists), then `u`
     // innermost.
-    let mut default_inter: Vec<usize> =
-        (0..n).filter(|&v| v != best.u && v != col).collect();
+    let mut default_inter: Vec<usize> = (0..n).filter(|&v| v != best.u && v != col).collect();
     if col != best.u {
         default_inter.push(col);
     }
@@ -411,8 +248,7 @@ fn choose_orders(
     }
 
     // Enumerate intra middles and inter prefixes.
-    let intra_middle: Vec<usize> =
-        (0..n).filter(|&v| v != best.x && v != col).collect();
+    let intra_middle: Vec<usize> = (0..n).filter(|&v| v != best.x && v != col).collect();
     let inter_free: Vec<usize> = (0..n).filter(|&v| v != best.u).collect();
 
     let intra_perms = permutations(&intra_middle);
@@ -424,10 +260,8 @@ fn choose_orders(
     let mut best_order: Option<(f64, Vec<usize>, Vec<usize>)> = None;
     for ip in &inter_perms {
         // Column loop must not be outermost among the *tiled* inter loops.
-        if let Some(&first_tiled) = ip
-            .iter()
-            .chain(std::iter::once(&best.u))
-            .find(|&&v| best.tile[v] < extents[v])
+        if let Some(&first_tiled) =
+            ip.iter().chain(std::iter::once(&best.u)).find(|&&v| best.tile[v] < extents[v])
         {
             if first_tiled == col {
                 continue;
@@ -552,6 +386,23 @@ mod tests {
     }
 
     #[test]
+    fn breakdown_terms_recompose_the_total() {
+        let nest = matmul(256);
+        let info = NestInfo::analyze(&nest);
+        let arch = presets::intel_i7_5930k();
+        let d = optimize(&nest, &info, &arch, &OptimizerConfig::default());
+        let bd = &d.breakdown;
+        let a2 = arch.l2().latency_cycles;
+        let a3 = arch.l3().map(|c| c.latency_cycles).unwrap();
+        let am = arch.timing.mem_transfer_cycles;
+        let recomposed = a2 * bd.cl1 + a3 * bd.cl2 + am * bd.cl2_lines;
+        assert_eq!(recomposed.to_bits(), bd.total.to_bits());
+        assert_eq!(d.predicted_cost.to_bits(), bd.total.to_bits());
+        assert!(bd.corder > 0.0, "winning permutation has a distance cost");
+        assert!(bd.pref_efficiency > 0.0);
+    }
+
+    #[test]
     fn single_loop_nest_passes_through() {
         let mut b = NestBuilder::new("dot", DType::F32);
         let i = b.var("i", 64);
@@ -571,8 +422,7 @@ mod tests {
         let nest = matmul(512);
         let info = NestInfo::analyze(&nest);
         let arch = presets::intel_i7_5930k();
-        let (d, stats) =
-            optimize_with_stats(&nest, &info, &arch, &OptimizerConfig::default());
+        let (d, stats) = optimize_with_stats(&nest, &info, &arch, &OptimizerConfig::default());
         assert_eq!(d.class, Class::Temporal);
         assert!(stats.workers >= 1);
         assert!(stats.candidates_evaluated > 0, "{stats:?}");

@@ -14,7 +14,7 @@
 //! temporal kernels.
 
 use palo_arch::presets;
-use palo_core::{Optimizer, OptimizerConfig, SearchOptions};
+use palo_core::{ModelKind, Optimizer, OptimizerConfig, SearchOptions};
 use palo_ir::LoopNest;
 use palo_suite::Benchmark;
 
@@ -51,7 +51,8 @@ fn worker_count_never_changes_the_schedule() {
     for (name, nest) in small_suite() {
         let reference = Optimizer::with_config(&arch, engine_config(1)).optimize(&nest);
         for threads in [2, 5] {
-            let parallel = Optimizer::with_config(&arch, engine_config(threads)).optimize(&nest);
+            let parallel =
+                Optimizer::with_config(&arch, engine_config(threads)).optimize(&nest);
             assert_eq!(parallel, reference, "{name} with {threads} workers diverged");
             assert_eq!(
                 parallel.predicted_cost.to_bits(),
@@ -88,14 +89,64 @@ fn pruned_memoized_search_is_exhaustive_search() {
 }
 
 #[test]
+fn worker_count_never_changes_the_schedule_for_any_analytical_model() {
+    // The determinism guarantee is per-CostModel: TSS and TTS run through
+    // the same engine and must be just as worker-count-independent.
+    let arch = presets::intel_i7_5930k();
+    for kind in [ModelKind::Tss, ModelKind::Tts] {
+        for (name, nest) in small_suite() {
+            let config = |threads| OptimizerConfig { model: kind, ..engine_config(threads) };
+            let reference = Optimizer::with_config(&arch, config(1)).optimize(&nest);
+            for threads in [2, 5] {
+                let parallel = Optimizer::with_config(&arch, config(threads)).optimize(&nest);
+                assert_eq!(
+                    parallel, reference,
+                    "{name} under {kind:?} with {threads} workers diverged"
+                );
+                assert_eq!(
+                    parallel.predicted_cost.to_bits(),
+                    reference.predicted_cost.to_bits(),
+                    "{name} under {kind:?}: cost not bit-identical with {threads} workers"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn worker_count_never_changes_the_schedule_for_the_simulated_model() {
+    // Each SimulatedModel evaluation traces a full kernel, so this runs
+    // on a tiny two-kernel suite (one temporal, one spatial) with a
+    // thinned candidate grid (ModelKind::Simulated's effective config).
+    let arch = presets::intel_i7_5930k();
+    let suite = [
+        ("matmul", Benchmark::Matmul.build(32).unwrap().remove(0)),
+        ("tp", Benchmark::Tp.build(64).unwrap().remove(0)),
+    ];
+    for (name, nest) in suite {
+        let config =
+            |threads| OptimizerConfig { model: ModelKind::Simulated, ..engine_config(threads) };
+        let reference = Optimizer::with_config(&arch, config(1)).optimize(&nest);
+        for threads in [2, 5] {
+            let parallel = Optimizer::with_config(&arch, config(threads)).optimize(&nest);
+            assert_eq!(parallel, reference, "{name} (sim) with {threads} workers diverged");
+            assert_eq!(
+                parallel.predicted_cost.to_bits(),
+                reference.predicted_cost.to_bits(),
+                "{name} (sim): cost not bit-identical with {threads} workers"
+            );
+        }
+    }
+}
+
+#[test]
 fn engine_does_real_work_on_the_suite() {
     // The counters behind BENCH_search.json must show the engine actually
     // pruning and memoizing on a temporal kernel, not just agreeing by
     // doing nothing.
     let arch = presets::intel_i7_5930k();
     let nest = &Benchmark::Matmul.build(256).unwrap()[0];
-    let (_, stats) =
-        Optimizer::with_config(&arch, engine_config(2)).optimize_with_stats(nest);
+    let (_, stats) = Optimizer::with_config(&arch, engine_config(2)).optimize_with_stats(nest);
     assert!(stats.candidates_evaluated > 0, "no candidates evaluated");
     assert!(stats.candidates_pruned > 0, "branch-and-bound never fired");
     assert!(stats.memo_hits > 0, "footprint memo never hit");

@@ -40,9 +40,7 @@ impl Buffers {
 
     /// Allocates zero-filled buffers.
     pub fn zeroed(nest: &LoopNest) -> Self {
-        Buffers {
-            data: nest.arrays().iter().map(|d| vec![0.0; d.len()]).collect(),
-        }
+        Buffers { data: nest.arrays().iter().map(|d| vec![0.0; d.len()]).collect() }
     }
 
     /// The buffer of one array.

@@ -16,7 +16,11 @@ use palo_sched::{LoweredNest, Schedule};
 /// Returns [`ExecError::OutOfBounds`] when a subscript leaves its array —
 /// impossible for nests validated by `NestBuilder::build`, but a
 /// hand-assembled nest can trigger it.
-pub fn run(nest: &LoopNest, lowered: &LoweredNest, bufs: &mut Buffers) -> Result<(), ExecError> {
+pub fn run(
+    nest: &LoopNest,
+    lowered: &LoweredNest,
+    bufs: &mut Buffers,
+) -> Result<(), ExecError> {
     let stmt = nest.statement();
     let strides: Vec<Vec<usize>> = nest.arrays().iter().map(|a| a.strides()).collect();
     lowered.try_for_each_point(|point| exec_stmt(stmt, point, &strides, bufs))
@@ -41,12 +45,9 @@ fn exec_stmt(
 ) -> Result<(), ExecError> {
     let value = eval(&stmt.rhs, point, strides, bufs)?;
     let out = &stmt.output;
-    let off = out
-        .linear_offset(point, &strides[out.array.index()])
-        .ok_or_else(|| ExecError::OutOfBounds {
-            array: out.array.index(),
-            point: point.to_vec(),
-        })?;
+    let off = out.linear_offset(point, &strides[out.array.index()]).ok_or_else(|| {
+        ExecError::OutOfBounds { array: out.array.index(), point: point.to_vec() }
+    })?;
     bufs.raw()[out.array.index()][off] = value;
     Ok(())
 }
@@ -59,12 +60,9 @@ fn eval(
 ) -> Result<f64, ExecError> {
     Ok(match e {
         Expr::Load(a) => {
-            let off = a
-                .linear_offset(point, &strides[a.array.index()])
-                .ok_or_else(|| ExecError::OutOfBounds {
-                    array: a.array.index(),
-                    point: point.to_vec(),
-                })?;
+            let off = a.linear_offset(point, &strides[a.array.index()]).ok_or_else(|| {
+                ExecError::OutOfBounds { array: a.array.index(), point: point.to_vec() }
+            })?;
             bufs.array(a.array)[off]
         }
         Expr::Const(c) => *c,

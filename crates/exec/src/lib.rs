@@ -6,15 +6,15 @@
 //! the binaries on real machines. Here a schedule's effect is measured in
 //! two complementary ways:
 //!
-//! * **Compute mode** ([`interp`]): the lowered nest is interpreted over
-//!   real buffers. Every legal schedule of a nest must produce the same
-//!   values as the program-order nest — this is how the test-suite proves
-//!   schedule lowering correct.
-//! * **Trace mode** ([`trace`]): the lowered nest is walked without
+//! * **Compute mode** ([`run`]/[`run_reference`]): the lowered nest is
+//!   interpreted over real buffers. Every legal schedule of a nest must
+//!   produce the same values as the program-order nest — this is how the
+//!   test-suite proves schedule lowering correct.
+//! * **Trace mode** ([`trace_stream`]): the lowered nest is walked without
 //!   touching data; the address stream of every array reference is fed to
 //!   the [`palo_cachesim`] hierarchy with contiguous runs batched to line
-//!   granularity. [`timing`] converts the resulting statistics plus a
-//!   compute estimate (vector lanes, parallel speedup) into estimated
+//!   granularity. [`estimate_time`] converts the resulting statistics plus
+//!   a compute estimate (vector lanes, parallel speedup) into estimated
 //!   milliseconds — the number every figure of the reproduction reports.
 //!
 //! # Examples

@@ -548,9 +548,9 @@ mod tests {
     fn fused_loop_traces_same_lines_as_unfused() {
         let nest = copy_nest(64);
         let mut s1 = Schedule::new();
-        s1.split("i", "io", "it", 8).split("j", "jo", "jt", 8).reorder(&[
-            "io", "jo", "it", "jt",
-        ]);
+        s1.split("i", "io", "it", 8)
+            .split("j", "jo", "jt", 8)
+            .reorder(&["io", "jo", "it", "jt"]);
         let mut s2 = s1.clone();
         s2.fuse("io", "jo", "f");
         let l1 = s1.lower(&nest).unwrap();

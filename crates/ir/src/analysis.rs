@@ -75,10 +75,8 @@ impl NestInfo {
         // aligned and at least one has a nonzero offset or there are
         // none": the classifier only needs "no reuse, no transpose".
 
-        let reduction_vars = (0..nest.vars().len())
-            .map(VarId)
-            .filter(|v| !output_vars.contains(v))
-            .collect();
+        let reduction_vars =
+            (0..nest.vars().len()).map(VarId).filter(|v| !output_vars.contains(v)).collect();
 
         NestInfo {
             output_vars,

@@ -68,10 +68,7 @@ impl NestBuilder {
 
     /// A load expression `array[vars...]` with plain-variable subscripts.
     pub fn load(&self, array: ArrayId, vars: &[VarId]) -> Expr {
-        Expr::Load(Access::new(
-            array,
-            vars.iter().map(|&v| AffineIndex::var(v)).collect(),
-        ))
+        Expr::Load(Access::new(array, vars.iter().map(|&v| AffineIndex::var(v)).collect()))
     }
 
     /// A load expression with arbitrary affine subscripts.

@@ -61,8 +61,12 @@ impl LoopNest {
                     BinOp::Sub => "-",
                     BinOp::Mul => "*",
                     BinOp::And => "&",
-                    BinOp::Max => return format!("max({}, {})", self.fmt_expr(l), self.fmt_expr(r)),
-                    BinOp::Min => return format!("min({}, {})", self.fmt_expr(l), self.fmt_expr(r)),
+                    BinOp::Max => {
+                        return format!("max({}, {})", self.fmt_expr(l), self.fmt_expr(r))
+                    }
+                    BinOp::Min => {
+                        return format!("min({}, {})", self.fmt_expr(l), self.fmt_expr(r))
+                    }
                 };
                 format!("({} {sym} {})", self.fmt_expr(l), self.fmt_expr(r))
             }

@@ -80,12 +80,7 @@ mod tests {
         assert!(s.contains('3'));
         assert!(s.contains('2'));
 
-        let e = IrError::OutOfBounds {
-            array: "B".into(),
-            dim: 1,
-            range: (0, 99),
-            extent: 64,
-        };
+        let e = IrError::OutOfBounds { array: "B".into(), dim: 1, range: (0, 99), extent: 64 };
         assert!(e.to_string().contains("extent is 64"));
     }
 

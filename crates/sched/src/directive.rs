@@ -86,9 +86,8 @@ impl Schedule {
 
     /// Appends a [`Directive::Reorder`].
     pub fn reorder(&mut self, order: &[&str]) -> &mut Self {
-        self.directives.push(Directive::Reorder {
-            order: order.iter().map(|s| s.to_string()).collect(),
-        });
+        self.directives
+            .push(Directive::Reorder { order: order.iter().map(|s| s.to_string()).collect() });
         self
     }
 

@@ -45,7 +45,9 @@ impl fmt::Display for SchedError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SchedError::UnknownLoop { name } => write!(f, "unknown loop {name:?}"),
-            SchedError::DuplicateLoop { name } => write!(f, "loop name {name:?} already exists"),
+            SchedError::DuplicateLoop { name } => {
+                write!(f, "loop name {name:?} already exists")
+            }
             SchedError::BadReorder { detail } => write!(f, "invalid reorder: {detail}"),
             SchedError::NotAdjacent { outer, inner } => {
                 write!(f, "loops {outer:?} and {inner:?} are not adjacent; cannot fuse")

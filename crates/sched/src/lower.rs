@@ -290,10 +290,7 @@ impl Schedule {
                     let (lo, li) = (loops[po].clone(), loops[pi].clone());
                     let mut contribs = Vec::new();
                     for c in &lo.contribs {
-                        contribs.push(Contribution {
-                            divisor: c.divisor * li.trip,
-                            ..*c
-                        });
+                        contribs.push(Contribution { divisor: c.divisor * li.trip, ..*c });
                     }
                     contribs.extend(li.contribs.iter().copied());
                     let fused_loop = LoweredLoop {
@@ -326,12 +323,7 @@ impl Schedule {
             }
         }
 
-        Ok(LoweredNest {
-            loops,
-            nt_store,
-            needs_guard,
-            extents: nest.extents(),
-        })
+        Ok(LoweredNest { loops, nt_store, needs_guard, extents: nest.extents() })
     }
 }
 
@@ -415,10 +407,7 @@ mod tests {
         let nest = matmul(8);
         let mut s = Schedule::new();
         s.vectorize("i", 8);
-        assert!(matches!(
-            s.lower(&nest),
-            Err(SchedError::VectorizeNotInnermost { .. })
-        ));
+        assert!(matches!(s.lower(&nest), Err(SchedError::VectorizeNotInnermost { .. })));
 
         let mut s = Schedule::new();
         s.vectorize("k", 8);

@@ -202,8 +202,18 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "convlayer", "doitgen", "matmul", "3mm", "gemm", "trmm", "syrk", "syr2k",
-                "tpm", "tp", "copy", "mask"
+                "convlayer",
+                "doitgen",
+                "matmul",
+                "3mm",
+                "gemm",
+                "trmm",
+                "syrk",
+                "syr2k",
+                "tpm",
+                "tp",
+                "copy",
+                "mask"
             ]
         );
     }

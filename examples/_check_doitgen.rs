@@ -10,11 +10,17 @@ fn main() {
         let s = schedule_for(t, &nest, &arch, 0);
         let l = match s.lower(&nest) {
             Ok(l) => l,
-            Err(e) => { eprintln!("{}: failed to lower: {e}", t.label()); continue }
+            Err(e) => {
+                eprintln!("{}: failed to lower: {e}", t.label());
+                continue;
+            }
         };
         let e = match estimate_time(&nest, &l, &arch) {
             Ok(e) => e,
-            Err(e) => { eprintln!("{}: failed to simulate: {e}", t.label()); continue }
+            Err(e) => {
+                eprintln!("{}: failed to simulate: {e}", t.label());
+                continue;
+            }
         };
         println!("{:>14}: ms {:.3} mem_cyc {:.2e} comp_cyc {:.2e} speedup {:.1} | L1h {} L2h {} L3h {} memfill {} pf_fill {} wb {}",
             t.label(), e.ms, e.memory_cycles, e.compute_cycles, e.speedup,

@@ -6,16 +6,28 @@ fn main() {
     let size: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(512);
     let which = std::env::args().nth(2).unwrap_or("5930k".into());
     let Ok(nest) = kernels::matmul(size) else { return eprintln!("bad size {size}") };
-    let arch = if which == "6700" { presets::repro::intel_i7_6700() } else { presets::repro::intel_i7_5930k() };
-    for t in [Technique::Proposed, Technique::Tss, Technique::AutoScheduler, Technique::Baseline] {
+    let arch = if which == "6700" {
+        presets::repro::intel_i7_6700()
+    } else {
+        presets::repro::intel_i7_5930k()
+    };
+    for t in
+        [Technique::Proposed, Technique::Tss, Technique::AutoScheduler, Technique::Baseline]
+    {
         let s = schedule_for(t, &nest, &arch, 0);
         let l = match s.lower(&nest) {
             Ok(l) => l,
-            Err(e) => { eprintln!("{}: failed to lower: {e}", t.label()); continue }
+            Err(e) => {
+                eprintln!("{}: failed to lower: {e}", t.label());
+                continue;
+            }
         };
         let e = match estimate_time(&nest, &l, &arch) {
             Ok(e) => e,
-            Err(e) => { eprintln!("{}: failed to simulate: {e}", t.label()); continue }
+            Err(e) => {
+                eprintln!("{}: failed to simulate: {e}", t.label());
+                continue;
+            }
         };
         println!("{:>14}: ms {:.3} lat {:.2e} bus {:.2e} comp {:.2e} spd {:.2} | L1h {} L2h {} L3h {} memfill {} pf {} wb {}",
             t.label(), e.ms, e.memory_cycles, e.bus_cycles, e.compute_cycles, e.speedup,

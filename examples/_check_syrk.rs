@@ -10,11 +10,17 @@ fn main() {
         let s = schedule_for(t, &nest, &arch, 0);
         let l = match s.lower(&nest) {
             Ok(l) => l,
-            Err(e) => { eprintln!("{}: failed to lower: {e}", t.label()); continue }
+            Err(e) => {
+                eprintln!("{}: failed to lower: {e}", t.label());
+                continue;
+            }
         };
         let e = match estimate_time(&nest, &l, &arch) {
             Ok(e) => e,
-            Err(e) => { eprintln!("{}: failed to simulate: {e}", t.label()); continue }
+            Err(e) => {
+                eprintln!("{}: failed to simulate: {e}", t.label());
+                continue;
+            }
         };
         println!("{:>9}: ms {:.3} lat {:.2e} bus {:.2e} comp {:.2e} spd {:.1} | L1h {} L2h {} L3h {} memfill {} pf {} wb {}",
             t.label(), e.ms, e.memory_cycles, e.bus_cycles, e.compute_cycles, e.speedup,

@@ -18,7 +18,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Small instances so the functional check is instant; the estimate
     // afterwards uses the real scaled sizes.
     let stages = [
-        ("convlayer", kernels::convlayer(8, 8, 4, 2, 4, 3)?, kernels::convlayer(32, 32, 16, 4, 16, 3)?),
+        (
+            "convlayer",
+            kernels::convlayer(8, 8, 4, 2, 4, 3)?,
+            kernels::convlayer(32, 32, 16, 4, 16, 3)?,
+        ),
         ("doitgen", kernels::doitgen(12)?, kernels::doitgen(64)?),
     ];
 

@@ -56,11 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         t_naive.ms,
         t_naive.stats.mem_traffic_lines()
     );
-    println!(
-        "optimized: {:8.2} ms  ({} mem lines)",
-        t_opt.ms,
-        t_opt.stats.mem_traffic_lines()
-    );
+    println!("optimized: {:8.2} ms  ({} mem lines)", t_opt.ms, t_opt.stats.mem_traffic_lines());
     println!("speedup:   {:.2}x", t_naive.ms / t_opt.ms);
     Ok(())
 }

@@ -6,12 +6,14 @@
 //! ```text
 //! palo-opt <kernel> [--size N] [--platform 5930k|6700|a15]
 //!          [--technique proposed|autosched|baseline|autotune|tss|tts]
+//!          [--model paper|tss|tts|sim]
+//!          [--ablate no-prefetch-discount,no-corder,...]
 //!          [--estimate] [--no-nti] [--verbose]
 //! ```
 
 use palo::arch::{presets, Architecture};
 use palo::baselines::{schedule_for, Technique};
-use palo::core::{Optimizer, OptimizerConfig, Pipeline, PipelineConfig};
+use palo::core::{ModelKind, Optimizer, OptimizerConfig, Pipeline, PipelineConfig};
 use palo::suite::Benchmark;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -21,6 +23,8 @@ struct Args {
     size: Option<usize>,
     platform: String,
     technique: String,
+    model: ModelKind,
+    ablate: Vec<String>,
     estimate: bool,
     nti: bool,
     verbose: bool,
@@ -30,6 +34,8 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage: palo-opt <kernel> [--size N] [--platform 5930k|6700|a15]\n\
          \x20               [--technique proposed|autosched|baseline|autotune|tss|tts]\n\
+         \x20               [--model paper|tss|tts|sim]\n\
+         \x20               [--ablate no-prefetch-discount,no-corder,no-parallel-grain,no-bandwidth-term]\n\
          \x20               [--estimate] [--no-nti] [--verbose]\n\
          kernels: {}",
         Benchmark::all().map(|b| b.name()).join(", ")
@@ -43,6 +49,8 @@ fn parse() -> Result<Args, ExitCode> {
         size: None,
         platform: "5930k".into(),
         technique: "proposed".into(),
+        model: ModelKind::Paper,
+        ablate: Vec::new(),
         estimate: false,
         nti: true,
         verbose: false,
@@ -51,14 +59,21 @@ fn parse() -> Result<Args, ExitCode> {
     while let Some(a) = it.next() {
         match a.as_str() {
             "--size" => {
-                args.size = Some(
-                    it.next()
-                        .and_then(|v| v.parse().ok())
-                        .ok_or_else(usage)?,
-                )
+                args.size = Some(it.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?)
             }
             "--platform" => args.platform = it.next().ok_or_else(usage)?,
             "--technique" => args.technique = it.next().ok_or_else(usage)?,
+            "--model" => {
+                let name = it.next().ok_or_else(usage)?;
+                args.model = ModelKind::parse(&name).ok_or_else(|| {
+                    eprintln!("unknown model {name:?}");
+                    usage()
+                })?;
+            }
+            "--ablate" => {
+                let list = it.next().ok_or_else(usage)?;
+                args.ablate.extend(list.split(',').map(|s| s.trim().to_string()));
+            }
             "--estimate" => args.estimate = true,
             "--no-nti" => args.nti = false,
             "--verbose" => args.verbose = true,
@@ -71,6 +86,25 @@ fn parse() -> Result<Args, ExitCode> {
         return Err(usage());
     }
     Ok(args)
+}
+
+/// Maps `--ablate` switch names onto [`OptimizerConfig`] flags
+/// (DESIGN.md §11's ablation table).
+fn apply_ablations(config: &mut OptimizerConfig, ablate: &[String]) -> Result<(), ExitCode> {
+    for a in ablate {
+        match a.as_str() {
+            "no-prefetch-discount" => config.prefetch_discount = false,
+            "no-corder" => config.reorder_step = false,
+            "no-halve-l2" => config.halve_l2_sets = false,
+            "no-parallel-grain" => config.parallel_grain_constraint = false,
+            "no-bandwidth-term" => config.bandwidth_term = false,
+            other => {
+                eprintln!("unknown ablation {other:?}");
+                return Err(usage());
+            }
+        }
+    }
+    Ok(())
 }
 
 fn platform(name: &str) -> Option<Architecture> {
@@ -87,8 +121,7 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(code) => return code,
     };
-    let Some(benchmark) = Benchmark::all().into_iter().find(|b| b.name() == args.kernel)
-    else {
+    let Some(benchmark) = Benchmark::all().into_iter().find(|b| b.name() == args.kernel) else {
         eprintln!("unknown kernel {:?}", args.kernel);
         return usage();
     };
@@ -115,7 +148,14 @@ fn main() -> ExitCode {
         let t0 = Instant::now();
         let (schedule, detail) = match args.technique.as_str() {
             "proposed" => {
-                let config = OptimizerConfig { enable_nti: args.nti, ..OptimizerConfig::default() };
+                let mut config = OptimizerConfig {
+                    enable_nti: args.nti,
+                    model: args.model,
+                    ..OptimizerConfig::default()
+                };
+                if let Err(code) = apply_ablations(&mut config, &args.ablate) {
+                    return code;
+                }
                 let d = match Optimizer::with_config(&arch, config).try_optimize(nest) {
                     Ok(d) => d,
                     Err(e) => {
@@ -123,17 +163,31 @@ fn main() -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                 };
+                let bd = &d.breakdown;
                 let detail = format!(
-                    "class {:?}, tile {:?}, predicted cost {:.3e}",
-                    d.class, d.tile, d.predicted_cost
+                    "model {}, class {:?}, tile {:?}, predicted cost {:.3e}\n\
+                     //   breakdown: cl1 {:.3e}, cl2 {:.3e}, cl2_lines {:.3e}, \
+                     corder {:.3e}, pref_efficiency {:.3}",
+                    args.model.name(),
+                    d.class,
+                    d.tile,
+                    d.predicted_cost,
+                    bd.cl1,
+                    bd.cl2,
+                    bd.cl2_lines,
+                    bd.corder,
+                    bd.pref_efficiency
                 );
                 (d.into_schedule(), detail)
             }
-            "autosched" => (schedule_for(Technique::AutoScheduler, nest, &arch, 0), String::new()),
-            "baseline" => (schedule_for(Technique::Baseline, nest, &arch, 0), String::new()),
-            "autotune" => {
-                (schedule_for(Technique::Autotuner { budget: 20 }, nest, &arch, 0), String::new())
+            "autosched" => {
+                (schedule_for(Technique::AutoScheduler, nest, &arch, 0), String::new())
             }
+            "baseline" => (schedule_for(Technique::Baseline, nest, &arch, 0), String::new()),
+            "autotune" => (
+                schedule_for(Technique::Autotuner { budget: 20 }, nest, &arch, 0),
+                String::new(),
+            ),
             "tss" => (schedule_for(Technique::Tss, nest, &arch, 0), String::new()),
             "tts" => (schedule_for(Technique::Tts, nest, &arch, 0), String::new()),
             other => {

@@ -63,12 +63,7 @@ fn nti_groups_match_table() {
         let expect_nti = b.nti_applicable();
         for nest in b.build(32).unwrap() {
             let d = opt.optimize(&nest);
-            assert_eq!(
-                d.use_nti,
-                expect_nti,
-                "{}: NTI should be {expect_nti}",
-                b.name()
-            );
+            assert_eq!(d.use_nti, expect_nti, "{}: NTI should be {expect_nti}", b.name());
         }
     }
 }

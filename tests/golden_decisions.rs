@@ -1,0 +1,79 @@
+//! Golden-decision snapshots of the paper model.
+//!
+//! Locks the optimizer's chosen schedule — tile sizes, inter/intra
+//! permutation, parallel/vector/NT-store flags and the cost bits — for
+//! all 12 suite kernels (3mm contributes its three stages) on the three
+//! Table-3 platform presets. The snapshot was taken *before* the cost
+//! model was extracted into `palo_core::model`; the refactor (and any
+//! future one) must keep the paper model's decisions bit-identical.
+//!
+//! To regenerate after an *intentional* model change, bless the snapshot
+//! and review the diff like source:
+//!
+//! ```text
+//! PALO_BLESS_GOLDEN=1 cargo test --test golden_decisions
+//! ```
+
+use palo::arch::presets;
+use palo::core::Optimizer;
+use palo::suite::Benchmark;
+use std::fmt::Write as _;
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/decisions.txt");
+
+/// The three platforms of the paper's Table 3.
+fn platforms() -> Vec<(&'static str, palo::arch::Architecture)> {
+    vec![
+        ("5930k", presets::intel_i7_5930k()),
+        ("6700", presets::intel_i7_6700()),
+        ("a15", presets::arm_cortex_a15()),
+    ]
+}
+
+/// One line per (nest, platform): everything the optimizer decided, with
+/// the model cost as exact bits so float drift cannot hide.
+fn render_decisions() -> String {
+    let mut out = String::new();
+    for (pname, arch) in platforms() {
+        let optimizer = Optimizer::new(&arch);
+        for b in Benchmark::all() {
+            let nests = b.build_scaled().unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+            for (stage, nest) in nests.iter().enumerate() {
+                let d = optimizer.optimize(nest);
+                writeln!(
+                    out,
+                    "{}[{stage}] @ {pname}: class={:?} tile={:?} inter={:?} intra={:?} \
+                     nti={} lanes={} par={:?} cost={:#018x}",
+                    b.name(),
+                    d.class,
+                    d.tile,
+                    d.inter_order,
+                    d.intra_order,
+                    d.use_nti,
+                    d.vector_lanes,
+                    d.parallel_var,
+                    d.predicted_cost.to_bits(),
+                )
+                .expect("write to String cannot fail");
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn paper_model_decisions_are_bit_identical_to_the_snapshot() {
+    let got = render_decisions();
+    if std::env::var_os("PALO_BLESS_GOLDEN").is_some() {
+        std::fs::write(GOLDEN, &got).expect("bless: cannot write snapshot");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN)
+        .expect("missing snapshot; run with PALO_BLESS_GOLDEN=1 to create it");
+    assert_eq!(
+        got, want,
+        "paper-model decisions diverged from the golden snapshot; if the \
+         change is intentional, re-bless with PALO_BLESS_GOLDEN=1 and \
+         review the diff"
+    );
+}

@@ -3,9 +3,7 @@
 //! must be observable in the report.
 
 use palo::arch::presets;
-use palo::core::{
-    FaultPlan, PaloError, Pipeline, PipelineConfig, ResourceBudget, Rung,
-};
+use palo::core::{FaultPlan, PaloError, Pipeline, PipelineConfig, ResourceBudget, Rung};
 use palo::exec::run_reference;
 use palo::ir::{DType, LoopNest, NestBuilder};
 use std::time::Duration;

@@ -41,17 +41,17 @@ fn proposed_cuts_doitgen_memory_traffic() {
     let traffic = |t: Technique| {
         let sched = schedule_for(t, &nest, &arch, 11);
         let lowered = sched.lower(&nest).expect("schedule lowers");
-        estimate_time(&nest, &lowered, &arch).expect("simulation succeeds").stats.mem_traffic_lines()
+        estimate_time(&nest, &lowered, &arch)
+            .expect("simulation succeeds")
+            .stats
+            .mem_traffic_lines()
     };
     let p = traffic(Technique::Proposed);
     let b = traffic(Technique::Baseline);
     // At 48³ the whole problem is LLC-resident, so both are near the
     // cold-miss floor; tiling may add bounded prefetch overfetch. The
     // real separation at scale is asserted by the fig4 harness.
-    assert!(
-        p as f64 <= b as f64 * 1.3,
-        "proposed traffic {p} should stay near baseline {b}"
-    );
+    assert!(p as f64 <= b as f64 * 1.3, "proposed traffic {p} should stay near baseline {b}");
 }
 
 #[test]
@@ -60,11 +60,7 @@ fn nti_improves_spatial_kernels() {
     for nest in [kernels::tp(512).unwrap(), kernels::copy(512).unwrap()] {
         let plain = ms(&nest, Technique::Proposed, &arch);
         let nti = ms(&nest, Technique::ProposedNti, &arch);
-        assert!(
-            nti < plain,
-            "{}: NTI {nti} should improve over {plain}",
-            nest.name()
-        );
+        assert!(nti < plain, "{}: NTI {nti} should improve over {plain}", nest.name());
     }
 }
 
@@ -94,7 +90,8 @@ fn parallel_baseline_beats_serial_naive() {
     // a pure copy can legitimately tie (both hit the bandwidth roof).
     let nest = kernels::matmul(128).unwrap();
     let arch = presets::repro::intel_i7_6700();
-    let serial = estimate_time(&nest, &Schedule::new().lower(&nest).unwrap(), &arch).unwrap().ms;
+    let serial =
+        estimate_time(&nest, &Schedule::new().lower(&nest).unwrap(), &arch).unwrap().ms;
     let b = ms(&nest, Technique::Baseline, &arch);
     assert!(b < serial, "baseline {b} vs serial {serial}");
 }

@@ -47,10 +47,7 @@ impl BenchmarkGroup<'_> {
         let mut b = Bencher { iters: self.sample_size.max(1), elapsed_ns: 0 };
         f(&mut b);
         let per_iter = b.elapsed_ns as f64 / b.iters as f64;
-        println!(
-            "{}/{}: {:.1} ns/iter ({} iters)",
-            self.name, id, per_iter, b.iters
-        );
+        println!("{}/{}: {:.1} ns/iter ({} iters)", self.name, id, per_iter, b.iters);
         self
     }
 
