@@ -1,0 +1,218 @@
+//! Perf-tracking harness for the session pipeline's artifact cache.
+//!
+//! For each requested platform this builds the full evaluation suite,
+//! opens one [`Session`], and runs the whole batch twice through the
+//! concurrent [`palo_core::BatchDriver`] — once cold (empty cache) and
+//! once warm
+//! (every pass request should be served from the cache) — then writes
+//! both wall-clock times and both cache-counter windows to
+//! `BENCH_pipeline.json`.
+//!
+//! Exit status is non-zero when any batch item fails, when the warm
+//! batch's hit rate is not above the floor (default 0.5; the acceptance
+//! criterion is that a warm suite run is mostly cache-served), or when
+//! the warm batch recomputed anything it should have cached.
+//! CI runs this at a reduced size as a smoke job.
+//!
+//! Environment:
+//!
+//! * `PALO_BENCH_PIPELINE_SIZE` — problem size for every kernel;
+//!   `0` (default) means each kernel's paper-scaled size;
+//! * `PALO_BENCH_PIPELINE_SIMULATE` — `1` (default) runs the trace
+//!   simulation stage, `0` stops after validation (much faster);
+//! * `PALO_BENCH_PIPELINE_PLATFORMS` — comma list out of
+//!   `5930k,6700,a15` (default: all three);
+//! * `PALO_BENCH_PIPELINE_MIN_HIT_RATE` — warm hit-rate floor,
+//!   default 0.5;
+//! * `PALO_BENCH_PIPELINE_OUT` — output path, default
+//!   `BENCH_pipeline.json`;
+//! * `PALO_SEARCH_THREADS` — worker count for both the batch driver and
+//!   the candidate search.
+
+use palo_arch::{presets, Architecture};
+use palo_core::{CacheStats, PipelineConfig, Session};
+use palo_ir::LoopNest;
+use palo_suite::Benchmark;
+use std::fmt::Write as _;
+
+struct PlatformRow {
+    platform: &'static str,
+    nests: usize,
+    cold_ms: f64,
+    warm_ms: f64,
+    cold: CacheStats,
+    warm: CacheStats,
+    failed: usize,
+}
+
+fn env_parse<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key).ok().and_then(|v| v.trim().parse().ok()).unwrap_or(default)
+}
+
+fn platform(name: &str) -> Option<(&'static str, Architecture)> {
+    match name {
+        "5930k" => Some(("5930k", presets::repro::intel_i7_5930k())),
+        "6700" => Some(("6700", presets::repro::intel_i7_6700())),
+        "a15" => Some(("a15", presets::repro::arm_cortex_a15())),
+        _ => None,
+    }
+}
+
+fn suite_nests(size: usize) -> Result<Vec<LoopNest>, String> {
+    let mut nests = Vec::new();
+    for b in Benchmark::all() {
+        let built = if size == 0 { b.build_scaled() } else { b.build(size) };
+        nests.extend(built.map_err(|e| format!("{}: {e}", b.name()))?);
+    }
+    Ok(nests)
+}
+
+fn run_platform(
+    platform: &'static str,
+    arch: &Architecture,
+    nests: &[LoopNest],
+    simulate: bool,
+) -> Result<PlatformRow, String> {
+    let config = PipelineConfig { simulate, ..PipelineConfig::default() };
+    let session = Session::new(arch, config).map_err(|e| format!("{platform}: {e}"))?;
+
+    let cold = session.batch().run(nests);
+    let warm = session.batch().run(nests);
+
+    let failed = cold.failed() + warm.failed();
+    for report in [&cold, &warm] {
+        for item in &report.items {
+            if let Err(e) = &item.outcome {
+                eprintln!("bench_pipeline: {platform}/{}: {e}", item.name);
+            }
+        }
+    }
+    Ok(PlatformRow {
+        platform,
+        nests: nests.len(),
+        cold_ms: cold.elapsed.as_secs_f64() * 1e3,
+        warm_ms: warm.elapsed.as_secs_f64() * 1e3,
+        cold: cold.cache,
+        warm: warm.cache,
+        failed,
+    })
+}
+
+fn render_json(rows: &[PlatformRow], size: usize, simulate: bool) -> String {
+    // Hand-rendered like the other bench reports: the vendored serde is
+    // a no-op stub (offline build).
+    let mut out = String::from("{\n  \"bench\": \"pipeline\",\n");
+    let _ = writeln!(out, "  \"size\": {size},");
+    let _ = writeln!(out, "  \"simulate\": {simulate},");
+    out.push_str("  \"platforms\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let speedup = if r.warm_ms > 0.0 { r.cold_ms / r.warm_ms } else { f64::NAN };
+        let _ = write!(
+            out,
+            "    {{\"platform\": \"{}\", \"nests\": {}, \
+             \"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \"warm_speedup\": {:.2}, \
+             \"cold_hits\": {}, \"cold_misses\": {}, \"cold_bypasses\": {}, \
+             \"warm_hits\": {}, \"warm_misses\": {}, \"warm_bypasses\": {}, \
+             \"warm_hit_rate\": {:.4}, \"failed\": {}}}",
+            r.platform,
+            r.nests,
+            r.cold_ms,
+            r.warm_ms,
+            speedup,
+            r.cold.hits,
+            r.cold.misses,
+            r.cold.bypasses,
+            r.warm.hits,
+            r.warm.misses,
+            r.warm.bypasses,
+            r.warm.hit_rate(),
+            r.failed,
+        );
+        out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let size: usize = env_parse("PALO_BENCH_PIPELINE_SIZE", 0);
+    let simulate = env_parse::<u8>("PALO_BENCH_PIPELINE_SIMULATE", 1) != 0;
+    let min_hit_rate: f64 = env_parse("PALO_BENCH_PIPELINE_MIN_HIT_RATE", 0.5);
+    let out_path = std::env::var("PALO_BENCH_PIPELINE_OUT")
+        .unwrap_or_else(|_| "BENCH_pipeline.json".into());
+    let platforms = std::env::var("PALO_BENCH_PIPELINE_PLATFORMS")
+        .unwrap_or_else(|_| "5930k,6700,a15".into());
+
+    let nests = match suite_nests(size) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("bench_pipeline: cannot build suite: {e}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut rows = Vec::new();
+    let mut failed = false;
+    for name in platforms.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+        let Some((label, arch)) = platform(name) else {
+            eprintln!("bench_pipeline: unknown platform '{name}'");
+            std::process::exit(2);
+        };
+        match run_platform(label, &arch, &nests, simulate) {
+            Ok(row) => {
+                println!(
+                    "{:<6} {:>2} nests: cold {:>9.2} ms, warm {:>9.2} ms ({:.1}x), \
+                     warm cache {} hits / {} misses / {} bypasses ({:.0}% hit rate)",
+                    row.platform,
+                    row.nests,
+                    row.cold_ms,
+                    row.warm_ms,
+                    row.cold_ms / row.warm_ms.max(1e-9),
+                    row.warm.hits,
+                    row.warm.misses,
+                    row.warm.bypasses,
+                    row.warm.hit_rate() * 100.0,
+                );
+                if row.failed > 0 {
+                    eprintln!(
+                        "bench_pipeline: {}: {} batch items failed",
+                        row.platform, row.failed
+                    );
+                    failed = true;
+                }
+                if row.warm.hit_rate() <= min_hit_rate {
+                    eprintln!(
+                        "bench_pipeline: {}: warm hit rate {:.2} not above floor {:.2}",
+                        row.platform,
+                        row.warm.hit_rate(),
+                        min_hit_rate
+                    );
+                    failed = true;
+                }
+                if row.warm.misses > 0 {
+                    eprintln!(
+                        "bench_pipeline: {}: warm batch recomputed {} cached requests",
+                        row.platform, row.warm.misses
+                    );
+                    failed = true;
+                }
+                rows.push(row);
+            }
+            Err(e) => {
+                eprintln!("bench_pipeline: {e}");
+                failed = true;
+            }
+        }
+    }
+
+    let json = render_json(&rows, size, simulate);
+    if let Err(e) = std::fs::write(&out_path, &json) {
+        eprintln!("bench_pipeline: cannot write {out_path}: {e}");
+        failed = true;
+    } else {
+        println!("wrote {out_path}");
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}

@@ -27,9 +27,53 @@ pub enum ModelKind {
     Simulated,
 }
 
+/// Error of parsing a [`ModelKind`] from a string (e.g. the CLI's
+/// `--model` flag): the rejected input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseModelKindError(pub String);
+
+impl std::fmt::Display for ParseModelKindError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown model {:?} (expected one of ", self.0)?;
+        for (i, k) in ModelKind::ALL.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(k.as_str())?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl std::error::Error for ParseModelKindError {}
+
+impl std::fmt::Display for ModelKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for ModelKind {
+    type Err = ParseModelKindError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        ModelKind::ALL
+            .iter()
+            .copied()
+            .find(|k| k.as_str() == s)
+            .ok_or_else(|| ParseModelKindError(s.to_string()))
+    }
+}
+
 impl ModelKind {
+    /// Every kind, in CLI/documentation order.
+    pub const ALL: [ModelKind; 4] =
+        [ModelKind::Paper, ModelKind::Tss, ModelKind::Tts, ModelKind::Simulated];
+
     /// Short machine-readable name, matching the CLI's `--model` values.
-    pub fn name(self) -> &'static str {
+    /// The single source of truth: [`std::fmt::Display`],
+    /// [`std::str::FromStr`] and [`ModelKind::name`] all go through it.
+    pub fn as_str(self) -> &'static str {
         match self {
             ModelKind::Paper => "paper",
             ModelKind::Tss => "tss",
@@ -38,15 +82,15 @@ impl ModelKind {
         }
     }
 
-    /// Parses a CLI `--model` value.
+    /// Alias of [`ModelKind::as_str`] kept for existing callers.
+    pub fn name(self) -> &'static str {
+        self.as_str()
+    }
+
+    /// Parses a CLI `--model` value ([`std::str::FromStr`] as an
+    /// `Option`).
     pub fn parse(s: &str) -> Option<Self> {
-        match s {
-            "paper" => Some(ModelKind::Paper),
-            "tss" => Some(ModelKind::Tss),
-            "tts" => Some(ModelKind::Tts),
-            "sim" => Some(ModelKind::Simulated),
-            _ => None,
-        }
+        s.parse().ok()
     }
 
     /// The configuration the drivers must run under for this model: the
@@ -190,10 +234,23 @@ mod tests {
 
     #[test]
     fn model_kind_names_round_trip() {
-        for kind in [ModelKind::Paper, ModelKind::Tss, ModelKind::Tts, ModelKind::Simulated] {
+        for kind in ModelKind::ALL {
             assert_eq!(ModelKind::parse(kind.name()), Some(kind));
+            assert_eq!(kind.as_str().parse::<ModelKind>(), Ok(kind));
+            assert_eq!(kind.to_string(), kind.as_str());
         }
         assert_eq!(ModelKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn model_kind_rejects_near_misses() {
+        for bad in ["", "Paper", "PAPER", " paper", "paper ", "simulated", "ts", "tsss"] {
+            let err = bad.parse::<ModelKind>().unwrap_err();
+            assert_eq!(err, ParseModelKindError(bad.to_string()));
+            // The message names the rejected input and the valid values.
+            let msg = err.to_string();
+            assert!(msg.contains("paper") && msg.contains("sim"), "{msg}");
+        }
     }
 
     #[test]

@@ -59,36 +59,44 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+mod batch;
 mod candidates;
 pub mod classify;
 mod config;
 mod decision;
 pub mod emu;
 mod error;
+pub mod fingerprint;
 mod footprint;
 pub mod model;
 pub mod order;
+pub mod pass;
 mod pipeline;
 pub mod post;
 pub mod search;
+mod session;
 pub mod spatial;
 pub mod temporal;
 
+pub use batch::{BatchDriver, BatchItem, BatchReport};
 pub use classify::{classify, Class};
-pub use config::{ModelKind, OptimizerConfig, SearchOptions};
+pub use config::{ModelKind, OptimizerConfig, ParseModelKindError, SearchOptions};
 pub use decision::Decision;
 pub use emu::{emu, emu_cached, EmuKey, EmuParams};
 pub use error::{catch_panic, PaloError};
+pub use fingerprint::{Fingerprint, FingerprintBuilder};
 pub use footprint::Footprints;
 pub use model::{
-    shift_hierarchy, CandidatePoint, CostBreakdown, CostModel, PrefetchAwareModel,
-    SimulatedModel, TileContext,
+    resolve, shift_hierarchy, CandidatePoint, CostBreakdown, CostModel, PrefetchAwareModel,
+    ResolvedModel, SimulatedModel, TileContext,
 };
+pub use pass::{CacheStats, Pass, PassCx, RunCtl};
 pub use pipeline::{
-    FaultPlan, Pipeline, PipelineConfig, PipelineOutcome, PipelineReport, ResourceBudget, Rung,
-    RungFailure,
+    FaultPlan, ParseRungError, Pipeline, PipelineConfig, PipelineOutcome, PipelineReport,
+    ResourceBudget, Rung, RungFailure,
 };
 pub use search::{SearchCounters, SearchStats};
+pub use session::Session;
 
 use palo_arch::Architecture;
 use palo_ir::{LoopNest, NestInfo};
@@ -134,21 +142,30 @@ impl Optimizer {
     /// [`Optimizer::optimize`], also reporting what the candidate search
     /// did ([`SearchStats`]: workers, candidates evaluated/pruned, memo
     /// hit rates, wall time).
+    ///
+    /// Resolves [`OptimizerConfig::model`] once, then drives
+    /// [`Optimizer::optimize_resolved`]. Callers issuing many
+    /// optimizations under one configuration (a [`Session`] does this
+    /// automatically) should resolve once themselves and reuse it.
     pub fn optimize_with_stats(&self, nest: &LoopNest) -> (Decision, SearchStats) {
+        let resolved = model::resolve(&self.config, &self.arch);
+        self.optimize_resolved(nest, &resolved)
+    }
+
+    /// The full flow under an already-resolved cost model: classify,
+    /// then route to the class's driver. The `ContiguousOnly`
+    /// passthrough runs under the optimizer's *original*
+    /// `(arch, config)` pair (its decision mirrors the unoptimized
+    /// flow); the search drivers run under the resolved *effective*
+    /// pair.
+    pub fn optimize_resolved(
+        &self,
+        nest: &LoopNest,
+        resolved: &ResolvedModel,
+    ) -> (Decision, SearchStats) {
         let info = NestInfo::analyze(nest);
         let class = classify(&info);
-        match class {
-            Class::Temporal => {
-                temporal::optimize_with_stats(nest, &info, &self.arch, &self.config)
-            }
-            Class::Spatial => {
-                spatial::optimize_with_stats(nest, &info, &self.arch, &self.config)
-            }
-            Class::ContiguousOnly => (
-                post::passthrough(nest, &info, &self.arch, &self.config),
-                SearchStats::default(),
-            ),
-        }
+        pass::dispatch(nest, &info, class, &self.arch, &self.config, resolved)
     }
 
     /// Guarded variant of [`Optimizer::optimize`]: validates the

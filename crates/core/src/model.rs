@@ -345,7 +345,7 @@ impl<'a> TileContext<'a> {
 /// `(context, point)` — the engine shares them across its worker pool and
 /// the bit-determinism contract (same winner for any worker count)
 /// depends on every evaluation returning identical bits every time.
-pub trait CostModel: Sync {
+pub trait CostModel: Send + Sync {
     /// Short machine-readable name (`"paper"`, `"tss"`, `"tts"`,
     /// `"sim"`).
     fn name(&self) -> &'static str;

@@ -1,0 +1,44 @@
+//! The Classify pass: Figure 2's kernel classification as the first
+//! stage of the pass graph.
+
+use super::{Pass, PassCx};
+use crate::classify::{classify, Class};
+use crate::error::PaloError;
+use crate::fingerprint::{Fingerprint, FingerprintBuilder};
+use palo_ir::{LoopNest, NestInfo};
+
+/// The classification of one nest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClassifyArtifact {
+    /// Which optimizer the nest routes to.
+    pub class: Class,
+}
+
+/// Classifies a nest ([`crate::classify()`]); purely structural, so the
+/// key is the nest's canonical form alone — no architecture, no config.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClassifyPass;
+
+impl Pass for ClassifyPass {
+    type Input<'a> = &'a LoopNest;
+    type Output = ClassifyArtifact;
+
+    fn name(&self) -> &'static str {
+        "classify"
+    }
+
+    fn version(&self) -> u32 {
+        1
+    }
+
+    fn fingerprint(&self, _cx: &PassCx<'_>, nest: &Self::Input<'_>) -> Option<Fingerprint> {
+        Some(FingerprintBuilder::pass(self.name(), self.version()).nest(nest).finish())
+    }
+
+    fn run(&self, _cx: &PassCx<'_>, nest: &Self::Input<'_>) -> Result<Self::Output, PaloError> {
+        crate::error::catch_panic("classify", || {
+            let info = NestInfo::analyze(nest);
+            ClassifyArtifact { class: classify(&info) }
+        })
+    }
+}

@@ -1,0 +1,107 @@
+//! The Degrade pass: materializes the degradation ladder (PR 1's
+//! fallback semantics) as a cached artifact.
+
+use super::{Pass, PassCx};
+use crate::error::PaloError;
+use crate::fingerprint::{Fingerprint, FingerprintBuilder};
+use crate::pipeline::Rung;
+use palo_arch::Architecture;
+use palo_ir::LoopNest;
+use palo_sched::Schedule;
+
+/// The ladder of `(rung, schedule)` candidates, best first: Proposed,
+/// Stripped (when distinct), Baseline, Naive.
+#[derive(Debug, Clone)]
+pub struct DegradeArtifact {
+    /// Rungs in descent order.
+    pub ladder: Vec<(Rung, Schedule)>,
+}
+
+/// Builds the ladder for a nest and an optional proposed schedule.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DegradePass;
+
+impl Pass for DegradePass {
+    type Input<'a> = (&'a LoopNest, Option<&'a Schedule>);
+    type Output = DegradeArtifact;
+
+    fn name(&self) -> &'static str {
+        "degrade"
+    }
+
+    fn version(&self) -> u32 {
+        1
+    }
+
+    /// Key: nest + architecture (the baseline rung's vector lanes and
+    /// parallelization depend on it) + the proposed schedule, tagged so
+    /// "no proposal" and "empty proposal" differ.
+    fn fingerprint(
+        &self,
+        cx: &PassCx<'_>,
+        (nest, proposed): &Self::Input<'_>,
+    ) -> Option<Fingerprint> {
+        let mut b =
+            FingerprintBuilder::pass(self.name(), self.version()).nest(nest).arch(cx.arch);
+        b = match proposed {
+            None => b.value(&0u64),
+            Some(s) => b.value(&1u64).value(*s),
+        };
+        Some(b.finish())
+    }
+
+    fn run(
+        &self,
+        cx: &PassCx<'_>,
+        (nest, proposed): &Self::Input<'_>,
+    ) -> Result<Self::Output, PaloError> {
+        let mut ladder: Vec<(Rung, Schedule)> = Vec::new();
+        if let Some(p) = proposed {
+            ladder.push((Rung::Proposed, (*p).clone()));
+            let stripped = p.without_execution_hints();
+            if stripped != **p {
+                ladder.push((Rung::Stripped, stripped));
+            }
+        }
+        ladder.push((Rung::Baseline, baseline_schedule(nest, cx.arch)));
+        ladder.push((Rung::Naive, Schedule::new()));
+        Ok(DegradeArtifact { ladder })
+    }
+}
+
+/// The §5.1 developer-baseline schedule: column loop rotated innermost
+/// and vectorized, outermost loop parallelized, nothing tiled.
+///
+/// This mirrors `palo_baselines::basic::baseline`; the copy lives here
+/// because `palo-baselines` depends on this crate, so the ladder cannot
+/// call into it.
+pub(crate) fn baseline_schedule(nest: &LoopNest, arch: &Architecture) -> Schedule {
+    let mut s = Schedule::new();
+    let names: Vec<&str> = nest.vars().iter().map(|v| v.name.as_str()).collect();
+    let n = names.len();
+    let col = nest.column_var().map(|v| v.index());
+
+    let order: Vec<&str> = match col {
+        Some(c) => {
+            let mut o: Vec<&str> = (0..n).filter(|&v| v != c).map(|v| names[v]).collect();
+            o.push(names[c]);
+            o
+        }
+        None => names.clone(),
+    };
+    if n > 1 && order != names {
+        s.reorder(&order);
+    }
+    if let Some(c) = col {
+        let lanes = arch.vector_lanes(nest.dtype().size_bytes());
+        if lanes > 1 && nest.extent(palo_ir::VarId(c)) >= lanes {
+            s.vectorize(names[c], lanes);
+        }
+    }
+    if let Some(&outer) = order.first() {
+        if n > 1 {
+            s.parallel(outer);
+        }
+    }
+    s
+}

@@ -1,0 +1,62 @@
+//! The Lower pass: one schedule-lowering attempt, with the per-run
+//! fault-injection site.
+
+use super::{Pass, PassCx};
+use crate::error::{catch_panic, PaloError};
+use crate::fingerprint::{Fingerprint, FingerprintBuilder};
+use palo_ir::LoopNest;
+use palo_sched::{LoweredNest, Schedule};
+
+/// A schedule lowered onto a nest.
+#[derive(Debug, Clone)]
+pub struct LowerArtifact {
+    /// The concrete loop structure, ready to execute.
+    pub lowered: LoweredNest,
+}
+
+/// Lowers one `(nest, schedule)` pair. Counts the attempt against the
+/// run's `fail_first_lowerings` fault budget — the session bypasses the
+/// cache while faults are armed, so the counter sees every attempt.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LowerPass;
+
+impl Pass for LowerPass {
+    type Input<'a> = (&'a LoopNest, &'a Schedule);
+    type Output = LowerArtifact;
+
+    fn name(&self) -> &'static str {
+        "lower"
+    }
+
+    fn version(&self) -> u32 {
+        1
+    }
+
+    /// Key: nest + schedule. Lowering is architecture-independent (the
+    /// schedule already fixes lanes and parallelism).
+    fn fingerprint(
+        &self,
+        _cx: &PassCx<'_>,
+        (nest, schedule): &Self::Input<'_>,
+    ) -> Option<Fingerprint> {
+        Some(
+            FingerprintBuilder::pass(self.name(), self.version())
+                .nest(nest)
+                .value(*schedule)
+                .finish(),
+        )
+    }
+
+    fn run(
+        &self,
+        cx: &PassCx<'_>,
+        (nest, schedule): &Self::Input<'_>,
+    ) -> Result<Self::Output, PaloError> {
+        let attempt = cx.ctl.count_lowering();
+        if attempt <= cx.config.faults.fail_first_lowerings {
+            return Err(PaloError::FaultInjected { site: "lowering" });
+        }
+        let lowered = catch_panic("lowering", || schedule.lower(nest))??;
+        Ok(LowerArtifact { lowered })
+    }
+}

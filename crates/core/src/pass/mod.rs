@@ -1,0 +1,296 @@
+//! The typed pass framework behind [`Session`](crate::Session).
+//!
+//! The former monolithic pipeline is split into six passes, each a
+//! [`Pass`] with a typed input and a typed, immutable output artifact:
+//!
+//! | pass | input | artifact |
+//! |---|---|---|
+//! | [`ClassifyPass`] | nest | [`ClassifyArtifact`] (kernel class) |
+//! | [`OptimizePass`] | nest + class | [`OptimizeArtifact`] (decision + search stats) |
+//! | [`DegradePass`] | nest + proposed schedule | [`DegradeArtifact`] (the ladder rungs) |
+//! | [`LowerPass`] | nest + schedule | [`LowerArtifact`] (lowered nest) |
+//! | [`ValidatePass`] | nest + lowered | [`ValidateArtifact`] (semantic proof) |
+//! | [`SimulatePass`] | nest + lowered | [`SimulateArtifact`] (time estimate) |
+//!
+//! A pass declares a stable [`Pass::name`] and a [`Pass::version`] and
+//! computes a [`Fingerprint`] for each request; the
+//! [`Session`](crate::Session) consults its content-addressed
+//! [`ArtifactCache`] under that key before running the pass. A pass that
+//! returns `None` from [`Pass::fingerprint`] is uncacheable for that
+//! request (e.g. [`SimulatePass`] under a wall-clock deadline), and the
+//! session bypasses the cache wholesale while a
+//! [`FaultPlan`](crate::FaultPlan) is armed — injected faults must fire
+//! on every run and must never poison the cache. Only *successful*
+//! artifacts are cached; errors always recompute.
+//!
+//! The cache key folds the pass name and version first, so two passes
+//! can never collide on a key and a bumped version invalidates exactly
+//! that pass's artifacts (DESIGN.md §12).
+
+mod classify;
+mod degrade;
+mod lower;
+mod optimize;
+mod simulate;
+mod validate;
+
+pub use classify::{ClassifyArtifact, ClassifyPass};
+pub use degrade::{DegradeArtifact, DegradePass};
+pub use lower::{LowerArtifact, LowerPass};
+pub use optimize::{OptimizeArtifact, OptimizePass};
+pub use simulate::{SimulateArtifact, SimulatePass};
+pub use validate::{ValidateArtifact, ValidatePass};
+
+pub(crate) use optimize::dispatch;
+
+use crate::error::PaloError;
+use crate::fingerprint::Fingerprint;
+use crate::model::ResolvedModel;
+use crate::pipeline::PipelineConfig;
+use palo_arch::Architecture;
+use std::any::Any;
+use std::cell::Cell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Read-only context every pass runs under: the session's architecture
+/// and configuration, the once-resolved cost model, and the per-run
+/// mutable control block.
+pub struct PassCx<'s> {
+    /// The *original* target architecture (simulation, lowering and the
+    /// `ContiguousOnly` passthrough run against it; the optimizer search
+    /// runs against `resolved.arch`).
+    pub arch: &'s Architecture,
+    /// The session's pipeline configuration.
+    pub config: &'s PipelineConfig,
+    /// The cost model, resolved exactly once per session
+    /// ([`crate::model::resolve`]) together with its effective
+    /// `(arch, config)` pair.
+    pub resolved: &'s ResolvedModel,
+    /// Per-run mutable state (fault counters, start time).
+    pub ctl: &'s RunCtl,
+}
+
+/// Per-run mutable control block, threaded through the passes of one
+/// [`Session::run`](crate::Session::run) call.
+///
+/// Fault-injection counters are *run*-scoped, not pass- or
+/// session-scoped: `FaultPlan::fail_first_lowerings = 2` means the first
+/// two lowering attempts *of this run* fail, however many runs the
+/// session has served before.
+#[derive(Debug)]
+pub struct RunCtl {
+    start: Instant,
+    lowerings_attempted: Cell<u64>,
+}
+
+impl RunCtl {
+    /// A fresh control block; stamps the run's start time.
+    pub fn new() -> Self {
+        RunCtl { start: Instant::now(), lowerings_attempted: Cell::new(0) }
+    }
+
+    /// When the run started (deadline accounting).
+    pub fn start(&self) -> Instant {
+        self.start
+    }
+
+    /// Counts one lowering attempt and returns the new total.
+    pub fn count_lowering(&self) -> u64 {
+        let n = self.lowerings_attempted.get() + 1;
+        self.lowerings_attempted.set(n);
+        n
+    }
+}
+
+impl Default for RunCtl {
+    fn default() -> Self {
+        RunCtl::new()
+    }
+}
+
+/// One stage of the pipeline: a pure, deterministic function from a
+/// typed input (under a [`PassCx`]) to a typed artifact.
+///
+/// # Contract
+///
+/// * `run` must be deterministic in `(cx.arch, cx.config, cx.resolved,
+///   input)` — the cache serves a prior artifact in place of a re-run,
+///   so any hidden input would desynchronize cached and uncached runs.
+/// * `fingerprint` must fold **every** determinant of the output (the
+///   session folds the pass name/version for you via
+///   [`Fingerprint`] builders inside each pass) and **nothing
+///   run-specific**; return `None` when a request depends on wall-clock
+///   state and is therefore uncacheable.
+/// * Bump `version` whenever the observable output changes for some
+///   input — that, not manual invalidation, is how stale artifacts die.
+pub trait Pass {
+    /// The request consumed by one invocation (borrows are fine).
+    type Input<'a>;
+    /// The artifact produced; cached behind an [`Arc`].
+    type Output: Send + Sync + 'static;
+
+    /// Stable machine-readable pass name, folded into every cache key.
+    fn name(&self) -> &'static str;
+
+    /// Artifact schema version, folded into every cache key.
+    fn version(&self) -> u32;
+
+    /// The content-addressed key of this request, or `None` when the
+    /// request must not be cached.
+    fn fingerprint(&self, cx: &PassCx<'_>, input: &Self::Input<'_>) -> Option<Fingerprint>;
+
+    /// Executes the pass.
+    ///
+    /// # Errors
+    ///
+    /// Pass-specific [`PaloError`]s; errors are never cached.
+    fn run(&self, cx: &PassCx<'_>, input: &Self::Input<'_>) -> Result<Self::Output, PaloError>;
+}
+
+/// Counters of one [`ArtifactCache`] (or a window of one), snapshotted
+/// into [`PipelineReport::cache`](crate::PipelineReport::cache) and the
+/// batch report.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Requests served from a cached artifact.
+    pub hits: u64,
+    /// Requests that ran their pass and stored the artifact.
+    pub misses: u64,
+    /// Requests that skipped the cache entirely (armed faults,
+    /// uncacheable fingerprints).
+    pub bypasses: u64,
+}
+
+impl CacheStats {
+    /// Hits over cache-eligible requests (`hits + misses`); `0.0` when
+    /// nothing was eligible.
+    pub fn hit_rate(&self) -> f64 {
+        let eligible = self.hits + self.misses;
+        if eligible == 0 {
+            0.0
+        } else {
+            self.hits as f64 / eligible as f64
+        }
+    }
+
+    /// The counter movement since `earlier` (a snapshot of the same
+    /// cache): windowed stats for one run or one batch.
+    pub fn since(&self, earlier: &CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+            bypasses: self.bypasses.saturating_sub(earlier.bypasses),
+        }
+    }
+}
+
+/// The session's content-addressed artifact store.
+///
+/// Artifacts are type-erased behind `Arc<dyn Any + Send + Sync>`; the
+/// pass name and version folded into every [`Fingerprint`] guarantee a
+/// key can only ever map to one concrete artifact type, so the downcast
+/// on hit cannot confuse types (a failed downcast is treated as a miss
+/// and overwritten, belt and braces).
+#[derive(Debug, Default)]
+pub struct ArtifactCache {
+    map: Mutex<HashMap<Fingerprint, Arc<dyn Any + Send + Sync>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    bypasses: AtomicU64,
+}
+
+impl ArtifactCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ArtifactCache::default()
+    }
+
+    /// The artifact under `key`, if present with the expected type.
+    /// Counts a hit or a miss.
+    pub fn get<T: Send + Sync + 'static>(&self, key: Fingerprint) -> Option<Arc<T>> {
+        let found = self
+            .map
+            .lock()
+            .ok()
+            .and_then(|map| map.get(&key).cloned())
+            .and_then(|any| any.downcast::<T>().ok());
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    /// Stores `artifact` under `key`.
+    pub fn insert<T: Send + Sync + 'static>(&self, key: Fingerprint, artifact: Arc<T>) {
+        if let Ok(mut map) = self.map.lock() {
+            map.insert(key, artifact);
+        }
+    }
+
+    /// Counts one cache-bypassed request.
+    pub fn count_bypass(&self) {
+        self.bypasses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cached artifacts currently held.
+    pub fn len(&self) -> usize {
+        self.map.lock().map(|m| m.len()).unwrap_or(0)
+    }
+
+    /// Whether the cache holds no artifacts.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime counters of this cache.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            bypasses: self.bypasses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palo_ir::Digest;
+
+    fn key(n: u128) -> Fingerprint {
+        Fingerprint(Digest(n))
+    }
+
+    #[test]
+    fn cache_round_trips_and_counts() {
+        let cache = ArtifactCache::new();
+        assert!(cache.get::<String>(key(1)).is_none());
+        cache.insert(key(1), Arc::new("artifact".to_string()));
+        assert_eq!(*cache.get::<String>(key(1)).unwrap(), "artifact");
+        cache.count_bypass();
+        let s = cache.stats();
+        assert_eq!((s.hits, s.misses, s.bypasses), (1, 1, 1));
+        assert_eq!(s.hit_rate(), 0.5);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn mismatched_type_is_a_miss_not_a_confusion() {
+        let cache = ArtifactCache::new();
+        cache.insert(key(2), Arc::new(7u64));
+        assert!(cache.get::<String>(key(2)).is_none());
+        assert_eq!(*cache.get::<u64>(key(2)).unwrap(), 7);
+    }
+
+    #[test]
+    fn windowed_stats_subtract() {
+        let a = CacheStats { hits: 10, misses: 4, bypasses: 1 };
+        let b = CacheStats { hits: 3, misses: 4, bypasses: 0 };
+        assert_eq!(a.since(&b), CacheStats { hits: 7, misses: 0, bypasses: 1 });
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! The Optimize pass: the candidate search (Algorithms 2–3) as a cached
+//! pass.
+
+use super::{Pass, PassCx};
+use crate::classify::Class;
+use crate::decision::Decision;
+use crate::error::{catch_panic, PaloError};
+use crate::fingerprint::{Fingerprint, FingerprintBuilder};
+use crate::model::ResolvedModel;
+use crate::search::SearchStats;
+use crate::{post, spatial, temporal};
+use palo_arch::Architecture;
+use palo_ir::{LoopNest, NestInfo};
+
+/// The optimizer's output for one `(nest, arch, config)` request.
+///
+/// A cached artifact replays the *producing* run's [`SearchStats`]
+/// verbatim: the decision is a pure function of the request (the
+/// determinism contract), the stats describe the search that first
+/// produced it.
+#[derive(Debug, Clone)]
+pub struct OptimizeArtifact {
+    /// The winning scheduling decision.
+    pub decision: Decision,
+    /// What the producing candidate search did.
+    pub search: SearchStats,
+}
+
+/// Runs the class-appropriate optimizer driver under the session's
+/// once-resolved model. Panics (including the injected
+/// `panic_in_optimizer` fault) surface as [`PaloError::Panicked`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OptimizePass;
+
+/// The shared optimize dispatch: routes an already-classified nest to
+/// its driver under an already-resolved model. `arch`/`config` are the
+/// *original* pair — the `ContiguousOnly` passthrough runs under them
+/// (the decision mirrors what the unoptimized flow would emit), while
+/// the search drivers run under the resolved *effective* pair.
+pub(crate) fn dispatch(
+    nest: &LoopNest,
+    info: &NestInfo,
+    class: Class,
+    arch: &Architecture,
+    config: &crate::OptimizerConfig,
+    resolved: &ResolvedModel,
+) -> (Decision, SearchStats) {
+    match class {
+        Class::Temporal => temporal::optimize_with_model(
+            nest,
+            info,
+            &resolved.arch,
+            &resolved.config,
+            resolved.model.as_ref(),
+        ),
+        Class::Spatial => spatial::optimize_with_model(
+            nest,
+            info,
+            &resolved.arch,
+            &resolved.config,
+            resolved.model.as_ref(),
+        ),
+        Class::ContiguousOnly => {
+            (post::passthrough(nest, info, arch, config), SearchStats::default())
+        }
+    }
+}
+
+impl Pass for OptimizePass {
+    type Input<'a> = (&'a LoopNest, Class);
+    type Output = OptimizeArtifact;
+
+    fn name(&self) -> &'static str {
+        "optimize"
+    }
+
+    fn version(&self) -> u32 {
+        1
+    }
+
+    /// Key: nest canonical form + architecture + optimizer config. The
+    /// class is *derived* from the nest, so it needs no separate fold;
+    /// `config.search` is excluded by the determinism contract
+    /// (DESIGN.md §12).
+    fn fingerprint(&self, cx: &PassCx<'_>, (nest, _): &Self::Input<'_>) -> Option<Fingerprint> {
+        Some(
+            FingerprintBuilder::pass(self.name(), self.version())
+                .nest(nest)
+                .arch(cx.arch)
+                .optimizer_config(&cx.config.optimizer)
+                .finish(),
+        )
+    }
+
+    fn run(
+        &self,
+        cx: &PassCx<'_>,
+        (nest, class): &Self::Input<'_>,
+    ) -> Result<Self::Output, PaloError> {
+        let panic_fault = cx.config.faults.panic_in_optimizer;
+        catch_panic("optimizer", || {
+            if panic_fault {
+                panic!("injected optimizer fault");
+            }
+            let info = NestInfo::analyze(nest);
+            let (decision, search) =
+                dispatch(nest, &info, *class, cx.arch, &cx.config.optimizer, cx.resolved);
+            OptimizeArtifact { decision, search }
+        })
+    }
+}

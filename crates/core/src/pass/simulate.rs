@@ -1,0 +1,73 @@
+//! The Simulate pass: cache-hierarchy trace simulation of the accepted
+//! schedule under the run's remaining resource budget.
+
+use super::{Pass, PassCx};
+use crate::error::{catch_panic, PaloError};
+use crate::fingerprint::{Fingerprint, FingerprintBuilder};
+use palo_exec::{estimate_time_with, TimeEstimate, TraceOptions};
+use palo_ir::LoopNest;
+use palo_sched::LoweredNest;
+
+/// The simulated time estimate of a lowered schedule.
+#[derive(Debug, Clone)]
+pub struct SimulateArtifact {
+    /// Estimated milliseconds plus the full hierarchy statistics.
+    pub estimate: TimeEstimate,
+}
+
+/// Traces the lowered nest on the cache simulator ([`estimate_time_with`])
+/// under the remaining [`ResourceBudget`](crate::ResourceBudget).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimulatePass;
+
+impl Pass for SimulatePass {
+    type Input<'a> = (&'a LoopNest, &'a LoweredNest);
+    type Output = SimulateArtifact;
+
+    fn name(&self) -> &'static str {
+        "simulate"
+    }
+
+    fn version(&self) -> u32 {
+        1
+    }
+
+    /// Key: nest + lowered structure + architecture + trace-line budget.
+    /// A request under a wall-clock **deadline** is uncacheable
+    /// (`None`): the effective deadline is "whatever is left of this
+    /// run", which no stable key can express — serving a cached complete
+    /// trace where this run would have aborted (or vice versa) would
+    /// desynchronize cached and uncached runs.
+    fn fingerprint(
+        &self,
+        cx: &PassCx<'_>,
+        (nest, lowered): &Self::Input<'_>,
+    ) -> Option<Fingerprint> {
+        if cx.config.budget.deadline.is_some() {
+            return None;
+        }
+        Some(
+            FingerprintBuilder::pass(self.name(), self.version())
+                .nest(nest)
+                .value(*lowered)
+                .arch(cx.arch)
+                .value(&cx.config.budget.max_trace_lines)
+                .finish(),
+        )
+    }
+
+    fn run(
+        &self,
+        cx: &PassCx<'_>,
+        (nest, lowered): &Self::Input<'_>,
+    ) -> Result<Self::Output, PaloError> {
+        let budget = cx.config.budget;
+        let deadline = budget.deadline.map(|d| d.saturating_sub(cx.ctl.start().elapsed()));
+        let max_lines =
+            if cx.config.faults.trace_overflow { Some(0) } else { budget.max_trace_lines };
+        let opts = TraceOptions { flush_first: true, max_lines, deadline };
+        let estimate =
+            catch_panic("simulator", || estimate_time_with(nest, lowered, cx.arch, &opts))??;
+        Ok(SimulateArtifact { estimate })
+    }
+}

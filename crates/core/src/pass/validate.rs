@@ -1,0 +1,84 @@
+//! The Validate pass: bit-exact compute-mode validation of a lowered
+//! schedule against the program-order reference.
+
+use super::{Pass, PassCx};
+use crate::error::{catch_panic, PaloError};
+use crate::fingerprint::{Fingerprint, FingerprintBuilder};
+use palo_exec::{run, run_reference, Buffers};
+use palo_ir::LoopNest;
+use palo_sched::LoweredNest;
+
+/// Proof that a lowered nest computed the reference values. The cached
+/// artifact is the *success*; a mismatch is an error and never cached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ValidateArtifact;
+
+/// Interprets the lowered nest over real buffers and compares bit-exactly
+/// against the program-order reference. The session invokes it only when
+/// the nest's iteration count is below
+/// [`PipelineConfig::validate_semantics_below`](crate::PipelineConfig::validate_semantics_below)
+/// (the threshold gates *whether* to validate, not the verdict, so it is
+/// not part of the key).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ValidatePass;
+
+impl Pass for ValidatePass {
+    type Input<'a> = (&'a LoopNest, &'a LoweredNest);
+    type Output = ValidateArtifact;
+
+    fn name(&self) -> &'static str {
+        "validate"
+    }
+
+    fn version(&self) -> u32 {
+        1
+    }
+
+    /// Key: nest + lowered structure (the buffers are seeded from a
+    /// fixed constant, so the verdict is a pure function of the pair).
+    fn fingerprint(
+        &self,
+        _cx: &PassCx<'_>,
+        (nest, lowered): &Self::Input<'_>,
+    ) -> Option<Fingerprint> {
+        Some(
+            FingerprintBuilder::pass(self.name(), self.version())
+                .nest(nest)
+                .value(*lowered)
+                .finish(),
+        )
+    }
+
+    fn run(
+        &self,
+        _cx: &PassCx<'_>,
+        (nest, lowered): &Self::Input<'_>,
+    ) -> Result<Self::Output, PaloError> {
+        // Buffers hold small integers, so any legal schedule of a
+        // reduction is bit-exact against the program-order reference.
+        let mut got = Buffers::for_nest(nest, 0x5EED);
+        let mut want = got.clone();
+        catch_panic("compute-mode validation", || run(nest, lowered, &mut got))??;
+        run_reference(nest, &mut want)?;
+        if got != want {
+            return Err(PaloError::SemanticsMismatch {
+                detail: first_divergence(nest, &got, &want),
+            });
+        }
+        Ok(ValidateArtifact)
+    }
+}
+
+/// Describes the first array element where `got` and `want` differ.
+fn first_divergence(nest: &LoopNest, got: &Buffers, want: &Buffers) -> String {
+    for (ai, decl) in nest.arrays().iter().enumerate() {
+        let id = palo_ir::ArrayId(ai);
+        let (g, w) = (got.array(id), want.array(id));
+        for (k, (gv, wv)) in g.iter().zip(w.iter()).enumerate() {
+            if gv != wv {
+                return format!("array {:?} element {k}: got {gv}, reference {wv}", decl.name);
+            }
+        }
+    }
+    "buffers differ".to_string()
+}

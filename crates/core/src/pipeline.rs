@@ -1,4 +1,4 @@
-//! The fault-tolerant optimization pipeline.
+//! The fault-tolerant optimization pipeline (facade).
 //!
 //! [`Pipeline`] runs the full optimize → lower → validate → simulate flow
 //! as a *guarded* computation: every stage reports through
@@ -21,20 +21,27 @@
 //! simulation in both trace lines and wall-clock time, and a
 //! [`FaultPlan`] can inject failures at each guarded site to exercise the
 //! ladder in tests.
+//!
+//! Since the pass-framework refactor the stages live in [`crate::pass`]
+//! and the execution engine is [`Session`](crate::Session): `Pipeline`
+//! is a thin facade that opens a fresh single-use session per call. Use
+//! a [`Session`](crate::Session) directly (or its
+//! [`BatchDriver`](crate::BatchDriver)) to reuse the content-addressed
+//! artifact cache across runs.
 
 use crate::config::ModelKind;
 use crate::decision::Decision;
-use crate::error::{catch_panic, PaloError};
+use crate::error::PaloError;
 use crate::model::CostBreakdown;
+use crate::pass::CacheStats;
 use crate::search::SearchStats;
-use crate::Optimizer;
+use crate::session::Session;
 use crate::OptimizerConfig;
 use palo_arch::Architecture;
-use palo_cachesim::Hierarchy;
-use palo_exec::{estimate_time_with, run, run_reference, Buffers, TimeEstimate, TraceOptions};
+use palo_exec::TimeEstimate;
 use palo_ir::LoopNest;
 use palo_sched::{LoweredNest, Schedule};
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// A rung of the degradation ladder, best first.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -49,15 +56,57 @@ pub enum Rung {
     Naive,
 }
 
-impl std::fmt::Display for Rung {
+/// Error of parsing a [`Rung`] from a string: the rejected input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRungError(pub String);
+
+impl std::fmt::Display for ParseRungError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
+        write!(f, "unknown rung {:?} (expected one of ", self.0)?;
+        for (i, r) in Rung::ALL.iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(r.as_str())?;
+        }
+        f.write_str(")")
+    }
+}
+
+impl std::error::Error for ParseRungError {}
+
+impl Rung {
+    /// Every rung, best first.
+    pub const ALL: [Rung; 4] = [Rung::Proposed, Rung::Stripped, Rung::Baseline, Rung::Naive];
+
+    /// Stable machine-readable name. The single source of truth:
+    /// [`std::fmt::Display`] and [`std::str::FromStr`] both go through
+    /// it.
+    pub fn as_str(self) -> &'static str {
+        match self {
             Rung::Proposed => "proposed",
             Rung::Stripped => "stripped",
             Rung::Baseline => "baseline",
             Rung::Naive => "naive",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl std::fmt::Display for Rung {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl std::str::FromStr for Rung {
+    type Err = ParseRungError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Rung::ALL
+            .iter()
+            .copied()
+            .find(|r| r.as_str() == s)
+            .ok_or_else(|| ParseRungError(s.to_string()))
     }
 }
 
@@ -87,6 +136,9 @@ pub struct ResourceBudget {
 ///
 /// All sites default to off; enabling them is a *runtime* configuration
 /// choice so the release pipeline and the fault tests run the same code.
+/// While any site is armed, the [`Session`](crate::Session) bypasses its
+/// artifact cache entirely: injected faults must fire on every run, and
+/// a faulted run's artifacts must never be served to a clean one.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FaultPlan {
     /// Fail the first `n` schedule-lowering attempts with
@@ -109,10 +161,10 @@ impl FaultPlan {
     }
 }
 
-/// Configuration of a [`Pipeline`].
+/// Configuration of a [`Pipeline`] (and of a [`Session`](crate::Session)).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PipelineConfig {
-    /// Switches forwarded to the [`Optimizer`].
+    /// Switches forwarded to the [`Optimizer`](crate::Optimizer).
     pub optimizer: OptimizerConfig,
     /// Resource guards for simulation.
     pub budget: ResourceBudget,
@@ -153,7 +205,8 @@ pub struct PipelineReport {
     /// What the optimizer's candidate search did (workers, candidates
     /// evaluated/pruned, memo hit rates, wall time); `None` when the
     /// optimizer stage was skipped ([`Pipeline::run_schedule`]) or
-    /// failed.
+    /// failed. A cache-served optimize artifact replays the *producing*
+    /// search's stats.
     pub search: Option<SearchStats>,
     /// Which cost model scored the candidate search
     /// ([`OptimizerConfig::model`]).
@@ -161,6 +214,10 @@ pub struct PipelineReport {
     /// Per-term cost decomposition of the winning schedule under that
     /// model; `None` when the optimizer stage was skipped or failed.
     pub breakdown: Option<CostBreakdown>,
+    /// Artifact-cache counter movement of this run (all misses/bypasses
+    /// on a fresh [`Pipeline`] facade; hits when a warm
+    /// [`Session`](crate::Session) replayed artifacts).
+    pub cache: CacheStats,
     /// Wall-clock time of the whole run.
     pub elapsed: Duration,
 }
@@ -189,6 +246,9 @@ pub struct PipelineOutcome {
 
 /// The guarded optimize → lower → validate → simulate flow.
 ///
+/// Each call opens a fresh single-use [`Session`](crate::Session); hold
+/// a session yourself to share its artifact cache across runs.
+///
 /// # Examples
 ///
 /// ```
@@ -214,12 +274,6 @@ pub struct PipelineOutcome {
 pub struct Pipeline {
     arch: Architecture,
     config: PipelineConfig,
-}
-
-/// Internal per-run mutable state (fault counters, failure log).
-struct RunState {
-    lowerings_attempted: u64,
-    failures: Vec<RungFailure>,
 }
 
 impl Pipeline {
@@ -253,27 +307,7 @@ impl Pipeline {
     /// An optimizer failure alone is *not* an error: the pipeline
     /// degrades and records the failure in the report.
     pub fn run(&self, nest: &LoopNest) -> Result<PipelineOutcome, PaloError> {
-        let start = Instant::now();
-        self.validate_arch()?;
-        let mut state = RunState { lowerings_attempted: 0, failures: Vec::new() };
-
-        let optimizer = Optimizer::with_config(&self.arch, self.config.optimizer.clone());
-        let faults = self.config.faults;
-        let (decision, search) = match catch_panic("optimizer", || {
-            if faults.panic_in_optimizer {
-                panic!("injected optimizer fault");
-            }
-            optimizer.optimize_with_stats(nest)
-        }) {
-            Ok((d, s)) => (Some(d), Some(s)),
-            Err(e) => {
-                state.failures.push(RungFailure { rung: Rung::Proposed, error: e });
-                (None, None)
-            }
-        };
-
-        let proposed = decision.as_ref().map(|d| d.schedule().clone());
-        self.finish(nest, decision, proposed, search, state, start)
+        Session::new(&self.arch, self.config.clone())?.run(nest)
     }
 
     /// Executes the degradation ladder for a caller-supplied schedule
@@ -290,187 +324,8 @@ impl Pipeline {
         nest: &LoopNest,
         proposed: &Schedule,
     ) -> Result<PipelineOutcome, PaloError> {
-        let start = Instant::now();
-        self.validate_arch()?;
-        let state = RunState { lowerings_attempted: 0, failures: Vec::new() };
-        self.finish(nest, None, Some(proposed.clone()), None, state, start)
+        Session::new(&self.arch, self.config.clone())?.run_schedule(nest, proposed)
     }
-
-    fn validate_arch(&self) -> Result<(), PaloError> {
-        self.arch.validate().map_err(PaloError::Arch)?;
-        // Reject architectures the simulator cannot model before any
-        // stage constructs a hierarchy (which would panic).
-        Hierarchy::try_from_architecture(&self.arch)?;
-        Ok(())
-    }
-
-    /// Walks the ladder, simulates the accepted schedule, and assembles
-    /// the outcome.
-    fn finish(
-        &self,
-        nest: &LoopNest,
-        decision: Option<Decision>,
-        proposed: Option<Schedule>,
-        search: Option<SearchStats>,
-        mut state: RunState,
-        start: Instant,
-    ) -> Result<PipelineOutcome, PaloError> {
-        let mut ladder: Vec<(Rung, Schedule)> = Vec::new();
-        if let Some(p) = &proposed {
-            ladder.push((Rung::Proposed, p.clone()));
-            let stripped = p.without_execution_hints();
-            if stripped != *p {
-                ladder.push((Rung::Stripped, stripped));
-            }
-        }
-        ladder.push((Rung::Baseline, baseline_schedule(nest, &self.arch)));
-        ladder.push((Rung::Naive, Schedule::new()));
-
-        let mut accepted: Option<(Rung, Schedule, LoweredNest)> = None;
-        for (rung, schedule) in ladder {
-            match self.attempt_rung(nest, &schedule, &mut state) {
-                Ok(lowered) => {
-                    accepted = Some((rung, schedule, lowered));
-                    break;
-                }
-                Err(error) => state.failures.push(RungFailure { rung, error }),
-            }
-        }
-        let Some((rung, schedule, lowered)) = accepted else {
-            // Even the program-order nest failed; surface the last error.
-            return Err(state
-                .failures
-                .last()
-                .map(|f| f.error.clone())
-                .unwrap_or(PaloError::FaultInjected { site: "ladder" }));
-        };
-
-        let estimate = if self.config.simulate {
-            match self.simulate(nest, &lowered, start) {
-                Ok(est) => Some(est),
-                Err(error) => {
-                    state.failures.push(RungFailure { rung, error });
-                    None
-                }
-            }
-        } else {
-            None
-        };
-
-        let breakdown = decision.as_ref().map(|d| d.breakdown.clone());
-        Ok(PipelineOutcome {
-            decision,
-            schedule,
-            lowered,
-            report: PipelineReport {
-                rung,
-                failures: state.failures,
-                estimate,
-                search,
-                model: self.config.optimizer.model,
-                breakdown,
-                elapsed: start.elapsed(),
-            },
-        })
-    }
-
-    /// Lowers and (when cheap enough) semantically validates one ladder
-    /// candidate.
-    fn attempt_rung(
-        &self,
-        nest: &LoopNest,
-        schedule: &Schedule,
-        state: &mut RunState,
-    ) -> Result<LoweredNest, PaloError> {
-        state.lowerings_attempted += 1;
-        if state.lowerings_attempted <= self.config.faults.fail_first_lowerings {
-            return Err(PaloError::FaultInjected { site: "lowering" });
-        }
-        let lowered = catch_panic("lowering", || schedule.lower(nest))??;
-
-        if nest.iteration_count() < self.config.validate_semantics_below {
-            // Buffers hold small integers, so any legal schedule of a
-            // reduction is bit-exact against the program-order reference.
-            let mut got = Buffers::for_nest(nest, 0x5EED);
-            let mut want = got.clone();
-            catch_panic("compute-mode validation", || run(nest, &lowered, &mut got))??;
-            run_reference(nest, &mut want)?;
-            if got != want {
-                return Err(PaloError::SemanticsMismatch {
-                    detail: first_divergence(nest, &got, &want),
-                });
-            }
-        }
-        Ok(lowered)
-    }
-
-    /// Simulates the accepted schedule under the remaining budget.
-    fn simulate(
-        &self,
-        nest: &LoopNest,
-        lowered: &LoweredNest,
-        start: Instant,
-    ) -> Result<TimeEstimate, PaloError> {
-        let budget = self.config.budget;
-        let deadline = budget.deadline.map(|d| d.saturating_sub(start.elapsed()));
-        let max_lines =
-            if self.config.faults.trace_overflow { Some(0) } else { budget.max_trace_lines };
-        let opts = TraceOptions { flush_first: true, max_lines, deadline };
-        let est =
-            catch_panic("simulator", || estimate_time_with(nest, lowered, &self.arch, &opts))??;
-        Ok(est)
-    }
-}
-
-/// The §5.1 developer-baseline schedule: column loop rotated innermost
-/// and vectorized, outermost loop parallelized, nothing tiled.
-///
-/// This mirrors `palo_baselines::basic::baseline`; the copy lives here
-/// because `palo-baselines` depends on this crate, so the ladder cannot
-/// call into it.
-fn baseline_schedule(nest: &LoopNest, arch: &Architecture) -> Schedule {
-    let mut s = Schedule::new();
-    let names: Vec<&str> = nest.vars().iter().map(|v| v.name.as_str()).collect();
-    let n = names.len();
-    let col = nest.column_var().map(|v| v.index());
-
-    let order: Vec<&str> = match col {
-        Some(c) => {
-            let mut o: Vec<&str> = (0..n).filter(|&v| v != c).map(|v| names[v]).collect();
-            o.push(names[c]);
-            o
-        }
-        None => names.clone(),
-    };
-    if n > 1 && order != names {
-        s.reorder(&order);
-    }
-    if let Some(c) = col {
-        let lanes = arch.vector_lanes(nest.dtype().size_bytes());
-        if lanes > 1 && nest.extent(palo_ir::VarId(c)) >= lanes {
-            s.vectorize(names[c], lanes);
-        }
-    }
-    if let Some(&outer) = order.first() {
-        if n > 1 {
-            s.parallel(outer);
-        }
-    }
-    s
-}
-
-/// Describes the first array element where `got` and `want` differ.
-fn first_divergence(nest: &LoopNest, got: &Buffers, want: &Buffers) -> String {
-    for (ai, decl) in nest.arrays().iter().enumerate() {
-        let id = palo_ir::ArrayId(ai);
-        let (g, w) = (got.array(id), want.array(id));
-        for (k, (gv, wv)) in g.iter().zip(w.iter()).enumerate() {
-            if gv != wv {
-                return format!("array {:?} element {k}: got {gv}, reference {wv}", decl.name);
-            }
-        }
-    }
-    "buffers differ".to_string()
 }
 
 #[cfg(test)]
@@ -507,6 +362,9 @@ mod tests {
         assert_eq!(out.report.model, ModelKind::Paper);
         let bd = out.report.breakdown.as_ref().unwrap();
         assert_eq!(bd.total, out.decision.as_ref().unwrap().predicted_cost);
+        // A single-use facade session starts cold: misses only.
+        assert_eq!(out.report.cache.hits, 0);
+        assert!(out.report.cache.misses > 0);
     }
 
     #[test]
@@ -545,5 +403,18 @@ mod tests {
     fn report_rung_display_names() {
         assert_eq!(Rung::Proposed.to_string(), "proposed");
         assert_eq!(Rung::Naive.to_string(), "naive");
+    }
+
+    #[test]
+    fn rung_names_round_trip_and_reject_noise() {
+        for rung in Rung::ALL {
+            assert_eq!(rung.as_str().parse::<Rung>(), Ok(rung));
+            assert_eq!(rung.to_string(), rung.as_str());
+        }
+        for bad in ["", "Proposed", "NAIVE", " baseline", "base"] {
+            assert_eq!(bad.parse::<Rung>(), Err(ParseRungError(bad.to_string())));
+        }
+        let msg = "x".parse::<Rung>().unwrap_err().to_string();
+        assert!(msg.contains("proposed") && msg.contains("naive"), "{msg}");
     }
 }

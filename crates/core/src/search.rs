@@ -297,6 +297,55 @@ where
     })
 }
 
+/// Maps `f` over `items` on up to `threads` scoped workers, returning
+/// the results **in input order**.
+///
+/// The same claim-an-index worker pool as [`search_min`], at granularity
+/// 1: batch items (whole pipeline runs) are expensive and skewed, so
+/// fine-grained claiming balances the pool. Result order is a property
+/// of the input, not of scheduling — callers relying on deterministic
+/// output (the batch driver) get it for free. A panic in `f` is
+/// propagated after all workers drain, like the search pool.
+pub fn parallel_map<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads.min(n).max(1);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (next, f) = (&next, &f);
+            handles.push(scope.spawn(move || {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    local.push((i, f(&items[i])));
+                }
+                local
+            }));
+        }
+        for h in handles {
+            match h.join() {
+                Ok(mut part) => tagged.append(&mut part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    tagged.sort_by_key(|(i, _)| *i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
 /// A concurrent memo table: mutex-striped shards of `HashMap`.
 ///
 /// Shards bound contention on the worker pool; each shard is capped so a
@@ -473,6 +522,17 @@ mod tests {
         assert!(cost_bits(1.0) < cost_bits(1.0000001));
         assert!(cost_bits(f64::INFINITY) < cost_bits(f64::NAN));
         assert_eq!(cost_bits(-3.0), cost_bits(0.0)); // clamped
+    }
+
+    #[test]
+    fn parallel_map_preserves_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        let seq = parallel_map(1, &items, |&i| i * 3);
+        for threads in [2, 5, 16] {
+            assert_eq!(parallel_map(threads, &items, |&i| i * 3), seq, "threads {threads}");
+        }
+        assert_eq!(seq[256], 768);
+        assert!(parallel_map(4, &Vec::<usize>::new(), |&i: &usize| i).is_empty());
     }
 
     #[test]

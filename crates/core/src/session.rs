@@ -1,0 +1,378 @@
+//! [`Session`]: the pass-graph executor with a content-addressed
+//! artifact cache.
+//!
+//! A session owns, for one `(architecture, configuration)` pair:
+//!
+//! * the cost model, **resolved exactly once** at construction
+//!   ([`crate::model::resolve`]) — every run optimizes under the same
+//!   [`ResolvedModel`] reference instead of re-cloning the config;
+//! * the [`ArtifactCache`]: pass artifacts keyed by the stable
+//!   [`Fingerprint`](crate::Fingerprint) of their request
+//!   (DESIGN.md §12), shared by every run and every
+//!   [`BatchDriver`](crate::BatchDriver) worker.
+//!
+//! [`Session::run`] reproduces the monolithic pipeline's semantics
+//! exactly — same degradation ladder, same resource guards, same fault
+//! injection, same report — but each stage goes through
+//! [`Session::execute`], which consults the cache first. Re-running a
+//! nest the session has seen (or a *renamed* nest with the same canonical
+//! form) replays the cached artifacts: bit-identical decisions, rungs and
+//! estimates, without re-searching.
+
+use crate::batch::BatchDriver;
+use crate::error::PaloError;
+use crate::model::{self, ResolvedModel};
+use crate::pass::{
+    ArtifactCache, CacheStats, ClassifyPass, DegradePass, LowerPass, OptimizePass, Pass,
+    PassCx, RunCtl, SimulatePass, ValidatePass,
+};
+use crate::pipeline::{PipelineConfig, PipelineOutcome, PipelineReport, Rung, RungFailure};
+use crate::search::SearchStats;
+use palo_arch::Architecture;
+use palo_cachesim::Hierarchy;
+use palo_ir::LoopNest;
+use palo_sched::{LoweredNest, Schedule};
+use std::sync::Arc;
+
+/// A reusable pipeline execution context: validated architecture,
+/// once-resolved cost model, and the content-addressed artifact cache.
+///
+/// # Examples
+///
+/// ```
+/// use palo_arch::presets;
+/// use palo_core::{PipelineConfig, Session};
+/// use palo_ir::{DType, NestBuilder};
+///
+/// let mut b = NestBuilder::new("copy", DType::F32);
+/// let i = b.var("i", 64);
+/// let j = b.var("j", 64);
+/// let src = b.array("src", &[64, 64]);
+/// let dst = b.array("dst", &[64, 64]);
+/// let ld = b.load(src, &[i, j]);
+/// b.store(dst, &[i, j], ld);
+/// let nest = b.build()?;
+///
+/// let session = Session::new(&presets::intel_i7_6700(), PipelineConfig::default())?;
+/// let cold = session.run(&nest)?;
+/// let warm = session.run(&nest)?; // replayed from the artifact cache
+/// assert_eq!(cold.report.rung, warm.report.rung);
+/// assert!(warm.report.cache.hits > 0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Session {
+    arch: Architecture,
+    config: PipelineConfig,
+    resolved: ResolvedModel,
+    cache: ArtifactCache,
+}
+
+impl std::fmt::Debug for Session {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Session")
+            .field("arch", &self.arch.name)
+            .field("model", &self.resolved.model.name())
+            .field("cache", &self.cache.stats())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Session {
+    /// Validates `arch`, resolves the cost model once, and opens an
+    /// empty artifact cache.
+    ///
+    /// # Errors
+    ///
+    /// [`PaloError::Arch`] for an inconsistent architecture description,
+    /// or the simulator's rejection when the hierarchy cannot be
+    /// modeled.
+    pub fn new(arch: &Architecture, config: PipelineConfig) -> Result<Self, PaloError> {
+        arch.validate().map_err(PaloError::Arch)?;
+        // Reject architectures the simulator cannot model before any
+        // stage constructs a hierarchy (which would panic).
+        Hierarchy::try_from_architecture(arch)?;
+        let resolved = model::resolve(&config.optimizer, arch);
+        Ok(Session { arch: arch.clone(), config, resolved, cache: ArtifactCache::new() })
+    }
+
+    /// The target architecture.
+    pub fn arch(&self) -> &Architecture {
+        &self.arch
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// The once-resolved cost model (and its effective `(arch, config)`
+    /// pair) every run of this session optimizes under.
+    pub fn resolved_model(&self) -> &ResolvedModel {
+        &self.resolved
+    }
+
+    /// Lifetime cache counters of this session.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Artifacts currently held by the cache.
+    pub fn cached_artifacts(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// A batch driver over this session (suite-scale concurrent runs).
+    pub fn batch(&self) -> BatchDriver<'_> {
+        BatchDriver::new(self)
+    }
+
+    /// Executes one pass request through the artifact cache: a cached
+    /// artifact is returned as-is; otherwise the pass runs and its
+    /// artifact is stored. The cache is bypassed wholesale while the
+    /// session's [`FaultPlan`](crate::FaultPlan) is armed, and for
+    /// requests the pass declares uncacheable.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the pass's [`Pass::run`] returns; errors are never
+    /// cached.
+    pub fn execute<P: Pass>(
+        &self,
+        pass: &P,
+        ctl: &RunCtl,
+        input: &P::Input<'_>,
+    ) -> Result<Arc<P::Output>, PaloError> {
+        let cx =
+            PassCx { arch: &self.arch, config: &self.config, resolved: &self.resolved, ctl };
+        let key = if self.config.faults.armed() { None } else { pass.fingerprint(&cx, input) };
+        let Some(key) = key else {
+            self.cache.count_bypass();
+            return pass.run(&cx, input).map(Arc::new);
+        };
+        if let Some(hit) = self.cache.get::<P::Output>(key) {
+            return Ok(hit);
+        }
+        let artifact = Arc::new(pass.run(&cx, input)?);
+        self.cache.insert(key, artifact.clone());
+        Ok(artifact)
+    }
+
+    /// Runs the optimizer on `nest` and executes the degradation ladder
+    /// — the pass-graph equivalent of the monolithic pipeline's `run`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error only when the nest cannot be processed at all:
+    /// every ladder rung — including the program-order nest — fails. An
+    /// optimizer failure alone is *not* an error: the run degrades and
+    /// records the failure in the report.
+    pub fn run(&self, nest: &LoopNest) -> Result<PipelineOutcome, PaloError> {
+        let ctl = RunCtl::new();
+        let before = self.cache.stats();
+        let mut failures: Vec<RungFailure> = Vec::new();
+
+        let optimized = self
+            .execute(&ClassifyPass, &ctl, &nest)
+            .and_then(|c| self.execute(&OptimizePass, &ctl, &(nest, c.class)));
+        let (decision, search) = match optimized {
+            Ok(a) => (Some(a.decision.clone()), Some(a.search.clone())),
+            Err(error) => {
+                failures.push(RungFailure { rung: Rung::Proposed, error });
+                (None, None)
+            }
+        };
+
+        let proposed = decision.as_ref().map(|d| d.schedule().clone());
+        self.finish(nest, decision, proposed, search, failures, ctl, before)
+    }
+
+    /// Executes the degradation ladder for a caller-supplied schedule
+    /// (skipping the optimizer stage).
+    ///
+    /// The schedule may be arbitrary — even illegal for `nest`; an
+    /// illegal schedule simply fails its rung and the ladder continues.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Session::run`].
+    pub fn run_schedule(
+        &self,
+        nest: &LoopNest,
+        proposed: &Schedule,
+    ) -> Result<PipelineOutcome, PaloError> {
+        let ctl = RunCtl::new();
+        let before = self.cache.stats();
+        self.finish(nest, None, Some(proposed.clone()), None, Vec::new(), ctl, before)
+    }
+
+    /// Walks the ladder, simulates the accepted schedule, and assembles
+    /// the outcome.
+    #[allow(clippy::too_many_arguments)]
+    fn finish(
+        &self,
+        nest: &LoopNest,
+        decision: Option<crate::Decision>,
+        proposed: Option<Schedule>,
+        search: Option<SearchStats>,
+        mut failures: Vec<RungFailure>,
+        ctl: RunCtl,
+        before: CacheStats,
+    ) -> Result<PipelineOutcome, PaloError> {
+        let ladder =
+            self.execute(&DegradePass, &ctl, &(nest, proposed.as_ref()))?.ladder.clone();
+
+        let mut accepted: Option<(Rung, Schedule, LoweredNest)> = None;
+        for (rung, schedule) in ladder {
+            match self.attempt_rung(nest, &schedule, &ctl) {
+                Ok(lowered) => {
+                    accepted = Some((rung, schedule, lowered));
+                    break;
+                }
+                Err(error) => failures.push(RungFailure { rung, error }),
+            }
+        }
+        let Some((rung, schedule, lowered)) = accepted else {
+            // Even the program-order nest failed; surface the last error.
+            return Err(failures
+                .last()
+                .map(|f| f.error.clone())
+                .unwrap_or(PaloError::FaultInjected { site: "ladder" }));
+        };
+
+        let estimate = if self.config.simulate {
+            match self.execute(&SimulatePass, &ctl, &(nest, &lowered)) {
+                Ok(a) => Some(a.estimate.clone()),
+                Err(error) => {
+                    failures.push(RungFailure { rung, error });
+                    None
+                }
+            }
+        } else {
+            None
+        };
+
+        let breakdown = decision.as_ref().map(|d| d.breakdown.clone());
+        Ok(PipelineOutcome {
+            decision,
+            schedule,
+            lowered,
+            report: PipelineReport {
+                rung,
+                failures,
+                estimate,
+                search,
+                model: self.config.optimizer.model,
+                breakdown,
+                cache: self.cache.stats().since(&before),
+                elapsed: ctl.start().elapsed(),
+            },
+        })
+    }
+
+    /// Lowers and (when cheap enough) semantically validates one ladder
+    /// candidate.
+    fn attempt_rung(
+        &self,
+        nest: &LoopNest,
+        schedule: &Schedule,
+        ctl: &RunCtl,
+    ) -> Result<LoweredNest, PaloError> {
+        let lowered = self.execute(&LowerPass, ctl, &(nest, schedule))?.lowered.clone();
+        if nest.iteration_count() < self.config.validate_semantics_below {
+            self.execute(&ValidatePass, ctl, &(nest, &lowered))?;
+        }
+        Ok(lowered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palo_arch::presets;
+    use palo_ir::{DType, NestBuilder};
+
+    fn matmul(n: usize) -> LoopNest {
+        named_matmul("matmul", n)
+    }
+
+    fn named_matmul(name: &str, n: usize) -> LoopNest {
+        let mut b = NestBuilder::new(name, DType::F32);
+        let i = b.var("i", n);
+        let j = b.var("j", n);
+        let k = b.var("k", n);
+        let a = b.array("A", &[n, n]);
+        let bm = b.array("B", &[n, n]);
+        let c = b.array("C", &[n, n]);
+        b.accumulate(c, &[i, j], b.load(a, &[i, k]) * b.load(bm, &[k, j]));
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn warm_run_replays_cold_run_from_cache() {
+        let session =
+            Session::new(&presets::intel_i7_6700(), PipelineConfig::default()).unwrap();
+        let cold = session.run(&matmul(16)).unwrap();
+        assert_eq!(cold.report.cache.hits, 0);
+        assert!(cold.report.cache.misses > 0);
+
+        let warm = session.run(&matmul(16)).unwrap();
+        assert!(
+            warm.report.cache.misses == 0,
+            "warm run must be fully cached: {:?}",
+            warm.report.cache
+        );
+        assert!(warm.report.cache.hits > 0);
+        assert_eq!(cold.decision, warm.decision);
+        assert_eq!(cold.report.rung, warm.report.rung);
+        assert_eq!(cold.schedule, warm.schedule);
+        assert_eq!(
+            cold.report.estimate.as_ref().map(|e| e.ms.to_bits()),
+            warm.report.estimate.as_ref().map(|e| e.ms.to_bits()),
+        );
+    }
+
+    #[test]
+    fn kernel_name_does_not_fragment_the_cache() {
+        let session =
+            Session::new(&presets::intel_i7_6700(), PipelineConfig::default()).unwrap();
+        session.run(&named_matmul("mm_a", 16)).unwrap();
+        let renamed = session.run(&named_matmul("a_completely_different_label", 16)).unwrap();
+        assert_eq!(renamed.report.cache.misses, 0);
+    }
+
+    #[test]
+    fn armed_faults_bypass_the_cache() {
+        let mut config = PipelineConfig::default();
+        config.faults.fail_first_lowerings = 1;
+        let session = Session::new(&presets::intel_i7_6700(), config).unwrap();
+        let out = session.run(&matmul(8)).unwrap();
+        assert!(out.report.fallback_fired());
+        let s = session.cache_stats();
+        assert_eq!((s.hits, s.misses), (0, 0), "armed faults must not touch the cache");
+        assert!(s.bypasses > 0);
+        assert_eq!(session.cached_artifacts(), 0);
+    }
+
+    #[test]
+    fn deadline_budget_keeps_simulation_uncacheable() {
+        let mut config = PipelineConfig::default();
+        config.budget.deadline = Some(std::time::Duration::from_secs(600));
+        let session = Session::new(&presets::intel_i7_6700(), config).unwrap();
+        session.run(&matmul(8)).unwrap();
+        let warm = session.run(&matmul(8)).unwrap();
+        // Everything but the simulate stage replays from cache.
+        assert_eq!(warm.report.cache.misses, 0);
+        assert_eq!(warm.report.cache.bypasses, 1);
+        assert!(warm.report.estimate.is_some());
+    }
+
+    #[test]
+    fn model_is_resolved_once_per_session() {
+        let session =
+            Session::new(&presets::intel_i7_6700(), PipelineConfig::default()).unwrap();
+        let first = session.resolved_model() as *const _;
+        session.run(&matmul(8)).unwrap();
+        assert_eq!(first, session.resolved_model() as *const _);
+        assert_eq!(session.resolved_model().model.name(), "paper");
+    }
+}

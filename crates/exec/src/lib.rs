@@ -44,6 +44,7 @@
 
 mod buffers;
 mod error;
+mod fingerprint;
 mod interp;
 mod timing;
 mod trace;

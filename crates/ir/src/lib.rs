@@ -43,6 +43,7 @@ mod display;
 mod dtype;
 mod error;
 mod expr;
+pub mod fingerprint;
 mod nest;
 
 pub use access::{Access, ArrayDecl, ArrayId};
@@ -52,4 +53,5 @@ pub use builder::{ExprBuilder, NestBuilder};
 pub use dtype::DType;
 pub use error::IrError;
 pub use expr::{BinOp, Expr, UnOp};
+pub use fingerprint::{Digest, StableHash, StableHasher};
 pub use nest::{LoopNest, LoopVar, Statement};

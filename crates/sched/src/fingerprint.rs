@@ -1,0 +1,134 @@
+//! Stable fingerprints for schedule-layer artifacts.
+//!
+//! The pass framework in `palo-core` content-addresses its artifact
+//! cache; schedules are both cache *inputs* (the Lower pass is keyed by
+//! the schedule it lowers) and cache *outputs* (the Optimize pass emits
+//! one), so [`Schedule`] and [`LoweredNest`] implement
+//! [`palo_ir::StableHash`] here, next to their definitions.
+
+use crate::directive::{Directive, Schedule};
+use crate::lower::{Contribution, LoopKind, LoweredLoop, LoweredNest};
+use palo_ir::{StableHash, StableHasher};
+
+impl StableHash for Directive {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        match self {
+            Directive::Split { var, outer, inner, factor } => {
+                h.write_u8(0);
+                h.write_str(var);
+                h.write_str(outer);
+                h.write_str(inner);
+                h.write_usize(*factor);
+            }
+            Directive::Reorder { order } => {
+                h.write_u8(1);
+                order.stable_hash(h);
+            }
+            Directive::Fuse { outer, inner, fused } => {
+                h.write_u8(2);
+                h.write_str(outer);
+                h.write_str(inner);
+                h.write_str(fused);
+            }
+            Directive::Vectorize { var, lanes } => {
+                h.write_u8(3);
+                h.write_str(var);
+                h.write_usize(*lanes);
+            }
+            Directive::Parallel { var } => {
+                h.write_u8(4);
+                h.write_str(var);
+            }
+            Directive::StoreNt => h.write_u8(5),
+        }
+    }
+}
+
+impl StableHash for Schedule {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.directives().stable_hash(h);
+    }
+}
+
+impl StableHash for Contribution {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.var.stable_hash(h);
+        h.write_usize(self.stride);
+        h.write_usize(self.divisor);
+        h.write_usize(self.modulus);
+    }
+}
+
+impl StableHash for LoopKind {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        match self {
+            LoopKind::Serial => h.write_u8(0),
+            LoopKind::Parallel => h.write_u8(1),
+            LoopKind::Vectorized(lanes) => {
+                h.write_u8(2);
+                h.write_usize(*lanes);
+            }
+        }
+    }
+}
+
+impl StableHash for LoweredLoop {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        h.write_str(&self.name);
+        h.write_usize(self.trip);
+        self.kind.stable_hash(h);
+        self.contribs.stable_hash(h);
+    }
+}
+
+impl StableHash for LoweredNest {
+    fn stable_hash(&self, h: &mut StableHasher) {
+        self.loops().stable_hash(h);
+        self.nt_store().stable_hash(h);
+        self.needs_guard().stable_hash(h);
+        self.extents().stable_hash(h);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palo_ir::{DType, NestBuilder};
+
+    fn schedule() -> Schedule {
+        let mut s = Schedule::new();
+        s.split("i", "i_o", "i_i", 32).reorder(&["i_o", "i_i"]).vectorize("i_i", 8);
+        s
+    }
+
+    #[test]
+    fn schedule_digest_tracks_directives() {
+        let base = schedule().digest();
+        assert_eq!(base, schedule().digest());
+        let mut other = schedule();
+        other.parallel("i_o");
+        assert_ne!(base, other.digest());
+        // A different split factor is a different schedule.
+        let mut s = Schedule::new();
+        s.split("i", "i_o", "i_i", 64).reorder(&["i_o", "i_i"]).vectorize("i_i", 8);
+        assert_ne!(base, s.digest());
+    }
+
+    #[test]
+    fn lowered_nest_digest_tracks_structure() {
+        let mut b = NestBuilder::new("copy", DType::F32);
+        let i = b.var("i", 64);
+        let src = b.array("src", &[64]);
+        let dst = b.array("dst", &[64]);
+        let ld = b.load(src, &[i]);
+        b.store(dst, &[i], ld);
+        let nest = b.build().unwrap();
+
+        let plain = Schedule::new().lower(&nest).unwrap().digest();
+        let mut s = Schedule::new();
+        s.split("i", "i_o", "i_i", 8);
+        let split = s.lower(&nest).unwrap().digest();
+        assert_ne!(plain, split);
+        assert_eq!(plain, Schedule::new().lower(&nest).unwrap().digest());
+    }
+}

@@ -42,6 +42,7 @@
 
 mod directive;
 mod error;
+mod fingerprint;
 mod lower;
 mod print;
 

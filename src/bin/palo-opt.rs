@@ -8,12 +8,18 @@
 //!          [--technique proposed|autosched|baseline|autotune|tss|tts]
 //!          [--model paper|tss|tts|sim]
 //!          [--ablate no-prefetch-discount,no-corder,...]
-//!          [--estimate] [--no-nti] [--verbose]
+//!          [--estimate] [--no-nti] [--verbose] [--cache-stats]
+//! palo-opt --batch [kernel] [--threads N] [--estimate] [--cache-stats]
 //! ```
+//!
+//! `--batch` routes the whole suite (or one kernel) through a
+//! [`Session`] + [`BatchDriver`]: a shared content-addressed artifact
+//! cache and a concurrent worker pool. `--cache-stats` prints the
+//! session's cache counters afterwards.
 
 use palo::arch::{presets, Architecture};
 use palo::baselines::{schedule_for, Technique};
-use palo::core::{ModelKind, Optimizer, OptimizerConfig, Pipeline, PipelineConfig};
+use palo::core::{BatchDriver, ModelKind, Optimizer, OptimizerConfig, PipelineConfig, Session};
 use palo::suite::Benchmark;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -28,6 +34,9 @@ struct Args {
     estimate: bool,
     nti: bool,
     verbose: bool,
+    batch: bool,
+    threads: Option<usize>,
+    cache_stats: bool,
 }
 
 fn usage() -> ExitCode {
@@ -36,7 +45,8 @@ fn usage() -> ExitCode {
          \x20               [--technique proposed|autosched|baseline|autotune|tss|tts]\n\
          \x20               [--model paper|tss|tts|sim]\n\
          \x20               [--ablate no-prefetch-discount,no-corder,no-parallel-grain,no-bandwidth-term]\n\
-         \x20               [--estimate] [--no-nti] [--verbose]\n\
+         \x20               [--estimate] [--no-nti] [--verbose] [--cache-stats]\n\
+         \x20      palo-opt --batch [kernel] [--threads N] [--estimate] [--cache-stats]\n\
          kernels: {}",
         Benchmark::all().map(|b| b.name()).join(", ")
     );
@@ -54,6 +64,9 @@ fn parse() -> Result<Args, ExitCode> {
         estimate: false,
         nti: true,
         verbose: false,
+        batch: false,
+        threads: None,
+        cache_stats: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -65,8 +78,8 @@ fn parse() -> Result<Args, ExitCode> {
             "--technique" => args.technique = it.next().ok_or_else(usage)?,
             "--model" => {
                 let name = it.next().ok_or_else(usage)?;
-                args.model = ModelKind::parse(&name).ok_or_else(|| {
-                    eprintln!("unknown model {name:?}");
+                args.model = name.parse().map_err(|e| {
+                    eprintln!("{e}");
                     usage()
                 })?;
             }
@@ -74,15 +87,20 @@ fn parse() -> Result<Args, ExitCode> {
                 let list = it.next().ok_or_else(usage)?;
                 args.ablate.extend(list.split(',').map(|s| s.trim().to_string()));
             }
+            "--threads" => {
+                args.threads = Some(it.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?)
+            }
             "--estimate" => args.estimate = true,
             "--no-nti" => args.nti = false,
             "--verbose" => args.verbose = true,
+            "--batch" => args.batch = true,
+            "--cache-stats" => args.cache_stats = true,
             "-h" | "--help" => return Err(usage()),
             k if !k.starts_with('-') && args.kernel.is_empty() => args.kernel = k.into(),
             _ => return Err(usage()),
         }
     }
-    if args.kernel.is_empty() {
+    if args.kernel.is_empty() && !args.batch {
         return Err(usage());
     }
     Ok(args)
@@ -116,17 +134,133 @@ fn platform(name: &str) -> Option<Architecture> {
     }
 }
 
+fn optimizer_config(args: &Args) -> Result<OptimizerConfig, ExitCode> {
+    let mut config = OptimizerConfig {
+        enable_nti: args.nti,
+        model: args.model,
+        ..OptimizerConfig::default()
+    };
+    apply_ablations(&mut config, &args.ablate)?;
+    Ok(config)
+}
+
+fn print_cache_stats(session: &Session) {
+    let s = session.cache_stats();
+    println!(
+        "// cache: {} hits, {} misses, {} bypasses ({:.0}% hit rate, {} artifacts)",
+        s.hits,
+        s.misses,
+        s.bypasses,
+        s.hit_rate() * 100.0,
+        session.cached_artifacts()
+    );
+}
+
+/// `--batch`: the suite (or one kernel) through a shared [`Session`]
+/// and the concurrent [`BatchDriver`].
+fn run_batch(args: &Args, arch: &Architecture) -> ExitCode {
+    let benchmarks: Vec<Benchmark> = if args.kernel.is_empty() {
+        Benchmark::all().into_iter().collect()
+    } else {
+        match Benchmark::all().into_iter().find(|b| b.name() == args.kernel) {
+            Some(b) => vec![b],
+            None => {
+                eprintln!("unknown kernel {:?}", args.kernel);
+                return usage();
+            }
+        }
+    };
+    let mut nests = Vec::new();
+    for b in &benchmarks {
+        let built = match args.size {
+            Some(s) => b.build(s),
+            None => b.build_scaled(),
+        };
+        match built {
+            Ok(n) => nests.extend(n),
+            Err(e) => {
+                eprintln!("cannot build kernel {}: {e}", b.name());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let config = match optimizer_config(args) {
+        Ok(c) => c,
+        Err(code) => return code,
+    };
+    let pipeline_config = PipelineConfig {
+        optimizer: config,
+        simulate: args.estimate,
+        ..PipelineConfig::default()
+    };
+    let session = match Session::new(arch, pipeline_config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot open session: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut driver = BatchDriver::new(&session);
+    if let Some(t) = args.threads {
+        driver = driver.with_threads(t);
+    }
+    let report = driver.run(&nests);
+
+    println!(
+        "// batch: {} nests on {} in {:.3?} ({} ok, {} failed)",
+        report.items.len(),
+        arch.name,
+        report.elapsed,
+        report.succeeded(),
+        report.failed()
+    );
+    let mut failed = false;
+    for item in &report.items {
+        match &item.outcome {
+            Ok(out) => {
+                let mut line = format!("// {:<12} rung {}", item.name, out.report.rung);
+                if let Some(d) = &out.decision {
+                    line.push_str(&format!(", class {:?}, tile {:?}", d.class, d.tile));
+                }
+                if let Some(est) = &out.report.estimate {
+                    line.push_str(&format!(", est {:.3} ms", est.ms));
+                }
+                println!("{line}");
+                if args.verbose {
+                    println!("{}", out.schedule);
+                }
+            }
+            Err(e) => {
+                failed = true;
+                println!("// {:<12} FAILED: {e}", item.name);
+            }
+        }
+    }
+    if args.cache_stats {
+        print_cache_stats(&session);
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
 fn main() -> ExitCode {
     let args = match parse() {
         Ok(a) => a,
         Err(code) => return code,
     };
-    let Some(benchmark) = Benchmark::all().into_iter().find(|b| b.name() == args.kernel) else {
-        eprintln!("unknown kernel {:?}", args.kernel);
-        return usage();
-    };
     let Some(arch) = platform(&args.platform) else {
         eprintln!("unknown platform {:?}", args.platform);
+        return usage();
+    };
+    if args.batch {
+        return run_batch(&args, &arch);
+    }
+    let Some(benchmark) = Benchmark::all().into_iter().find(|b| b.name() == args.kernel) else {
+        eprintln!("unknown kernel {:?}", args.kernel);
         return usage();
     };
     let nests = match args.size {
@@ -141,6 +275,16 @@ fn main() -> ExitCode {
         }
     };
 
+    // One session for every nest and estimate of this invocation: the
+    // model is resolved once and repeated work hits the artifact cache.
+    let session = match Session::new(&arch, PipelineConfig::default()) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot open session: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
     for nest in &nests {
         if args.verbose {
             println!("{nest}");
@@ -148,14 +292,10 @@ fn main() -> ExitCode {
         let t0 = Instant::now();
         let (schedule, detail) = match args.technique.as_str() {
             "proposed" => {
-                let mut config = OptimizerConfig {
-                    enable_nti: args.nti,
-                    model: args.model,
-                    ..OptimizerConfig::default()
+                let config = match optimizer_config(&args) {
+                    Ok(c) => c,
+                    Err(code) => return code,
                 };
-                if let Err(code) = apply_ablations(&mut config, &args.ablate) {
-                    return code;
-                }
                 let d = match Optimizer::with_config(&arch, config).try_optimize(nest) {
                     Ok(d) => d,
                     Err(e) => {
@@ -168,7 +308,7 @@ fn main() -> ExitCode {
                     "model {}, class {:?}, tile {:?}, predicted cost {:.3e}\n\
                      //   breakdown: cl1 {:.3e}, cl2 {:.3e}, cl2_lines {:.3e}, \
                      corder {:.3e}, pref_efficiency {:.3}",
-                    args.model.name(),
+                    args.model,
                     d.class,
                     d.tile,
                     d.predicted_cost,
@@ -204,8 +344,7 @@ fn main() -> ExitCode {
         println!("{schedule}");
 
         if args.estimate {
-            let pipeline = Pipeline::with_config(&arch, PipelineConfig::default());
-            match pipeline.run_schedule(nest, &schedule) {
+            match session.run_schedule(nest, &schedule) {
                 Ok(out) => {
                     if out.report.fallback_fired() {
                         eprintln!(
@@ -229,6 +368,9 @@ fn main() -> ExitCode {
                 Err(e) => eprintln!("pipeline failed: {e}"),
             }
         }
+    }
+    if args.cache_stats {
+        print_cache_stats(&session);
     }
     ExitCode::SUCCESS
 }
