@@ -24,16 +24,27 @@
 //!   `5930k,6700,a15` (default: all three);
 //! * `PALO_BENCH_PIPELINE_MIN_HIT_RATE` — warm hit-rate floor,
 //!   default 0.5;
+//! * `PALO_BENCH_PIPELINE_MAX_COLD_MS` — cold-batch wall-clock ceiling in
+//!   milliseconds per platform (regression gate for the run-compressed
+//!   replay engine); `0` (default) disables the gate;
 //! * `PALO_BENCH_PIPELINE_OUT` — output path, default
 //!   `BENCH_pipeline.json`;
 //! * `PALO_SEARCH_THREADS` — worker count for both the batch driver and
 //!   the candidate search.
 
 use palo_arch::{presets, Architecture};
-use palo_core::{CacheStats, PipelineConfig, Session};
+use palo_core::{BatchReport, CacheStats, PipelineConfig, Session};
 use palo_ir::LoopNest;
 use palo_suite::Benchmark;
 use std::fmt::Write as _;
+
+/// One pass's aggregate over a whole (cold) batch.
+struct PassRow {
+    pass: &'static str,
+    total_ms: f64,
+    requests: u64,
+    cached: u64,
+}
 
 struct PlatformRow {
     platform: &'static str,
@@ -42,7 +53,34 @@ struct PlatformRow {
     warm_ms: f64,
     cold: CacheStats,
     warm: CacheStats,
+    /// Per-pass wall-clock breakdown of the cold batch.
+    passes: Vec<PassRow>,
     failed: usize,
+}
+
+/// Sums every item's per-pass timings, in first-seen pass order.
+fn aggregate_passes(report: &BatchReport) -> Vec<PassRow> {
+    let mut rows: Vec<PassRow> = Vec::new();
+    for item in &report.items {
+        let Ok(out) = &item.outcome else { continue };
+        for t in &out.report.timings {
+            let ms = t.elapsed.as_secs_f64() * 1e3;
+            match rows.iter_mut().find(|r| r.pass == t.pass) {
+                Some(r) => {
+                    r.total_ms += ms;
+                    r.requests += 1;
+                    r.cached += u64::from(t.cached);
+                }
+                None => rows.push(PassRow {
+                    pass: t.pass,
+                    total_ms: ms,
+                    requests: 1,
+                    cached: u64::from(t.cached),
+                }),
+            }
+        }
+    }
+    rows
 }
 
 fn env_parse<T: std::str::FromStr>(key: &str, default: T) -> T {
@@ -92,6 +130,7 @@ fn run_platform(
         nests: nests.len(),
         cold_ms: cold.elapsed.as_secs_f64() * 1e3,
         warm_ms: warm.elapsed.as_secs_f64() * 1e3,
+        passes: aggregate_passes(&cold),
         cold: cold.cache,
         warm: warm.cache,
         failed,
@@ -128,6 +167,23 @@ fn render_json(rows: &[PlatformRow], size: usize, simulate: bool) -> String {
             r.warm.hit_rate(),
             r.failed,
         );
+        // Per-pass cold-batch breakdown (classify → simulate, in
+        // execution order).
+        out.truncate(out.len() - 1); // reopen the platform object
+        out.push_str(", \"cold_passes\": [");
+        for (j, p) in r.passes.iter().enumerate() {
+            let _ = write!(
+                out,
+                "{}{{\"pass\": \"{}\", \"total_ms\": {:.3}, \"requests\": {}, \
+                 \"cached\": {}}}",
+                if j > 0 { ", " } else { "" },
+                p.pass,
+                p.total_ms,
+                p.requests,
+                p.cached,
+            );
+        }
+        out.push_str("]}");
         out.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
     out.push_str("  ]\n}\n");
@@ -138,6 +194,7 @@ fn main() {
     let size: usize = env_parse("PALO_BENCH_PIPELINE_SIZE", 0);
     let simulate = env_parse::<u8>("PALO_BENCH_PIPELINE_SIMULATE", 1) != 0;
     let min_hit_rate: f64 = env_parse("PALO_BENCH_PIPELINE_MIN_HIT_RATE", 0.5);
+    let max_cold_ms: f64 = env_parse("PALO_BENCH_PIPELINE_MAX_COLD_MS", 0.0);
     let out_path = std::env::var("PALO_BENCH_PIPELINE_OUT")
         .unwrap_or_else(|_| "BENCH_pipeline.json".into());
     let platforms = std::env::var("PALO_BENCH_PIPELINE_PLATFORMS")
@@ -173,6 +230,19 @@ fn main() {
                     row.warm.bypasses,
                     row.warm.hit_rate() * 100.0,
                 );
+                for p in &row.passes {
+                    println!(
+                        "       {:<9} {:>9.2} ms over {:>3} requests ({} cached)",
+                        p.pass, p.total_ms, p.requests, p.cached
+                    );
+                }
+                if max_cold_ms > 0.0 && row.cold_ms > max_cold_ms {
+                    eprintln!(
+                        "bench_pipeline: {}: cold batch {:.1} ms above ceiling {:.1} ms",
+                        row.platform, row.cold_ms, max_cold_ms
+                    );
+                    failed = true;
+                }
                 if row.failed > 0 {
                     eprintln!(
                         "bench_pipeline: {}: {} batch items failed",

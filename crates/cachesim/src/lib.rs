@@ -47,7 +47,7 @@ mod stats;
 
 pub use cache::{Cache, Eviction};
 pub use error::SimConfigError;
-pub use hierarchy::{AccessKind, Hierarchy, ServedBy};
+pub use hierarchy::{AccessKind, AccessRun, Hierarchy, ReplayStats, ServedBy};
 pub use prefetch::StridePrefetcher;
-pub use sink::{CountingSink, LineSink};
+pub use sink::{CountingSink, CycleSnapshot, LineSink};
 pub use stats::{HierarchyStats, LevelStats};

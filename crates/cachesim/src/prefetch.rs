@@ -2,17 +2,17 @@
 
 /// One tracked access stream.
 #[derive(Debug, Clone, Copy)]
-struct Stream {
+pub(crate) struct Stream {
     /// Last demand line observed for this stream.
-    last: u64,
+    pub(crate) last: u64,
     /// Detected stride in lines (may be negative).
-    stride: i64,
+    pub(crate) stride: i64,
     /// Consecutive confirmations of `stride`.
-    confidence: u8,
+    pub(crate) confidence: u8,
     /// Furthest line already prefetched for this stream.
-    frontier: u64,
+    pub(crate) frontier: u64,
     /// LRU stamp.
-    stamp: u64,
+    pub(crate) stamp: u64,
 }
 
 /// A stream-table constant-stride prefetcher.
@@ -32,6 +32,11 @@ pub struct StridePrefetcher {
     /// Window (in lines) within which a new address is matched to an
     /// existing stream.
     match_window: i64,
+    /// Streams allocated since construction/reset. The run engine's
+    /// steady-state detector requires a creation-free cycle: allocation
+    /// is the only event that reads absolute stamps (LRU victim choice)
+    /// and permutes table indices (`swap_remove`).
+    creations: u64,
 }
 
 impl StridePrefetcher {
@@ -45,17 +50,27 @@ impl StridePrefetcher {
             max_distance: max_distance as u64,
             clock: 0,
             match_window: 64,
+            creations: 0,
         }
     }
 
     /// Observes a demand access to `line` and returns the lines to
     /// prefetch (empty until a stream's stride is confirmed).
     pub fn observe(&mut self, line: u64) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.observe_into(line, &mut out);
+        out
+    }
+
+    /// Allocation-free [`StridePrefetcher::observe`]: appends prefetch
+    /// lines to `out` and returns the index of the stream the access was
+    /// matched to (`None` when a new stream was allocated or prefetching
+    /// is disabled).
+    pub(crate) fn observe_into(&mut self, line: u64, out: &mut Vec<u64>) -> Option<usize> {
         self.clock += 1;
         if self.degree == 0 {
-            return Vec::new();
+            return None;
         }
-        let mut out = Vec::new();
 
         // Find the stream this access extends: best = the one whose
         // predicted next line is exactly `line`, else the nearest one
@@ -81,7 +96,7 @@ impl StridePrefetcher {
                 let s = &mut self.streams[i];
                 if delta == 0 {
                     s.stamp = self.clock;
-                    return out;
+                    return Some(i);
                 }
                 if delta == s.stride {
                     s.confidence = s.confidence.saturating_add(1);
@@ -93,22 +108,9 @@ impl StridePrefetcher {
                 s.last = line;
                 s.stamp = self.clock;
                 if s.confidence >= 2 {
-                    let stride = s.stride;
-                    // The frontier never lags the demand stream.
-                    if (stride > 0 && s.frontier < line) || (stride < 0 && s.frontier > line) {
-                        s.frontier = line;
-                    }
-                    let limit_ahead = self.max_distance;
-                    for _ in 0..self.degree {
-                        let next = (s.frontier as i64).wrapping_add(stride) as u64;
-                        let ahead = (next as i64 - line as i64).unsigned_abs();
-                        if ahead > limit_ahead.saturating_mul(stride.unsigned_abs().max(1)) {
-                            break;
-                        }
-                        s.frontier = next;
-                        out.push(next);
-                    }
+                    Self::run_ahead(s, line, self.degree, self.max_distance, out);
                 }
+                Some(i)
             }
             None => {
                 if self.streams.len() == self.capacity {
@@ -121,6 +123,7 @@ impl StridePrefetcher {
                         .expect("capacity > 0");
                     self.streams.swap_remove(oldest);
                 }
+                self.creations += 1;
                 self.streams.push(Stream {
                     last: line,
                     stride: 0,
@@ -128,14 +131,195 @@ impl StridePrefetcher {
                     frontier: line,
                     stamp: self.clock,
                 });
+                None
             }
         }
-        out
+    }
+
+    /// Advances `s`'s frontier up to `degree` prefetches ahead of `line`,
+    /// bounded by the run-ahead distance. Exactly the confirmed-stride
+    /// tail of [`StridePrefetcher::observe_into`], shared with the
+    /// expected-stream fast path.
+    fn run_ahead(
+        s: &mut Stream,
+        line: u64,
+        degree: usize,
+        max_distance: u64,
+        out: &mut Vec<u64>,
+    ) {
+        let stride = s.stride;
+        // The frontier never lags the demand stream.
+        if (stride > 0 && s.frontier < line) || (stride < 0 && s.frontier > line) {
+            s.frontier = line;
+        }
+        let limit = max_distance.saturating_mul(stride.unsigned_abs().max(1));
+        for _ in 0..degree {
+            let next = (s.frontier as i64).wrapping_add(stride) as u64;
+            let ahead = (next as i64 - line as i64).unsigned_abs();
+            if ahead > limit {
+                break;
+            }
+            s.frontier = next;
+            out.push(next);
+        }
+    }
+
+    /// Whether stream `i` exists and predicts exactly `line` with a
+    /// nonzero stride — the precondition for
+    /// [`StridePrefetcher::observe_expected`].
+    pub(crate) fn expects(&self, i: usize, line: u64) -> bool {
+        self.streams
+            .get(i)
+            .is_some_and(|s| s.stride != 0 && s.last.wrapping_add(s.stride as u64) == line)
+    }
+
+    /// Fast-path observe for a line already known (via
+    /// [`StridePrefetcher::expects`]) to be the exact predicted successor
+    /// of stream `i`: skips the table scan, performing the identical
+    /// state transition the scan-based observe would.
+    pub(crate) fn observe_expected(&mut self, i: usize, line: u64, out: &mut Vec<u64>) {
+        self.clock += 1;
+        let s = &mut self.streams[i];
+        debug_assert!(s.stride != 0 && s.last.wrapping_add(s.stride as u64) == line);
+        s.confidence = s.confidence.saturating_add(1);
+        s.last = line;
+        s.stamp = self.clock;
+        if s.confidence >= 2 {
+            Self::run_ahead(s, line, self.degree, self.max_distance, out);
+        }
+    }
+
+    /// Ramp-regime view of stream `i` for the run engine's fast feed
+    /// paths: `(r, limit, degree)` where `r` is the signed frontier
+    /// run-ahead `(frontier - last) * signum(stride)` in lines, `limit`
+    /// the run-ahead cap `max_distance * |stride|`, and `degree` the
+    /// per-feed push budget. `limit` and `degree` are invariant along a
+    /// locked stretch (the stride never changes under expected feeds).
+    pub(crate) fn ramp_state(&self, i: usize) -> (i64, u64, u32) {
+        let s = &self.streams[i];
+        let st = s.stride.unsigned_abs();
+        let limit = self.max_distance.saturating_mul(st);
+        let r = if s.stride >= 0 {
+            s.frontier.wrapping_sub(s.last) as i64
+        } else {
+            s.last.wrapping_sub(s.frontier) as i64
+        };
+        (r, limit, self.degree as u32)
+    }
+
+    /// [`StridePrefetcher::observe_expected`] specialised to a feed whose
+    /// pushes are all pre-denied by the caller's throttle arithmetic and
+    /// whose ramp regime guarantees exactly `degree` pushes (no frontier
+    /// lag, no limit break): the identical stream transition with the
+    /// emitted lines dropped unmaterialised.
+    pub(crate) fn feed_denied(&mut self, i: usize, line: u64) {
+        self.clock += 1;
+        let advance = (self.degree as i64).wrapping_mul(self.streams[i].stride);
+        let s = &mut self.streams[i];
+        debug_assert!(s.stride != 0 && s.last.wrapping_add(s.stride as u64) == line);
+        // The regime implies a prior confirming feed, so the push budget
+        // is live (confidence reaches >= 2 with this feed).
+        debug_assert!(s.confidence >= 1);
+        s.confidence = s.confidence.saturating_add(1);
+        s.last = line;
+        s.stamp = self.clock;
+        s.frontier = (s.frontier as i64).wrapping_add(advance) as u64;
+    }
+
+    /// [`StridePrefetcher::observe_expected`] specialised to a parked
+    /// stream (`parked(i)` true, `line` the exact predicted successor):
+    /// the identical transition, returning the single line the full path
+    /// would have emitted.
+    pub(crate) fn feed_parked(&mut self, i: usize, line: u64) -> u64 {
+        self.clock += 1;
+        let s = &mut self.streams[i];
+        debug_assert!(s.stride != 0 && s.last.wrapping_add(s.stride as u64) == line);
+        debug_assert!(s.confidence >= 1);
+        s.confidence = s.confidence.saturating_add(1);
+        s.last = line;
+        s.stamp = self.clock;
+        let next = (s.frontier as i64).wrapping_add(s.stride) as u64;
+        s.frontier = next;
+        next
+    }
+
+    /// How many consecutive lines of the arithmetic sequence starting at
+    /// `next_line` with stride `stride` are safe from exact-match capture
+    /// by a stream with index *below* `f` (the table scan breaks at the
+    /// first exact predicted match, so only lower indices can preempt
+    /// `f`; nearest-window candidates never beat an exact match).
+    pub(crate) fn capture_free_steps(&self, f: usize, next_line: u64, stride: i64) -> u64 {
+        debug_assert!(stride != 0);
+        let mut safe = u64::MAX;
+        for s in &self.streams[..f.min(self.streams.len())] {
+            if s.stride == 0 {
+                continue;
+            }
+            let predicted = s.last.wrapping_add(s.stride as u64);
+            // First k >= 0 with next_line + k*stride == predicted. The
+            // wrapped difference reinterpreted as signed is exact for all
+            // realistic distances (|diff| < 2^63). Division stays in
+            // 64-bit arithmetic (the 128-bit form compiles to a libcall
+            // on the replay hot path); unit strides avoid it entirely.
+            let diff = predicted.wrapping_sub(next_line) as i64;
+            let k: i128 = match stride {
+                1 => i128::from(diff),
+                -1 => -i128::from(diff),
+                st => match (diff.checked_rem(st), diff.checked_div(st)) {
+                    (Some(r), _) if r != 0 => continue,
+                    (Some(_), Some(q)) => i128::from(q),
+                    // i64::MIN / -1 style overflow: widen.
+                    _ => {
+                        let (d, w) = (i128::from(diff), i128::from(st));
+                        if d % w != 0 {
+                            continue;
+                        }
+                        d / w
+                    }
+                },
+            };
+            if (0..safe as i128).contains(&k) {
+                safe = k as u64;
+                if safe == 0 {
+                    return 0;
+                }
+            }
+        }
+        safe
+    }
+
+    /// Streams allocated so far (see the `creations` field).
+    pub(crate) fn creations(&self) -> u64 {
+        self.creations
+    }
+
+    /// Whether the table is inert (degree zero): observes then only
+    /// advance the clock.
+    pub(crate) fn disabled(&self) -> bool {
+        self.degree == 0
+    }
+
+    /// Advances the observe clock by `n` without touching the table —
+    /// mirrors `n` degree-zero observes.
+    pub(crate) fn tick(&mut self, n: u64) {
+        self.clock += n;
+    }
+
+    /// Immutable view of the stream table, index order (creation order up
+    /// to `swap_remove` permutations), for state snapshots.
+    pub(crate) fn streams(&self) -> &[Stream] {
+        &self.streams
+    }
+
+    /// Mutable view of the stream table, for state translation.
+    pub(crate) fn streams_mut(&mut self) -> &mut [Stream] {
+        &mut self.streams
     }
 
     /// Drops all tracked streams.
     pub fn reset(&mut self) {
         self.streams.clear();
+        self.creations = 0;
     }
 }
 
@@ -234,5 +418,43 @@ mod tests {
         }
         // The first stream was evicted; re-observing shouldn't match it.
         assert!(p.observe(1).is_empty());
+        assert_eq!(p.creations(), 41);
+    }
+
+    #[test]
+    fn expected_path_matches_scan_path() {
+        let mut scan = StridePrefetcher::new(2, 20);
+        let mut fast = StridePrefetcher::new(2, 20);
+        // Warm both on the same stride-3 stream.
+        for line in [0u64, 3, 6] {
+            scan.observe(line);
+            fast.observe(line);
+        }
+        let mut buf = Vec::new();
+        for line in (9..60).step_by(3) {
+            let slow = scan.observe(line);
+            assert!(fast.expects(0, line));
+            buf.clear();
+            fast.observe_expected(0, line, &mut buf);
+            assert_eq!(slow, buf, "line {line}");
+        }
+        assert_eq!(fast.capture_free_steps(0, 60, 3), u64::MAX);
+    }
+
+    #[test]
+    fn capture_free_steps_finds_lower_stream_collision() {
+        let mut p = StridePrefetcher::new(1, 20);
+        // Stream 0: stride 10 at last=100 (predicts 110).
+        p.observe(100);
+        p.observe(110); // wait — delta 10 within window, stride 10 now
+                        // Stream 1: far away, stride 4 at last=1_000_000.
+        p.observe(1_000_000);
+        p.observe(1_000_004);
+        // Stream 1's lines 1_000_008, 1_000_012, ... never collide with
+        // stream 0's prediction of 120.
+        assert_eq!(p.capture_free_steps(1, 1_000_008, 4), u64::MAX);
+        // A sequence that walks straight into the prediction: from 100,
+        // stride 5 → 100+4*5 = 120 = stream 0's predicted line.
+        assert_eq!(p.capture_free_steps(1, 100, 5), 4);
     }
 }

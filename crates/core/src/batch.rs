@@ -139,6 +139,24 @@ mod tests {
     }
 
     #[test]
+    fn sim_cap_bounds_concurrent_simulations_below_worker_count() {
+        let config =
+            PipelineConfig { max_concurrent_sims: Some(1), ..PipelineConfig::default() };
+        let session = Session::new(&presets::intel_i7_6700(), config).unwrap();
+        // Six distinct kernels on four workers: without the gate the
+        // simulate stage would overlap up to four ways.
+        let nests: Vec<LoopNest> =
+            (0..6).map(|i| matmul(&format!("mm{i}"), 16 + 2 * i)).collect();
+        let report = session.batch().with_threads(4).run(&nests);
+        assert_eq!(report.failed(), 0);
+        assert_eq!(
+            session.max_sims_observed(),
+            1,
+            "simulate stage exceeded its concurrency cap"
+        );
+    }
+
+    #[test]
     fn one_bad_nest_does_not_sink_the_batch() {
         let mut arch = presets::intel_i7_6700();
         arch.caches.truncate(1); // Session::new would reject this...

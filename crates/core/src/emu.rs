@@ -78,6 +78,31 @@ pub fn emu(p: &EmuParams<'_>) -> usize {
 
     'grow: while max_ti < p.cap {
         let row_start_line = (p.addr + max_ti * p.row_stride) / lc;
+        // Set-phase bulk path for rows spanning at least one full set
+        // cycle (same arithmetic as the cachesim's run engine): the row
+        // deposits `lines_per_row / nsets` lines into *every* set plus one
+        // more into the `rem` sets starting at the row's set phase.
+        // Whether the scalar loop would break somewhere inside the row
+        // depends only on each set's total, so one O(nsets) sweep replaces
+        // the O(lines_per_row) walk. (The stride-prefetch tests depend on
+        // the in-row order via `fetched`, so they stay scalar.)
+        if p.l2_pref == 0 && lines_per_row >= nsets {
+            let whole = (lines_per_row / nsets) as u32;
+            let rem = lines_per_row % nsets;
+            let phase = row_start_line % nsets;
+            for (set, count) in emucache.iter_mut().enumerate() {
+                let extra = u32::from((set + nsets - phase) % nsets < rem);
+                if *count + whole + extra > eff_ways as u32 {
+                    // A partial row update is fine: the scalar loop also
+                    // leaves earlier lines booked when it breaks mid-row.
+                    break 'grow;
+                }
+                *count += whole + extra;
+            }
+            fetched += lines_per_row;
+            max_ti += 1;
+            continue;
+        }
         for i in 0..lines_per_row {
             let set = (row_start_line + i) % nsets;
             if emucache[set] >= eff_ways as u32 {
@@ -374,6 +399,61 @@ mod tests {
         assert_eq!(emu_cached(&p, &counters), direct);
         assert!(counters.emu_memo_hits.load(Ordering::Relaxed) >= 1);
         assert!(counters.emu_memo_misses.load(Ordering::Relaxed) >= 1);
+    }
+
+    /// The pre-bulk scalar replay, kept as the oracle for the set-phase
+    /// bulk path (no prefetch tests: the bulk path never takes those).
+    fn emu_scalar_reference(p: &EmuParams<'_>) -> usize {
+        let lc = (p.level.line_size / p.dts).max(1);
+        let mut nsets = p.level.num_sets().max(1);
+        let eff_ways = (p.level.associativity / p.threads.max(1)).max(1);
+        let lines_per_row = if p.for_l2 {
+            if p.halve_l2_sets {
+                nsets = (nsets / 2).max(1);
+            }
+            p.row_len.max(lc).div_ceil(lc)
+        } else {
+            (p.row_len + lc).max(2 * lc).div_ceil(lc)
+        };
+        let mut emucache = vec![0u32; nsets];
+        let mut max_ti = 0usize;
+        'grow: while max_ti < p.cap {
+            let row_start_line = (p.addr + max_ti * p.row_stride) / lc;
+            for i in 0..lines_per_row {
+                let set = (row_start_line + i) % nsets;
+                if emucache[set] >= eff_ways as u32 {
+                    break 'grow;
+                }
+                emucache[set] += 1;
+            }
+            max_ti += 1;
+        }
+        max_ti.max(1)
+    }
+
+    #[test]
+    fn bulk_set_phase_path_matches_the_scalar_replay() {
+        // Rows wider than a set cycle take the bulk path; sweep odd
+        // geometry (non-cycle-aligned strides, offset starts, both
+        // variants) and demand bit-identical bounds.
+        let level = l1(); // 64 sets, 8 ways, 64 B lines
+        let nsets_cycle = 64 * 16; // elements per set cycle for f32
+        for &row_len in &[nsets_cycle, nsets_cycle + 5, 3 * nsets_cycle + 7] {
+            for &stride in &[row_len, row_len + 16, 2 * row_len + 48] {
+                for &addr in &[0usize, 12 * 16] {
+                    for &for_l2 in &[false, true] {
+                        let mut p = base_params(&level, 4, row_len, stride, 1, 4096);
+                        p.addr = addr;
+                        p.for_l2 = for_l2;
+                        assert_eq!(
+                            emu(&p),
+                            emu_scalar_reference(&p),
+                            "row_len {row_len} stride {stride} addr {addr} l2 {for_l2}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,136 @@
+//! [`SimGate`]: a counting gate bounding *concurrent simulations*
+//! independently of the batch worker count.
+//!
+//! Simulation is the one pass whose footprint scales with the modeled
+//! hierarchy (flat LRU arrays per cache level) rather than with the nest,
+//! so a wide [`BatchDriver`](crate::BatchDriver) can oversubscribe memory
+//! even when every other stage runs happily on all workers. The gate is a
+//! semaphore in permit semantics: at most
+//! [`PipelineConfig::max_concurrent_sims`](crate::PipelineConfig::max_concurrent_sims)
+//! runs may sit inside the simulate stage at once; excess workers block
+//! *only* for that stage and keep classify/optimize/lower/validate fully
+//! parallel.
+//!
+//! A poisoned gate (a panic while holding a permit unwinds through the
+//! mutex) degrades to *unbounded* rather than deadlocking the batch —
+//! consistent with the crate's fail-soft posture.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// A counting gate over the simulate stage.
+#[derive(Debug, Default)]
+pub(crate) struct SimGate {
+    /// Maximum concurrent permit holders; `None` means unbounded (the
+    /// gate never blocks and only tracks the high-water mark).
+    cap: Option<usize>,
+    in_flight: Mutex<usize>,
+    freed: Condvar,
+    high_water: AtomicUsize,
+}
+
+/// An acquired permit; releases (and wakes one waiter) on drop.
+#[derive(Debug)]
+pub(crate) struct SimPermit<'g> {
+    gate: &'g SimGate,
+}
+
+impl SimGate {
+    /// A gate admitting at most `cap` concurrent simulations (`None` =
+    /// unbounded). A cap of `0` is treated as `1` — a gate nothing can
+    /// pass would wedge every run.
+    pub(crate) fn new(cap: Option<usize>) -> Self {
+        SimGate {
+            cap: cap.map(|c| c.max(1)),
+            in_flight: Mutex::new(0),
+            freed: Condvar::new(),
+            high_water: AtomicUsize::new(0),
+        }
+    }
+
+    /// Blocks until a permit is free, then takes it.
+    pub(crate) fn acquire(&self) -> SimPermit<'_> {
+        if let Ok(mut held) = self.in_flight.lock() {
+            if let Some(cap) = self.cap {
+                while *held >= cap {
+                    match self.freed.wait(held) {
+                        Ok(h) => held = h,
+                        // Poisoned: degrade to unbounded, not deadlock.
+                        Err(_) => return self.admit(None),
+                    }
+                }
+            }
+            *held += 1;
+            let now = *held;
+            drop(held);
+            return self.admit(Some(now));
+        }
+        self.admit(None)
+    }
+
+    fn admit(&self, now: Option<usize>) -> SimPermit<'_> {
+        if let Some(now) = now {
+            self.high_water.fetch_max(now, Ordering::Relaxed);
+        }
+        SimPermit { gate: self }
+    }
+
+    /// The most simulations ever in flight at once through this gate.
+    pub(crate) fn high_water(&self) -> usize {
+        self.high_water.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for SimPermit<'_> {
+    fn drop(&mut self) {
+        if let Ok(mut held) = self.gate.in_flight.lock() {
+            *held = held.saturating_sub(1);
+        }
+        self.gate.freed.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_gate_never_blocks_and_tracks_high_water() {
+        let gate = SimGate::new(None);
+        let a = gate.acquire();
+        let b = gate.acquire();
+        assert_eq!(gate.high_water(), 2);
+        drop(a);
+        drop(b);
+        assert_eq!(gate.high_water(), 2);
+    }
+
+    #[test]
+    fn capped_gate_bounds_concurrency_across_threads() {
+        let gate = Arc::new(SimGate::new(Some(2)));
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let gate = Arc::clone(&gate);
+            handles.push(thread::spawn(move || {
+                let _permit = gate.acquire();
+                thread::sleep(Duration::from_millis(5));
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(gate.high_water() >= 1);
+        assert!(gate.high_water() <= 2, "cap exceeded: {}", gate.high_water());
+    }
+
+    #[test]
+    fn zero_cap_is_clamped_to_one() {
+        let gate = SimGate::new(Some(0));
+        let permit = gate.acquire(); // would deadlock if the cap stayed 0
+        assert_eq!(gate.high_water(), 1);
+        drop(permit);
+    }
+}

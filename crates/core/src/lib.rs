@@ -68,6 +68,7 @@ pub mod emu;
 mod error;
 pub mod fingerprint;
 mod footprint;
+mod gate;
 pub mod model;
 pub mod order;
 pub mod pass;
@@ -90,7 +91,7 @@ pub use model::{
     resolve, shift_hierarchy, CandidatePoint, CostBreakdown, CostModel, PrefetchAwareModel,
     ResolvedModel, SimulatedModel, TileContext,
 };
-pub use pass::{CacheStats, Pass, PassCx, RunCtl};
+pub use pass::{CacheStats, Pass, PassCx, PassTiming, RunCtl};
 pub use pipeline::{
     FaultPlan, ParseRungError, Pipeline, PipelineConfig, PipelineOutcome, PipelineReport,
     ResourceBudget, Rung, RungFailure,

@@ -49,11 +49,11 @@ use crate::model::ResolvedModel;
 use crate::pipeline::PipelineConfig;
 use palo_arch::Architecture;
 use std::any::Any;
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Read-only context every pass runs under: the session's architecture
 /// and configuration, the once-resolved cost model, and the per-run
@@ -84,12 +84,36 @@ pub struct PassCx<'s> {
 pub struct RunCtl {
     start: Instant,
     lowerings_attempted: Cell<u64>,
+    timings: RefCell<Vec<PassTiming>>,
+}
+
+/// One pass request of a run, as timed by
+/// [`Session::execute`](crate::Session::execute): how long the request
+/// took wall-clock and whether the artifact came from the cache.
+///
+/// Requests are recorded in execution order, one entry per request (a
+/// ladder that lowers three rungs records three `lower` entries);
+/// aggregate with
+/// [`PipelineReport::pass_totals`](crate::PipelineReport::pass_totals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PassTiming {
+    /// The pass's stable name ([`Pass::name`]).
+    pub pass: &'static str,
+    /// Wall-clock time of the request. For a cached artifact this is the
+    /// lookup time, not the producing run's time.
+    pub elapsed: Duration,
+    /// Whether the artifact was served from the cache.
+    pub cached: bool,
 }
 
 impl RunCtl {
     /// A fresh control block; stamps the run's start time.
     pub fn new() -> Self {
-        RunCtl { start: Instant::now(), lowerings_attempted: Cell::new(0) }
+        RunCtl {
+            start: Instant::now(),
+            lowerings_attempted: Cell::new(0),
+            timings: RefCell::new(Vec::new()),
+        }
     }
 
     /// When the run started (deadline accounting).
@@ -102,6 +126,16 @@ impl RunCtl {
         let n = self.lowerings_attempted.get() + 1;
         self.lowerings_attempted.set(n);
         n
+    }
+
+    /// Records one timed pass request.
+    pub fn record_pass(&self, pass: &'static str, elapsed: Duration, cached: bool) {
+        self.timings.borrow_mut().push(PassTiming { pass, elapsed, cached });
+    }
+
+    /// Drains the recorded per-pass timings (in execution order).
+    pub fn take_timings(&self) -> Vec<PassTiming> {
+        std::mem::take(&mut self.timings.borrow_mut())
     }
 }
 

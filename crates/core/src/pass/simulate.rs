@@ -29,7 +29,10 @@ impl Pass for SimulatePass {
     }
 
     fn version(&self) -> u32 {
-        1
+        // v2: run-compressed replay engine (bit-identical statistics, so
+        // cached v1 artifacts would still be *correct* — bumped anyway so
+        // the artifact's new `replay` telemetry is always populated).
+        2
     }
 
     /// Key: nest + lowered structure + architecture + trace-line budget.
@@ -65,7 +68,8 @@ impl Pass for SimulatePass {
         let deadline = budget.deadline.map(|d| d.saturating_sub(cx.ctl.start().elapsed()));
         let max_lines =
             if cx.config.faults.trace_overflow { Some(0) } else { budget.max_trace_lines };
-        let opts = TraceOptions { flush_first: true, max_lines, deadline };
+        let opts =
+            TraceOptions { flush_first: true, max_lines, deadline, run_compressed: true };
         let estimate =
             catch_panic("simulator", || estimate_time_with(nest, lowered, cx.arch, &opts))??;
         Ok(SimulateArtifact { estimate })

@@ -33,7 +33,7 @@ use crate::config::ModelKind;
 use crate::decision::Decision;
 use crate::error::PaloError;
 use crate::model::CostBreakdown;
-use crate::pass::CacheStats;
+use crate::pass::{CacheStats, PassTiming};
 use crate::search::SearchStats;
 use crate::session::Session;
 use crate::OptimizerConfig;
@@ -175,6 +175,13 @@ pub struct PipelineConfig {
     /// Run the cache simulation of the accepted schedule and attach a
     /// [`TimeEstimate`] to the report.
     pub simulate: bool,
+    /// Bound on *concurrent* simulate-stage executions across a
+    /// [`Session`](crate::Session)'s runs (batch workers included),
+    /// independent of the worker count. `None` (the default) leaves
+    /// simulation as parallel as the batch; `Some(n)` admits at most `n`
+    /// runs into the simulate stage at once — the other stages stay fully
+    /// parallel. Zero is clamped to one.
+    pub max_concurrent_sims: Option<usize>,
     /// Fault injection sites (all off by default).
     pub faults: FaultPlan,
 }
@@ -186,6 +193,7 @@ impl Default for PipelineConfig {
             budget: ResourceBudget::default(),
             validate_semantics_below: 4096,
             simulate: true,
+            max_concurrent_sims: None,
             faults: FaultPlan::default(),
         }
     }
@@ -218,6 +226,9 @@ pub struct PipelineReport {
     /// on a fresh [`Pipeline`] facade; hits when a warm
     /// [`Session`](crate::Session) replayed artifacts).
     pub cache: CacheStats,
+    /// Per-pass wall-clock breakdown of this run, one entry per pass
+    /// request in execution order (cache hits included, flagged).
+    pub timings: Vec<PassTiming>,
     /// Wall-clock time of the whole run.
     pub elapsed: Duration,
 }
@@ -226,6 +237,23 @@ impl PipelineReport {
     /// Whether the pipeline had to fall back below [`Rung::Proposed`].
     pub fn fallback_fired(&self) -> bool {
         self.rung != Rung::Proposed
+    }
+
+    /// Aggregates [`PipelineReport::timings`] per pass, in first-request
+    /// order: `(pass name, total wall-clock, requests, cache hits)`.
+    pub fn pass_totals(&self) -> Vec<(&'static str, Duration, u32, u32)> {
+        let mut totals: Vec<(&'static str, Duration, u32, u32)> = Vec::new();
+        for t in &self.timings {
+            match totals.iter_mut().find(|(name, ..)| *name == t.pass) {
+                Some((_, dur, n, hits)) => {
+                    *dur += t.elapsed;
+                    *n += 1;
+                    *hits += u32::from(t.cached);
+                }
+                None => totals.push((t.pass, t.elapsed, 1, u32::from(t.cached))),
+            }
+        }
+        totals
     }
 }
 

@@ -21,6 +21,7 @@
 
 use crate::batch::BatchDriver;
 use crate::error::PaloError;
+use crate::gate::SimGate;
 use crate::model::{self, ResolvedModel};
 use crate::pass::{
     ArtifactCache, CacheStats, ClassifyPass, DegradePass, LowerPass, OptimizePass, Pass,
@@ -65,6 +66,7 @@ pub struct Session {
     config: PipelineConfig,
     resolved: ResolvedModel,
     cache: ArtifactCache,
+    sim_gate: SimGate,
 }
 
 impl std::fmt::Debug for Session {
@@ -92,7 +94,14 @@ impl Session {
         // stage constructs a hierarchy (which would panic).
         Hierarchy::try_from_architecture(arch)?;
         let resolved = model::resolve(&config.optimizer, arch);
-        Ok(Session { arch: arch.clone(), config, resolved, cache: ArtifactCache::new() })
+        let sim_gate = SimGate::new(config.max_concurrent_sims);
+        Ok(Session {
+            arch: arch.clone(),
+            config,
+            resolved,
+            cache: ArtifactCache::new(),
+            sim_gate,
+        })
     }
 
     /// The target architecture.
@@ -121,6 +130,13 @@ impl Session {
         self.cache.len()
     }
 
+    /// The most simulate-stage executions ever in flight at once over
+    /// this session's lifetime (observability for
+    /// [`PipelineConfig::max_concurrent_sims`]).
+    pub fn max_sims_observed(&self) -> usize {
+        self.sim_gate.high_water()
+    }
+
     /// A batch driver over this session (suite-scale concurrent runs).
     pub fn batch(&self) -> BatchDriver<'_> {
         BatchDriver::new(self)
@@ -142,17 +158,23 @@ impl Session {
         ctl: &RunCtl,
         input: &P::Input<'_>,
     ) -> Result<Arc<P::Output>, PaloError> {
+        let t0 = std::time::Instant::now();
         let cx =
             PassCx { arch: &self.arch, config: &self.config, resolved: &self.resolved, ctl };
         let key = if self.config.faults.armed() { None } else { pass.fingerprint(&cx, input) };
         let Some(key) = key else {
             self.cache.count_bypass();
-            return pass.run(&cx, input).map(Arc::new);
+            let out = pass.run(&cx, input).map(Arc::new);
+            ctl.record_pass(pass.name(), t0.elapsed(), false);
+            return out;
         };
         if let Some(hit) = self.cache.get::<P::Output>(key) {
+            ctl.record_pass(pass.name(), t0.elapsed(), true);
             return Ok(hit);
         }
-        let artifact = Arc::new(pass.run(&cx, input)?);
+        let run = pass.run(&cx, input);
+        ctl.record_pass(pass.name(), t0.elapsed(), false);
+        let artifact = Arc::new(run?);
         self.cache.insert(key, artifact.clone());
         Ok(artifact)
     }
@@ -240,6 +262,10 @@ impl Session {
         };
 
         let estimate = if self.config.simulate {
+            // Simulation is the memory-heavy stage: gate its concurrency
+            // (batch-wide) to `max_concurrent_sims`, leaving every other
+            // stage as parallel as the driver.
+            let _permit = self.sim_gate.acquire();
             match self.execute(&SimulatePass, &ctl, &(nest, &lowered)) {
                 Ok(a) => Some(a.estimate.clone()),
                 Err(error) => {
@@ -264,6 +290,7 @@ impl Session {
                 model: self.config.optimizer.model,
                 breakdown,
                 cache: self.cache.stats().since(&before),
+                timings: ctl.take_timings(),
                 elapsed: ctl.start().elapsed(),
             },
         })
@@ -364,6 +391,27 @@ mod tests {
         assert_eq!(warm.report.cache.misses, 0);
         assert_eq!(warm.report.cache.bypasses, 1);
         assert!(warm.report.estimate.is_some());
+    }
+
+    #[test]
+    fn report_carries_a_per_pass_timing_breakdown() {
+        let session =
+            Session::new(&presets::intel_i7_6700(), PipelineConfig::default()).unwrap();
+        let cold = session.run(&matmul(16)).unwrap();
+        let totals = cold.report.pass_totals();
+        let names: Vec<&str> = totals.iter().map(|t| t.0).collect();
+        for expect in ["classify", "optimize", "degrade", "lower", "simulate"] {
+            assert!(names.contains(&expect), "missing {expect} in {names:?}");
+        }
+        assert!(cold.report.timings.iter().all(|t| !t.cached), "cold run must not hit");
+        assert!(totals.iter().all(|&(_, _, n, hits)| n >= 1 && hits == 0));
+
+        let warm = session.run(&matmul(16)).unwrap();
+        assert!(
+            warm.report.timings.iter().all(|t| t.cached),
+            "warm run must replay every pass: {:?}",
+            warm.report.timings
+        );
     }
 
     #[test]

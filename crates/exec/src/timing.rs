@@ -3,7 +3,7 @@
 use crate::error::TraceError;
 use crate::trace::{trace_into, TraceOptions};
 use palo_arch::Architecture;
-use palo_cachesim::{Hierarchy, HierarchyStats};
+use palo_cachesim::{Hierarchy, HierarchyStats, ReplayStats};
 use palo_ir::LoopNest;
 use palo_sched::LoweredNest;
 
@@ -24,6 +24,10 @@ pub struct TimeEstimate {
     pub speedup: f64,
     /// Raw simulator statistics of the trace.
     pub stats: HierarchyStats,
+    /// Replay-engine telemetry: how the trace was consumed (batched runs,
+    /// lines, skipped steady-state cycles). Diagnostic only — does not
+    /// affect the estimate.
+    pub replay: ReplayStats,
 }
 
 impl TimeEstimate {
@@ -80,6 +84,7 @@ pub fn estimate_time_with(
     let mut hier = Hierarchy::with_effective_sharing(arch, tpc_used, cores_used);
     trace_into(nest, lowered, &mut hier, opts)?;
     let stats = hier.stats().clone();
+    let replay = hier.replay_stats();
     // Hits expose only a fraction of their latency on pipelined cores;
     // demand misses to memory stall for the full latency.
     let memory_cycles = stats.hit_cycles(hier.latencies()) * arch.timing.hit_exposed_fraction
@@ -101,6 +106,7 @@ pub fn estimate_time_with(
         compute_cycles,
         speedup,
         stats,
+        replay,
     })
 }
 

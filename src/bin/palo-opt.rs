@@ -8,9 +8,13 @@
 //!          [--technique proposed|autosched|baseline|autotune|tss|tts]
 //!          [--model paper|tss|tts|sim]
 //!          [--ablate no-prefetch-discount,no-corder,...]
-//!          [--estimate] [--no-nti] [--verbose] [--cache-stats]
-//! palo-opt --batch [kernel] [--threads N] [--estimate] [--cache-stats]
+//!          [--estimate] [--profile] [--no-nti] [--verbose] [--cache-stats]
+//! palo-opt --batch [kernel] [--threads N] [--estimate] [--profile] [--cache-stats]
 //! ```
+//!
+//! `--profile` (implies `--estimate`) prints, per nest, the per-pass
+//! wall-clock breakdown of the run plus the replay engine's run/line
+//! compression and cycle-skip telemetry.
 //!
 //! `--batch` routes the whole suite (or one kernel) through a
 //! [`Session`] + [`BatchDriver`]: a shared content-addressed artifact
@@ -19,7 +23,9 @@
 
 use palo::arch::{presets, Architecture};
 use palo::baselines::{schedule_for, Technique};
-use palo::core::{BatchDriver, ModelKind, Optimizer, OptimizerConfig, PipelineConfig, Session};
+use palo::core::{
+    BatchDriver, ModelKind, Optimizer, OptimizerConfig, PipelineConfig, PipelineReport, Session,
+};
 use palo::suite::Benchmark;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -32,6 +38,7 @@ struct Args {
     model: ModelKind,
     ablate: Vec<String>,
     estimate: bool,
+    profile: bool,
     nti: bool,
     verbose: bool,
     batch: bool,
@@ -45,8 +52,8 @@ fn usage() -> ExitCode {
          \x20               [--technique proposed|autosched|baseline|autotune|tss|tts]\n\
          \x20               [--model paper|tss|tts|sim]\n\
          \x20               [--ablate no-prefetch-discount,no-corder,no-parallel-grain,no-bandwidth-term]\n\
-         \x20               [--estimate] [--no-nti] [--verbose] [--cache-stats]\n\
-         \x20      palo-opt --batch [kernel] [--threads N] [--estimate] [--cache-stats]\n\
+         \x20               [--estimate] [--profile] [--no-nti] [--verbose] [--cache-stats]\n\
+         \x20      palo-opt --batch [kernel] [--threads N] [--estimate] [--profile] [--cache-stats]\n\
          kernels: {}",
         Benchmark::all().map(|b| b.name()).join(", ")
     );
@@ -62,6 +69,7 @@ fn parse() -> Result<Args, ExitCode> {
         model: ModelKind::Paper,
         ablate: Vec::new(),
         estimate: false,
+        profile: false,
         nti: true,
         verbose: false,
         batch: false,
@@ -91,6 +99,10 @@ fn parse() -> Result<Args, ExitCode> {
                 args.threads = Some(it.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?)
             }
             "--estimate" => args.estimate = true,
+            "--profile" => {
+                args.profile = true;
+                args.estimate = true; // the breakdown needs the pipeline run
+            }
             "--no-nti" => args.nti = false,
             "--verbose" => args.verbose = true,
             "--batch" => args.batch = true,
@@ -142,6 +154,27 @@ fn optimizer_config(args: &Args) -> Result<OptimizerConfig, ExitCode> {
     };
     apply_ablations(&mut config, &args.ablate)?;
     Ok(config)
+}
+
+/// `--profile`: per-pass wall-clock of one run plus the replay engine's
+/// compression telemetry.
+fn print_profile(report: &PipelineReport) {
+    for (pass, dur, requests, cached) in report.pass_totals() {
+        println!(
+            "//   {:<9} {:>9.3} ms ({requests} requests, {cached} cached)",
+            pass,
+            dur.as_secs_f64() * 1e3
+        );
+    }
+    if let Some(est) = &report.estimate {
+        let r = &est.replay;
+        let lines_per_run = if r.runs > 0 { r.run_lines as f64 / r.runs as f64 } else { 0.0 };
+        println!(
+            "//   replay: {} lines in {} batched events ({lines_per_run:.1} lines/event), \
+             {} steady-state cycles skipped ({} lines)",
+            r.run_lines, r.runs, r.cycles_skipped, r.lines_skipped
+        );
+    }
 }
 
 fn print_cache_stats(session: &Session) {
@@ -227,6 +260,9 @@ fn run_batch(args: &Args, arch: &Architecture) -> ExitCode {
                     line.push_str(&format!(", est {:.3} ms", est.ms));
                 }
                 println!("{line}");
+                if args.profile {
+                    print_profile(&out.report);
+                }
                 if args.verbose {
                     println!("{}", out.schedule);
                 }
@@ -363,6 +399,9 @@ fn main() -> ExitCode {
                             est.speedup
                         ),
                         None => eprintln!("// no estimate: simulation failed (see above)"),
+                    }
+                    if args.profile {
+                        print_profile(&out.report);
                     }
                 }
                 Err(e) => eprintln!("pipeline failed: {e}"),
