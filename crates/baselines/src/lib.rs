@@ -32,4 +32,4 @@ pub use autosched::auto_scheduler;
 pub use autotuner::{Autotuner, TuneResult};
 pub use basic::baseline;
 pub use models::{tss, tts, TssModel, TtsModel};
-pub use technique::{schedule_for, Technique};
+pub use technique::{schedule_for, schedule_for_within, Technique};

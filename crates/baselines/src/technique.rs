@@ -55,6 +55,25 @@ pub fn schedule_for(
     arch: &Architecture,
     seed: u64,
 ) -> Schedule {
+    schedule_for_within(technique, nest, arch, seed, None)
+}
+
+/// [`schedule_for`] under an optional wall-clock deadline.
+///
+/// The deadline is forwarded to the one technique with an unbounded
+/// search — the autotuner, whose [`Autotuner::deadline`] guard stops
+/// admitting candidate measurements once it expires (the best schedule
+/// found so far is returned). The analytical techniques run in
+/// microseconds and ignore it. This is the hook a request-serving
+/// caller uses to propagate a per-request deadline's *remainder* into
+/// the search itself, not just the trace walk.
+pub fn schedule_for_within(
+    technique: Technique,
+    nest: &LoopNest,
+    arch: &Architecture,
+    seed: u64,
+    deadline: Option<std::time::Duration>,
+) -> Schedule {
     match technique {
         Technique::Proposed => {
             let config = OptimizerConfig { enable_nti: false, ..OptimizerConfig::default() };
@@ -64,7 +83,11 @@ pub fn schedule_for(
         Technique::AutoScheduler => auto_scheduler(nest, arch),
         Technique::Baseline => baseline(nest, arch),
         Technique::Autotuner { budget } => {
-            Autotuner::new(budget, seed).tune(nest, arch).schedule
+            let mut tuner = Autotuner::new(budget, seed);
+            if let Some(d) = deadline {
+                tuner = tuner.with_deadline(d);
+            }
+            tuner.tune(nest, arch).schedule
         }
         Technique::Tss => tss(nest, arch).into_schedule(),
         Technique::Tts => tts(nest, arch).into_schedule(),
@@ -93,6 +116,22 @@ mod tests {
             let s = schedule_for(t, &nest, &arch, 1);
             s.lower(&nest).unwrap_or_else(|e| panic!("{}: {e}", t.label()));
         }
+    }
+
+    #[test]
+    fn expired_deadline_autotune_still_returns_a_lowerable_schedule() {
+        let nest = kernels::matmul(64).unwrap();
+        let arch = presets::intel_i7_6700();
+        let s = schedule_for_within(
+            Technique::Autotuner { budget: 50 },
+            &nest,
+            &arch,
+            7,
+            Some(std::time::Duration::ZERO),
+        );
+        // The deadline guard stops the search, never the answer: the
+        // fallback schedule must lower.
+        s.lower(&nest).unwrap();
     }
 
     #[test]

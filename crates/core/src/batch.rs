@@ -18,8 +18,8 @@
 
 use crate::error::{catch_panic, PaloError};
 use crate::pass::CacheStats;
-use crate::pipeline::PipelineOutcome;
-use crate::search::{parallel_map, resolve_threads};
+use crate::pipeline::{PipelineOutcome, RunOverrides};
+use crate::search::{parallel_map_in, resolve_threads};
 use crate::session::Session;
 use palo_ir::LoopNest;
 use std::time::{Duration, Instant};
@@ -29,6 +29,68 @@ use std::time::{Duration, Instant};
 pub struct BatchDriver<'s> {
     session: &'s Session,
     threads: Option<usize>,
+}
+
+/// Scheduling lane of one batch request.
+///
+/// Lanes order *claiming*, not results: a mixed batch claims every
+/// interactive item before any batch item, so latency-sensitive work is
+/// never stuck behind a backlog of bulk work on a busy driver.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Priority {
+    /// Latency-sensitive: claimed before every batch-lane item.
+    Interactive,
+    /// Throughput-oriented bulk work (the default).
+    #[default]
+    Batch,
+}
+
+impl Priority {
+    /// Stable machine-readable name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Priority::Interactive => "interactive",
+            Priority::Batch => "batch",
+        }
+    }
+}
+
+impl std::fmt::Display for Priority {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One item of a mixed batch: a nest plus its lane and per-request
+/// overrides.
+#[derive(Debug, Clone)]
+pub struct BatchRequest {
+    /// The nest to optimize.
+    pub nest: LoopNest,
+    /// Claim lane ([`Priority::Interactive`] items are claimed first).
+    pub priority: Priority,
+    /// Per-request overrides layered over the session config (deadline,
+    /// trace budget, fault plan, simulate switch).
+    pub overrides: RunOverrides,
+}
+
+impl BatchRequest {
+    /// A batch-lane request with no overrides.
+    pub fn new(nest: LoopNest) -> Self {
+        BatchRequest { nest, priority: Priority::Batch, overrides: RunOverrides::default() }
+    }
+
+    /// Sets the claim lane.
+    pub fn with_priority(mut self, priority: Priority) -> Self {
+        self.priority = priority;
+        self
+    }
+
+    /// Sets the per-request overrides.
+    pub fn with_overrides(mut self, overrides: RunOverrides) -> Self {
+        self.overrides = overrides;
+        self
+    }
 }
 
 /// One batch item's result, in input order.
@@ -81,18 +143,39 @@ impl<'s> BatchDriver<'s> {
     }
 
     /// Runs every nest through the session's pass graph, concurrently,
-    /// returning outcomes in input order.
+    /// returning outcomes in input order. Equivalent to
+    /// [`BatchDriver::run_requests`] with every nest in the batch lane
+    /// and no overrides.
     pub fn run(&self, nests: &[LoopNest]) -> BatchReport {
+        let requests: Vec<BatchRequest> =
+            nests.iter().map(|n| BatchRequest::new(n.clone())).collect();
+        self.run_requests(&requests)
+    }
+
+    /// Runs a mixed batch — per-request lanes and overrides — returning
+    /// outcomes **in input order**.
+    ///
+    /// Claiming is lane- and size-aware: interactive items first, and
+    /// within a lane the largest nests (by iteration count) first, so one
+    /// huge nest overlaps the rest of the queue instead of serializing
+    /// its tail when it would otherwise be claimed last. The claim order
+    /// never affects a result bit (the determinism contract); it only
+    /// shapes wall-clock.
+    pub fn run_requests(&self, requests: &[BatchRequest]) -> BatchReport {
         let start = Instant::now();
         let before = self.session.cache_stats();
         let threads = resolve_threads(self.threads);
-        let items = parallel_map(threads, nests, |nest| BatchItem {
-            name: nest.name().to_string(),
+        let order = claim_order(requests);
+        let items = parallel_map_in(threads, &order, requests, |req| BatchItem {
+            name: req.nest.name().to_string(),
             // Session::run guards each stage already; the outer
             // catch_panic is the batch-level isolation boundary, so even
             // a bug outside the guarded stages costs one item, not the
             // batch.
-            outcome: catch_panic("batch-item", || self.session.run(nest)).and_then(|r| r),
+            outcome: catch_panic("batch-item", || {
+                self.session.run_with(&req.nest, &req.overrides)
+            })
+            .and_then(|r| r),
         });
         BatchReport {
             items,
@@ -100,6 +183,21 @@ impl<'s> BatchDriver<'s> {
             elapsed: start.elapsed(),
         }
     }
+}
+
+/// The claim order of a mixed batch: interactive lane before batch lane;
+/// within a lane, largest iteration count first; ties in input order
+/// (the order is a pure function of the request list — deterministic).
+fn claim_order(requests: &[BatchRequest]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..requests.len()).collect();
+    order.sort_by(|&a, &b| {
+        let (ra, rb) = (&requests[a], &requests[b]);
+        ra.priority
+            .cmp(&rb.priority)
+            .then_with(|| rb.nest.iteration_count().cmp(&ra.nest.iteration_count()))
+            .then(a.cmp(&b))
+    });
+    order
 }
 
 #[cfg(test)]
@@ -154,6 +252,41 @@ mod tests {
             1,
             "simulate stage exceeded its concurrency cap"
         );
+    }
+
+    #[test]
+    fn claim_order_is_lane_then_size_then_input_order() {
+        let requests = vec![
+            BatchRequest::new(matmul("big_batch", 32)),
+            BatchRequest::new(matmul("small_int", 8)).with_priority(Priority::Interactive),
+            BatchRequest::new(matmul("small_batch", 8)),
+            BatchRequest::new(matmul("big_int", 32)).with_priority(Priority::Interactive),
+            BatchRequest::new(matmul("small_batch2", 8)),
+        ];
+        // Interactive first (largest first within the lane), then batch
+        // largest-first, ties in input order.
+        assert_eq!(claim_order(&requests), vec![3, 1, 0, 2, 4]);
+    }
+
+    #[test]
+    fn mixed_lanes_and_overrides_return_input_order_results() {
+        let session =
+            Session::new(&presets::intel_i7_6700(), PipelineConfig::default()).unwrap();
+        let requests = vec![
+            BatchRequest::new(matmul("bulk", 24)),
+            BatchRequest::new(matmul("urgent", 16)).with_priority(Priority::Interactive),
+            // A request-scoped shed to the analytical model: no estimate.
+            BatchRequest::new(matmul("shed", 16))
+                .with_overrides(RunOverrides { simulate: Some(false), ..Default::default() }),
+        ];
+        let report = session.batch().with_threads(2).run_requests(&requests);
+        assert_eq!(report.failed(), 0);
+        let names: Vec<&str> = report.items.iter().map(|i| i.name.as_str()).collect();
+        assert_eq!(names, ["bulk", "urgent", "shed"]);
+        let shed = report.items[2].outcome.as_ref().unwrap();
+        assert!(shed.report.estimate.is_none(), "simulate override must shed the estimate");
+        let urgent = report.items[1].outcome.as_ref().unwrap();
+        assert!(urgent.report.estimate.is_some());
     }
 
     #[test]

@@ -79,7 +79,7 @@ mod session;
 pub mod spatial;
 pub mod temporal;
 
-pub use batch::{BatchDriver, BatchItem, BatchReport};
+pub use batch::{BatchDriver, BatchItem, BatchReport, BatchRequest, Priority};
 pub use classify::{classify, Class};
 pub use config::{ModelKind, OptimizerConfig, ParseModelKindError, SearchOptions};
 pub use decision::Decision;
@@ -94,7 +94,7 @@ pub use model::{
 pub use pass::{CacheStats, Pass, PassCx, PassTiming, RunCtl};
 pub use pipeline::{
     FaultPlan, ParseRungError, Pipeline, PipelineConfig, PipelineOutcome, PipelineReport,
-    ResourceBudget, Rung, RungFailure,
+    ResourceBudget, RunOverrides, Rung, RungFailure,
 };
 pub use search::{SearchCounters, SearchStats};
 pub use session::Session;

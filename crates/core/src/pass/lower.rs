@@ -53,7 +53,7 @@ impl Pass for LowerPass {
         (nest, schedule): &Self::Input<'_>,
     ) -> Result<Self::Output, PaloError> {
         let attempt = cx.ctl.count_lowering();
-        if attempt <= cx.config.faults.fail_first_lowerings {
+        if attempt <= cx.ctl.faults().fail_first_lowerings {
             return Err(PaloError::FaultInjected { site: "lowering" });
         }
         let lowered = catch_panic("lowering", || schedule.lower(nest))??;

@@ -76,6 +76,14 @@ pub struct PassCx<'s> {
 /// Per-run mutable control block, threaded through the passes of one
 /// [`Session::run`](crate::Session::run) call.
 ///
+/// Besides the mutable counters, the control block carries the run's
+/// **effective** resource budget, fault plan and simulate switch — the
+/// session config with the request's
+/// [`RunOverrides`](crate::RunOverrides) layered on top
+/// ([`RunCtl::for_run`]). Passes consult these instead of
+/// `cx.config`, so two concurrent runs of one session can carry
+/// different deadlines or fault plans without interfering.
+///
 /// Fault-injection counters are *run*-scoped, not pass- or
 /// session-scoped: `FaultPlan::fail_first_lowerings = 2` means the first
 /// two lowering attempts *of this run* fail, however many runs the
@@ -83,6 +91,9 @@ pub struct PassCx<'s> {
 #[derive(Debug)]
 pub struct RunCtl {
     start: Instant,
+    budget: crate::pipeline::ResourceBudget,
+    faults: crate::pipeline::FaultPlan,
+    simulate: bool,
     lowerings_attempted: Cell<u64>,
     timings: RefCell<Vec<PassTiming>>,
 }
@@ -107,18 +118,50 @@ pub struct PassTiming {
 }
 
 impl RunCtl {
-    /// A fresh control block; stamps the run's start time.
+    /// A fresh control block with no budget, no faults and simulation
+    /// enabled; stamps the run's start time. Prefer [`RunCtl::for_run`]
+    /// inside the session, which layers request overrides over the
+    /// session config.
     pub fn new() -> Self {
         RunCtl {
             start: Instant::now(),
+            budget: crate::pipeline::ResourceBudget::default(),
+            faults: crate::pipeline::FaultPlan::default(),
+            simulate: true,
             lowerings_attempted: Cell::new(0),
             timings: RefCell::new(Vec::new()),
         }
     }
 
+    /// The control block of one run: `config` with the request's
+    /// `overrides` layered on top ([`RunOverrides::effective`]).
+    ///
+    /// [`RunOverrides::effective`]: crate::RunOverrides::effective
+    pub fn for_run(config: &PipelineConfig, overrides: &crate::RunOverrides) -> Self {
+        let (budget, faults, simulate) = overrides.effective(config);
+        RunCtl { budget, faults, simulate, ..RunCtl::new() }
+    }
+
     /// When the run started (deadline accounting).
     pub fn start(&self) -> Instant {
         self.start
+    }
+
+    /// The run's effective resource budget (session config layered with
+    /// the request's overrides).
+    pub fn budget(&self) -> crate::pipeline::ResourceBudget {
+        self.budget
+    }
+
+    /// The run's effective fault plan. While armed, the session bypasses
+    /// the artifact cache for this run's requests.
+    pub fn faults(&self) -> crate::pipeline::FaultPlan {
+        self.faults
+    }
+
+    /// Whether this run executes the simulate stage.
+    pub fn simulate(&self) -> bool {
+        self.simulate
     }
 
     /// Counts one lowering attempt and returns the new total.

@@ -97,7 +97,7 @@ impl Pass for OptimizePass {
         cx: &PassCx<'_>,
         (nest, class): &Self::Input<'_>,
     ) -> Result<Self::Output, PaloError> {
-        let panic_fault = cx.config.faults.panic_in_optimizer;
+        let panic_fault = cx.ctl.faults().panic_in_optimizer;
         catch_panic("optimizer", || {
             if panic_fault {
                 panic!("injected optimizer fault");

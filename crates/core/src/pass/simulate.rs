@@ -35,8 +35,10 @@ impl Pass for SimulatePass {
         2
     }
 
-    /// Key: nest + lowered structure + architecture + trace-line budget.
-    /// A request under a wall-clock **deadline** is uncacheable
+    /// Key: nest + lowered structure + architecture + the run's effective
+    /// trace-line budget. A request under an effective wall-clock
+    /// **deadline** — session-wide or per-request
+    /// ([`RunOverrides`](crate::RunOverrides)) — is uncacheable
     /// (`None`): the effective deadline is "whatever is left of this
     /// run", which no stable key can express — serving a cached complete
     /// trace where this run would have aborted (or vice versa) would
@@ -46,7 +48,8 @@ impl Pass for SimulatePass {
         cx: &PassCx<'_>,
         (nest, lowered): &Self::Input<'_>,
     ) -> Option<Fingerprint> {
-        if cx.config.budget.deadline.is_some() {
+        let budget = cx.ctl.budget();
+        if budget.deadline.is_some() {
             return None;
         }
         Some(
@@ -54,7 +57,7 @@ impl Pass for SimulatePass {
                 .nest(nest)
                 .value(*lowered)
                 .arch(cx.arch)
-                .value(&cx.config.budget.max_trace_lines)
+                .value(&budget.max_trace_lines)
                 .finish(),
         )
     }
@@ -64,10 +67,10 @@ impl Pass for SimulatePass {
         cx: &PassCx<'_>,
         (nest, lowered): &Self::Input<'_>,
     ) -> Result<Self::Output, PaloError> {
-        let budget = cx.config.budget;
+        let budget = cx.ctl.budget();
         let deadline = budget.deadline.map(|d| d.saturating_sub(cx.ctl.start().elapsed()));
         let max_lines =
-            if cx.config.faults.trace_overflow { Some(0) } else { budget.max_trace_lines };
+            if cx.ctl.faults().trace_overflow { Some(0) } else { budget.max_trace_lines };
         let opts =
             TraceOptions { flush_first: true, max_lines, deadline, run_compressed: true };
         let estimate =

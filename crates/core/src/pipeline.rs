@@ -161,6 +161,54 @@ impl FaultPlan {
     }
 }
 
+/// Per-request overrides layered over a [`Session`](crate::Session)'s
+/// [`PipelineConfig`] for one run.
+///
+/// A long-lived session serves heterogeneous requests: an interactive
+/// request may carry a tight wall-clock deadline, a chaos-test request
+/// may arm a [`FaultPlan`] for itself only, and a load-shedding service
+/// may skip the simulate stage under pressure — all without touching the
+/// session-wide configuration (or other concurrent runs). Every field
+/// defaults to "inherit from the session config".
+///
+/// The cache-safety rules are override-aware: a run whose *effective*
+/// fault plan is armed bypasses the artifact cache wholesale, and a run
+/// under an *effective* deadline keeps its simulate stage uncacheable —
+/// so a per-request fault or deadline can never poison artifacts served
+/// to clean runs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunOverrides {
+    /// Wall-clock deadline for this run (replaces
+    /// [`ResourceBudget::deadline`] when set). Measured from the start of
+    /// the run; callers queueing requests should pass the *remaining*
+    /// deadline at dequeue time.
+    pub deadline: Option<Duration>,
+    /// Trace-line budget for this run (replaces
+    /// [`ResourceBudget::max_trace_lines`] when set).
+    pub max_trace_lines: Option<u64>,
+    /// Fault plan for this run (replaces [`PipelineConfig::faults`] when
+    /// set — including `Some(FaultPlan::default())`, which *disarms*
+    /// session-wide faults for this run).
+    pub faults: Option<FaultPlan>,
+    /// Whether to run the simulate stage (replaces
+    /// [`PipelineConfig::simulate`] when set). `Some(false)` is the
+    /// load-shedding lever: the request is answered from the analytical
+    /// model alone.
+    pub simulate: Option<bool>,
+}
+
+impl RunOverrides {
+    /// The effective `(budget, faults, simulate)` triple of one run:
+    /// `config` with this request's overrides layered on top.
+    pub fn effective(&self, config: &PipelineConfig) -> (ResourceBudget, FaultPlan, bool) {
+        let budget = ResourceBudget {
+            max_trace_lines: self.max_trace_lines.or(config.budget.max_trace_lines),
+            deadline: self.deadline.or(config.budget.deadline),
+        };
+        (budget, self.faults.unwrap_or(config.faults), self.simulate.unwrap_or(config.simulate))
+    }
+}
+
 /// Configuration of a [`Pipeline`] (and of a [`Session`](crate::Session)).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PipelineConfig {

@@ -346,6 +346,75 @@ where
     tagged.into_iter().map(|(_, r)| r).collect()
 }
 
+/// [`parallel_map`] with an explicit **claim order**: workers claim
+/// items in `order[0], order[1], …` instead of input order, but results
+/// are still returned in input order.
+///
+/// This is the scheduling lever of the batch driver's priority lanes:
+/// interactive items can be claimed before batch items, and large items
+/// early so one huge nest overlaps the rest of the queue instead of
+/// serializing its tail. Because every item's result is deterministic in
+/// the item alone (the pass determinism contract), the claim order
+/// affects wall-clock only — never a result bit.
+///
+/// `order` must be a permutation of `0..items.len()`; out-of-range
+/// entries are skipped and omitted indices simply never run (debug
+/// builds assert the permutation).
+pub fn parallel_map_in<T, R, F>(threads: usize, order: &[usize], items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    debug_assert_eq!(
+        {
+            let mut sorted = order.to_vec();
+            sorted.sort_unstable();
+            sorted
+        },
+        (0..n).collect::<Vec<_>>(),
+        "order must be a permutation of 0..{n}"
+    );
+    let workers = threads.min(n).max(1);
+    if workers <= 1 {
+        let mut tagged: Vec<(usize, R)> =
+            order.iter().filter(|&&i| i < n).map(|&i| (i, f(&items[i]))).collect();
+        tagged.sort_by_key(|(i, _)| *i);
+        return tagged.into_iter().map(|(_, r)| r).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = Vec::with_capacity(n);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (next, f) = (&next, &f);
+            handles.push(scope.spawn(move || {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let slot = next.fetch_add(1, Ordering::Relaxed);
+                    if slot >= order.len() {
+                        break;
+                    }
+                    let i = order[slot];
+                    if i < n {
+                        local.push((i, f(&items[i])));
+                    }
+                }
+                local
+            }));
+        }
+        for h in handles {
+            match h.join() {
+                Ok(mut part) => tagged.append(&mut part),
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
+        }
+    });
+    tagged.sort_by_key(|(i, _)| *i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
 /// A concurrent memo table: mutex-striped shards of `HashMap`.
 ///
 /// Shards bound contention on the worker pool; each shard is capped so a

@@ -27,7 +27,9 @@ use crate::pass::{
     ArtifactCache, CacheStats, ClassifyPass, DegradePass, LowerPass, OptimizePass, Pass,
     PassCx, RunCtl, SimulatePass, ValidatePass,
 };
-use crate::pipeline::{PipelineConfig, PipelineOutcome, PipelineReport, Rung, RungFailure};
+use crate::pipeline::{
+    PipelineConfig, PipelineOutcome, PipelineReport, RunOverrides, Rung, RungFailure,
+};
 use crate::search::SearchStats;
 use palo_arch::Architecture;
 use palo_cachesim::Hierarchy;
@@ -145,8 +147,10 @@ impl Session {
     /// Executes one pass request through the artifact cache: a cached
     /// artifact is returned as-is; otherwise the pass runs and its
     /// artifact is stored. The cache is bypassed wholesale while the
-    /// session's [`FaultPlan`](crate::FaultPlan) is armed, and for
-    /// requests the pass declares uncacheable.
+    /// *run's effective* [`FaultPlan`](crate::FaultPlan) is armed
+    /// (session-wide or per-request via
+    /// [`RunOverrides`](crate::RunOverrides)), and for requests the pass
+    /// declares uncacheable.
     ///
     /// # Errors
     ///
@@ -161,7 +165,7 @@ impl Session {
         let t0 = std::time::Instant::now();
         let cx =
             PassCx { arch: &self.arch, config: &self.config, resolved: &self.resolved, ctl };
-        let key = if self.config.faults.armed() { None } else { pass.fingerprint(&cx, input) };
+        let key = if ctl.faults().armed() { None } else { pass.fingerprint(&cx, input) };
         let Some(key) = key else {
             self.cache.count_bypass();
             let out = pass.run(&cx, input).map(Arc::new);
@@ -189,7 +193,25 @@ impl Session {
     /// optimizer failure alone is *not* an error: the run degrades and
     /// records the failure in the report.
     pub fn run(&self, nest: &LoopNest) -> Result<PipelineOutcome, PaloError> {
-        let ctl = RunCtl::new();
+        self.run_with(nest, &RunOverrides::default())
+    }
+
+    /// [`Session::run`] with per-request overrides layered over the
+    /// session configuration: a request-scoped deadline or trace budget,
+    /// a request-scoped [`FaultPlan`](crate::FaultPlan) (armed plans
+    /// bypass the cache for this run only), or a request-scoped
+    /// `simulate` switch (the load-shedding lever — `Some(false)` answers
+    /// from the analytical model alone).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Session::run`].
+    pub fn run_with(
+        &self,
+        nest: &LoopNest,
+        overrides: &RunOverrides,
+    ) -> Result<PipelineOutcome, PaloError> {
+        let ctl = RunCtl::for_run(&self.config, overrides);
         let before = self.cache.stats();
         let mut failures: Vec<RungFailure> = Vec::new();
 
@@ -222,7 +244,22 @@ impl Session {
         nest: &LoopNest,
         proposed: &Schedule,
     ) -> Result<PipelineOutcome, PaloError> {
-        let ctl = RunCtl::new();
+        self.run_schedule_with(nest, proposed, &RunOverrides::default())
+    }
+
+    /// [`Session::run_schedule`] with per-request overrides (see
+    /// [`Session::run_with`]).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Session::run`].
+    pub fn run_schedule_with(
+        &self,
+        nest: &LoopNest,
+        proposed: &Schedule,
+        overrides: &RunOverrides,
+    ) -> Result<PipelineOutcome, PaloError> {
+        let ctl = RunCtl::for_run(&self.config, overrides);
         let before = self.cache.stats();
         self.finish(nest, None, Some(proposed.clone()), None, Vec::new(), ctl, before)
     }
@@ -261,7 +298,7 @@ impl Session {
                 .unwrap_or(PaloError::FaultInjected { site: "ladder" }));
         };
 
-        let estimate = if self.config.simulate {
+        let estimate = if ctl.simulate() {
             // Simulation is the memory-heavy stage: gate its concurrency
             // (batch-wide) to `max_concurrent_sims`, leaving every other
             // stage as parallel as the driver.
@@ -315,6 +352,7 @@ impl Session {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::pipeline::FaultPlan;
     use palo_arch::presets;
     use palo_ir::{DType, NestBuilder};
 
@@ -412,6 +450,63 @@ mod tests {
             "warm run must replay every pass: {:?}",
             warm.report.timings
         );
+    }
+
+    #[test]
+    fn per_request_faults_bypass_the_cache_without_arming_the_session() {
+        let session =
+            Session::new(&presets::intel_i7_6700(), PipelineConfig::default()).unwrap();
+        let faulted = RunOverrides {
+            faults: Some(FaultPlan { fail_first_lowerings: 1, ..FaultPlan::default() }),
+            ..RunOverrides::default()
+        };
+        let out = session.run_with(&matmul(8), &faulted).unwrap();
+        assert!(out.report.fallback_fired());
+        let s = session.cache_stats();
+        assert_eq!((s.hits, s.misses), (0, 0), "armed per-request faults must bypass");
+        assert!(s.bypasses > 0);
+        assert_eq!(session.cached_artifacts(), 0);
+
+        // A clean request on the same session caches normally...
+        let clean = session.run(&matmul(8)).unwrap();
+        assert!(clean.report.cache.misses > 0);
+        assert!(session.cached_artifacts() > 0);
+        assert!(!clean.report.fallback_fired());
+
+        // ...and a faulted re-request still bypasses the now-warm cache.
+        let refaulted = session.run_with(&matmul(8), &faulted).unwrap();
+        assert!(refaulted.report.fallback_fired());
+        assert_eq!(refaulted.report.cache.hits, 0);
+        assert_eq!(refaulted.report.cache.misses, 0);
+        assert!(refaulted.report.cache.bypasses > 0);
+    }
+
+    #[test]
+    fn per_request_deadline_keeps_simulation_uncacheable() {
+        let session =
+            Session::new(&presets::intel_i7_6700(), PipelineConfig::default()).unwrap();
+        let deadlined = RunOverrides {
+            deadline: Some(std::time::Duration::from_secs(600)),
+            ..RunOverrides::default()
+        };
+        session.run_with(&matmul(8), &deadlined).unwrap();
+        let warm = session.run_with(&matmul(8), &deadlined).unwrap();
+        assert_eq!(warm.report.cache.misses, 0);
+        assert_eq!(warm.report.cache.bypasses, 1, "simulate must stay uncacheable");
+        assert!(warm.report.estimate.is_some());
+    }
+
+    #[test]
+    fn per_request_simulate_override_sheds_the_estimate() {
+        let session =
+            Session::new(&presets::intel_i7_6700(), PipelineConfig::default()).unwrap();
+        let shed = RunOverrides { simulate: Some(false), ..RunOverrides::default() };
+        let out = session.run_with(&matmul(8), &shed).unwrap();
+        assert!(out.report.estimate.is_none());
+        assert!(out.decision.is_some(), "the analytical decision still lands");
+        let full = session.run(&matmul(8)).unwrap();
+        assert!(full.report.estimate.is_some());
+        assert_eq!(out.decision, full.decision, "shedding must not change the decision");
     }
 
     #[test]

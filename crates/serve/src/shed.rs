@@ -1,0 +1,162 @@
+//! The load-shedding ladder: queue pressure → service fidelity.
+//!
+//! The daemon never buffers without bound (admission control rejects at
+//! the brim); *between* "all is well" and "reject" sits shedding: under
+//! pressure the server answers from the analytical cost model alone and
+//! skips the trace simulation — the decision is identical (the optimizer
+//! never consults the simulator in `paper` model mode), only the
+//! simulated time estimate is sacrificed. Which rung served a request is
+//! always reported back, so degradation is observable, never silent.
+//!
+//! The ladder is deliberately a pure function of the pressure reading:
+//! `level(pressure)` is monotone (more pressure never *improves* the
+//! level) and `fidelity(level, lane, requested)` is monotone in the
+//! level (a worse level never *adds* fidelity) — the chaos soak asserts
+//! both, plus the consistency of every response's reported level with
+//! its reported pressure.
+
+use palo_core::Priority;
+
+/// How much of the pipeline served a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Fidelity {
+    /// Analytical model only: classify → optimize → lower → validate,
+    /// simulation skipped (no time estimate).
+    Analytic,
+    /// The full pipeline, trace simulation included.
+    Full,
+}
+
+impl Fidelity {
+    /// Stable machine-readable name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Fidelity::Analytic => "analytic",
+            Fidelity::Full => "full",
+        }
+    }
+}
+
+impl std::fmt::Display for Fidelity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A rung of the shedding ladder, best first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum ShedLevel {
+    /// Low pressure: every request is served at its requested fidelity.
+    Green,
+    /// Elevated pressure: batch-lane requests are shed to the analytical
+    /// model; interactive requests keep their requested fidelity.
+    Yellow,
+    /// High pressure: every request is shed to the analytical model.
+    Red,
+}
+
+impl ShedLevel {
+    /// Every level, best first.
+    pub const ALL: [ShedLevel; 3] = [ShedLevel::Green, ShedLevel::Yellow, ShedLevel::Red];
+
+    /// Stable machine-readable name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ShedLevel::Green => "green",
+            ShedLevel::Yellow => "yellow",
+            ShedLevel::Red => "red",
+        }
+    }
+}
+
+impl std::fmt::Display for ShedLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Pressure thresholds of the shedding ladder.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ShedPolicy {
+    /// Pressure (queued / capacity, in `[0, 1]`) at or above which the
+    /// level is at least [`ShedLevel::Yellow`].
+    pub yellow: f64,
+    /// Pressure at or above which the level is [`ShedLevel::Red`].
+    pub red: f64,
+}
+
+impl Default for ShedPolicy {
+    fn default() -> Self {
+        ShedPolicy { yellow: 0.5, red: 0.85 }
+    }
+}
+
+impl ShedPolicy {
+    /// The ladder rung for a pressure reading. Monotone in `pressure`.
+    pub fn level(&self, pressure: f64) -> ShedLevel {
+        if pressure >= self.red {
+            ShedLevel::Red
+        } else if pressure >= self.yellow {
+            ShedLevel::Yellow
+        } else {
+            ShedLevel::Green
+        }
+    }
+
+    /// The fidelity a request is served at: its requested fidelity,
+    /// capped by what the ladder allows its lane at this level. Monotone
+    /// in `level` and never above `requested`.
+    pub fn fidelity(&self, level: ShedLevel, lane: Priority, requested: Fidelity) -> Fidelity {
+        let cap = match (level, lane) {
+            (ShedLevel::Green, _) => Fidelity::Full,
+            (ShedLevel::Yellow, Priority::Interactive) => Fidelity::Full,
+            (ShedLevel::Yellow, Priority::Batch) => Fidelity::Analytic,
+            (ShedLevel::Red, _) => Fidelity::Analytic,
+        };
+        requested.min(cap)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_is_monotone_in_pressure() {
+        let policy = ShedPolicy::default();
+        let mut last = ShedLevel::Green;
+        for i in 0..=100 {
+            let level = policy.level(i as f64 / 100.0);
+            assert!(level >= last, "level improved as pressure rose");
+            last = level;
+        }
+        assert_eq!(policy.level(0.0), ShedLevel::Green);
+        assert_eq!(policy.level(0.5), ShedLevel::Yellow);
+        assert_eq!(policy.level(1.0), ShedLevel::Red);
+    }
+
+    #[test]
+    fn fidelity_is_monotone_in_level_and_capped_by_request() {
+        let policy = ShedPolicy::default();
+        for lane in [Priority::Interactive, Priority::Batch] {
+            for requested in [Fidelity::Analytic, Fidelity::Full] {
+                let mut last = Fidelity::Full;
+                for level in ShedLevel::ALL {
+                    let served = policy.fidelity(level, lane, requested);
+                    assert!(served <= requested, "served above the request");
+                    assert!(served <= last, "fidelity rose as the level worsened");
+                    last = served;
+                }
+            }
+        }
+        // Yellow sheds only the batch lane.
+        assert_eq!(
+            policy.fidelity(ShedLevel::Yellow, Priority::Interactive, Fidelity::Full),
+            Fidelity::Full
+        );
+        assert_eq!(
+            policy.fidelity(ShedLevel::Yellow, Priority::Batch, Fidelity::Full),
+            Fidelity::Analytic
+        );
+    }
+}

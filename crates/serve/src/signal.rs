@@ -1,0 +1,71 @@
+//! SIGINT/SIGTERM → a drain flag.
+//!
+//! The daemon (and `palo-opt --batch`) turn termination signals into a
+//! *graceful* drain: the handler only flips a process-wide atomic — the
+//! single async-signal-safe thing a handler may do — and the serving
+//! loop polls [`shutdown_requested`] between requests to start the
+//! drain. The registration goes through the C `signal(2)` entry point
+//! directly (the workspace builds offline, without the `libc` crate).
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// POSIX `SIGINT` (Ctrl-C).
+pub const SIGINT: i32 = 2;
+/// POSIX `SIGTERM`.
+pub const SIGTERM: i32 = 15;
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_signal(_signum: i32) {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+extern "C" {
+    fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+/// Installs the drain handler for `SIGINT` and `SIGTERM`. Idempotent.
+/// On non-Unix targets this is a no-op (the flag can still be set
+/// programmatically via [`request_shutdown`]).
+pub fn install_shutdown_handler() {
+    #[cfg(unix)]
+    // SAFETY: `on_signal` is async-signal-safe (a single atomic store)
+    // and stays registered for the process lifetime.
+    unsafe {
+        signal(SIGINT, on_signal);
+        signal(SIGTERM, on_signal);
+    }
+}
+
+/// Whether a termination signal (or [`request_shutdown`]) asked for a
+/// drain.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Sets the drain flag programmatically (end-of-input, tests).
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+#[cfg(all(test, unix))]
+mod tests {
+    use super::*;
+
+    extern "C" {
+        fn raise(signum: i32) -> i32;
+    }
+
+    #[test]
+    fn sigterm_sets_the_drain_flag() {
+        install_shutdown_handler();
+        // SAFETY: the handler is installed, so the raised signal is
+        // absorbed by the atomic store instead of the default
+        // termination action.
+        unsafe {
+            raise(SIGTERM);
+        }
+        assert!(shutdown_requested());
+    }
+}

@@ -16,19 +16,26 @@
 //! wall-clock breakdown of the run plus the replay engine's run/line
 //! compression and cycle-skip telemetry.
 //!
-//! `--batch` routes the whole suite (or one kernel) through a
-//! [`Session`] + [`BatchDriver`]: a shared content-addressed artifact
-//! cache and a concurrent worker pool. `--cache-stats` prints the
-//! session's cache counters afterwards.
+//! `--batch` routes the whole suite (or one kernel) through the
+//! [`palo::serve`] serving core: one warm [`Session`] (shared
+//! content-addressed artifact cache), a bounded admission queue and a
+//! concurrent worker pool. SIGINT/SIGTERM drain gracefully — in-flight
+//! nests finish, queued ones are cancelled with a typed rejection, and
+//! the partial results plus cache statistics are still printed.
+//! `--cache-stats` prints the session's cache counters afterwards.
 
 use palo::arch::{presets, Architecture};
 use palo::baselines::{schedule_for, Technique};
 use palo::core::{
-    BatchDriver, ModelKind, Optimizer, OptimizerConfig, PipelineConfig, PipelineReport, Session,
+    ModelKind, Optimizer, OptimizerConfig, PipelineConfig, PipelineReport, Priority, Session,
+};
+use palo::serve::{
+    signal, Fidelity, NestResult, Request, Responder, Response, ServeConfig, Server, ShedPolicy,
 };
 use palo::suite::Benchmark;
 use std::process::ExitCode;
-use std::time::Instant;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
 
 struct Args {
     kernel: String,
@@ -189,8 +196,29 @@ fn print_cache_stats(session: &Session) {
     );
 }
 
-/// `--batch`: the suite (or one kernel) through a shared [`Session`]
-/// and the concurrent [`BatchDriver`].
+/// The served-batch equivalent of [`print_profile`]: the per-pass and
+/// replay telemetry carried back in the protocol's [`NestResult`].
+fn print_profile_nest(n: &NestResult) {
+    for p in &n.passes {
+        println!(
+            "//   {:<9} {:>9.3} ms ({} requests, {} cached)",
+            p.pass, p.ms, p.requests, p.cached
+        );
+    }
+    if let Some([runs, run_lines, cycles_skipped, lines_skipped]) = n.replay {
+        let lines_per_run = if runs > 0 { run_lines as f64 / runs as f64 } else { 0.0 };
+        println!(
+            "//   replay: {run_lines} lines in {runs} batched events \
+             ({lines_per_run:.1} lines/event), {cycles_skipped} steady-state cycles \
+             skipped ({lines_skipped} lines)"
+        );
+    }
+}
+
+/// `--batch`: the suite (or one kernel) through the [`palo::serve`]
+/// serving core — one warm session, admission queue, worker pool — with
+/// a SIGINT/SIGTERM graceful drain: finished nests are printed, queued
+/// ones are cancelled, cache statistics survive the interrupt.
 fn run_batch(args: &Args, arch: &Architecture) -> ExitCode {
     let benchmarks: Vec<Benchmark> = if args.kernel.is_empty() {
         Benchmark::all().into_iter().collect()
@@ -203,80 +231,130 @@ fn run_batch(args: &Args, arch: &Architecture) -> ExitCode {
             }
         }
     };
-    let mut nests = Vec::new();
-    for b in &benchmarks {
-        let built = match args.size {
-            Some(s) => b.build(s),
-            None => b.build_scaled(),
-        };
-        match built {
-            Ok(n) => nests.extend(n),
-            Err(e) => {
-                eprintln!("cannot build kernel {}: {e}", b.name());
-                return ExitCode::FAILURE;
-            }
-        }
-    }
 
     let config = match optimizer_config(args) {
         Ok(c) => c,
         Err(code) => return code,
     };
-    let pipeline_config = PipelineConfig {
-        optimizer: config,
-        simulate: args.estimate,
-        ..PipelineConfig::default()
+    signal::install_shutdown_handler();
+    let serve_config = ServeConfig {
+        pipeline: PipelineConfig {
+            optimizer: config,
+            simulate: args.estimate,
+            ..PipelineConfig::default()
+        },
+        workers: args.threads,
+        // A closed batch is not an overloaded service: admit everything,
+        // shed nothing.
+        queue_capacity: benchmarks.len().max(1),
+        shed: ShedPolicy { yellow: 2.0, red: 2.0 },
     };
-    let session = match Session::new(arch, pipeline_config) {
+    let server = match Server::start(arch, serve_config) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot open session: {e}");
             return ExitCode::FAILURE;
         }
     };
-    let mut driver = BatchDriver::new(&session);
-    if let Some(t) = args.threads {
-        driver = driver.with_threads(t);
-    }
-    let report = driver.run(&nests);
 
+    let t0 = Instant::now();
+    let (tx, rx) = mpsc::channel::<Response>();
+    for b in &benchmarks {
+        let request = Request {
+            id: b.name().to_string(),
+            kernel: b.name().to_string(),
+            size: args.size,
+            priority: Priority::Batch,
+            deadline: None,
+            max_trace_lines: None,
+            fidelity: if args.estimate { Fidelity::Full } else { Fidelity::Analytic },
+            faults: None,
+        };
+        let tx = tx.clone();
+        server.submit(
+            request,
+            Box::new(move |r| {
+                let _ = tx.send(r);
+            }) as Responder,
+        );
+    }
+
+    // Collect until every response arrived or a drain was requested.
+    let mut responses: Vec<Response> = Vec::new();
+    let interrupted = loop {
+        if responses.len() == benchmarks.len() {
+            break false;
+        }
+        if signal::shutdown_requested() {
+            break true;
+        }
+        match rx.recv_timeout(Duration::from_millis(50)) {
+            Ok(r) => responses.push(r),
+            Err(mpsc::RecvTimeoutError::Timeout) => continue,
+            Err(mpsc::RecvTimeoutError::Disconnected) => break false,
+        }
+    };
+    // Graceful drain: in-flight benchmarks finish (their responses land
+    // in the channel), still-queued ones come back as typed `shutdown`
+    // rejections.
+    let session_stats = server.session().cache_stats();
+    let cached_artifacts = server.session().cached_artifacts();
+    let stats = server.shutdown();
+    while let Ok(r) = rx.try_recv() {
+        responses.push(r);
+    }
+    let elapsed = t0.elapsed();
+
+    let order = |id: &str| benchmarks.iter().position(|b| b.name() == id).unwrap_or(usize::MAX);
+    responses.sort_by_key(|r| order(&r.id));
+    let nest_count: usize =
+        responses.iter().filter_map(Response::ok).map(|ok| ok.nests.len()).sum();
+    let succeeded = responses.iter().filter(|r| r.is_ok()).count();
+    let cancelled = responses
+        .iter()
+        .filter(|r| r.error_kind() == Some(palo::serve::ErrorKind::Shutdown))
+        .count();
+    let failed = responses.len() - succeeded - cancelled;
     println!(
-        "// batch: {} nests on {} in {:.3?} ({} ok, {} failed)",
-        report.items.len(),
-        arch.name,
-        report.elapsed,
-        report.succeeded(),
-        report.failed()
+        "// batch: {} nests on {} in {:.3?} ({} ok, {} failed, {} cancelled)",
+        nest_count, arch.name, elapsed, succeeded, failed, cancelled
     );
-    let mut failed = false;
-    for item in &report.items {
-        match &item.outcome {
-            Ok(out) => {
-                let mut line = format!("// {:<12} rung {}", item.name, out.report.rung);
-                if let Some(d) = &out.decision {
-                    line.push_str(&format!(", class {:?}, tile {:?}", d.class, d.tile));
-                }
-                if let Some(est) = &out.report.estimate {
-                    line.push_str(&format!(", est {:.3} ms", est.ms));
-                }
-                println!("{line}");
-                if args.profile {
-                    print_profile(&out.report);
-                }
-                if args.verbose {
-                    println!("{}", out.schedule);
+    for r in &responses {
+        match &r.body {
+            palo::serve::ResponseBody::Ok(ok) => {
+                for n in &ok.nests {
+                    let mut line = format!("// {:<12} rung {}", n.name, n.rung);
+                    if let Some(class) = &n.class {
+                        line.push_str(&format!(", class {class}, tile {:?}", n.tile));
+                    }
+                    if let Some(ms) = n.estimate_ms {
+                        line.push_str(&format!(", est {ms:.3} ms"));
+                    }
+                    println!("{line}");
+                    if args.profile {
+                        print_profile_nest(n);
+                    }
                 }
             }
-            Err(e) => {
-                failed = true;
-                println!("// {:<12} FAILED: {e}", item.name);
+            palo::serve::ResponseBody::Err { kind, message } => {
+                println!("// {:<12} {}: {message}", r.id, kind.as_str().to_uppercase());
             }
         }
     }
     if args.cache_stats {
-        print_cache_stats(&session);
+        println!(
+            "// cache: {} hits, {} misses, {} bypasses ({:.0}% hit rate, {} artifacts)",
+            session_stats.hits,
+            session_stats.misses,
+            session_stats.bypasses,
+            session_stats.hit_rate() * 100.0,
+            cached_artifacts
+        );
     }
-    if failed {
+    debug_assert_eq!(stats.responses() as usize, responses.len(), "a response was lost");
+    if interrupted {
+        ExitCode::from(130)
+    } else if failed > 0 {
         ExitCode::FAILURE
     } else {
         ExitCode::SUCCESS

@@ -18,6 +18,7 @@
 //! * [`baselines`] — Baseline / Auto-Scheduler / Autotuner / TSS / TTS
 //!   ([`palo_baselines`])
 //! * [`suite`] — the 12 evaluation kernels ([`palo_suite`])
+//! * [`serve`] — the long-lived optimization daemon ([`palo_serve`])
 //!
 //! # Examples
 //!
@@ -60,4 +61,5 @@ pub use palo_core as core;
 pub use palo_exec as exec;
 pub use palo_ir as ir;
 pub use palo_sched as sched;
+pub use palo_serve as serve;
 pub use palo_suite as suite;

@@ -1,0 +1,394 @@
+//! Chaos soak for the serving layer: hundreds of mixed-priority
+//! requests — healthy, faulted, deadline-bound, oversized — thrown at a
+//! deliberately small [`Server`] from several client threads at once.
+//!
+//! The harness asserts the robustness headline end to end:
+//!
+//! * **zero lost responses** — every submitted request produces exactly
+//!   one response (typed rejections included), and the server's own
+//!   terminal counters agree with the client's ledger;
+//! * **zero panics / zero hangs** — no worker dies, and the whole soak
+//!   completes under a watchdog budget;
+//! * **determinism** — every fault-free request that succeeds reports a
+//!   decision signature identical to a clean fresh-server reference for
+//!   the same `(kernel, size)`, *whatever* fidelity it was shed to;
+//! * **monotone, consistent shedding** — each response's shedding level
+//!   is exactly the policy applied to the pressure it reports, and the
+//!   fidelity served never exceeds what the ladder allows for its lane
+//!   (except through the explicitly-flagged degraded retry);
+//! * **overload is visible** — the small queue guarantees the soak
+//!   actually exercises `queue_full` rejections and elevated shedding
+//!   levels rather than silently absorbing the burst.
+//!
+//! The default soak is ~500 requests; set `PALO_SERVE_SOAK=1` for the
+//! longer CI-gated run.
+
+use palo::arch::presets;
+use palo::core::{FaultPlan, PipelineConfig, Priority};
+use palo::serve::{ErrorKind, Fidelity, Request, Response, ServeConfig, Server, ShedPolicy};
+use std::collections::HashMap;
+use std::sync::mpsc;
+use std::time::{Duration, Instant};
+
+/// Deterministic request mix: no clocks, no global RNG state.
+struct Lcg(u64);
+
+impl Lcg {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        self.0 >> 33
+    }
+}
+
+/// The kernel/size pool the soak draws from. Small sizes keep a single
+/// request cheap; `3mm` is in the mix so multi-nest responses are
+/// exercised too.
+const POOL: [(&str, usize); 8] = [
+    ("matmul", 16),
+    ("matmul", 32),
+    ("gemm", 16),
+    ("trmm", 16),
+    ("copy", 48),
+    ("mask", 48),
+    ("tp", 48),
+    ("3mm", 12),
+];
+
+fn chaos_request(n: usize, rng: &mut Lcg) -> Request {
+    let (kernel, size) = POOL[(rng.next() % POOL.len() as u64) as usize];
+    let priority =
+        if rng.next().is_multiple_of(3) { Priority::Interactive } else { Priority::Batch };
+    // ~10% carry an armed fault plan cycling through every injection
+    // site, including the plan that exhausts the whole ladder.
+    let faults = if rng.next().is_multiple_of(10) {
+        Some(match rng.next() % 4 {
+            0 => FaultPlan { fail_first_lowerings: 1 + rng.next() % 3, ..FaultPlan::default() },
+            1 => FaultPlan { fail_first_lowerings: 4, ..FaultPlan::default() },
+            2 => FaultPlan { panic_in_optimizer: true, ..FaultPlan::default() },
+            _ => FaultPlan { trace_overflow: true, ..FaultPlan::default() },
+        })
+    } else {
+        None
+    };
+    // ~10% carry a deadline so tight it can expire while queued.
+    let deadline = if rng.next().is_multiple_of(10) {
+        Some(Duration::from_micros(rng.next() % 2 * 1500))
+    } else {
+        None
+    };
+    let fidelity =
+        if rng.next().is_multiple_of(7) { Fidelity::Analytic } else { Fidelity::Full };
+    Request {
+        id: format!("q{n}"),
+        kernel: kernel.to_string(),
+        size: Some(size),
+        priority,
+        deadline,
+        max_trace_lines: None,
+        fidelity,
+        faults,
+    }
+}
+
+/// Clean full-fidelity decision signatures per pool entry, from a fresh
+/// unstressed server (big queue, shedding disabled).
+fn reference_signatures() -> HashMap<(String, usize), String> {
+    let server = Server::start(
+        &presets::intel_i7_6700(),
+        ServeConfig {
+            pipeline: PipelineConfig::default(),
+            workers: Some(2),
+            queue_capacity: POOL.len() * 2,
+            shed: ShedPolicy { yellow: 2.0, red: 2.0 },
+        },
+    )
+    .expect("reference server");
+
+    let (tx, rx) = mpsc::channel::<Response>();
+    for (i, (kernel, size)) in POOL.iter().enumerate() {
+        let tx = tx.clone();
+        server.submit(
+            Request {
+                id: format!("ref{i}"),
+                kernel: kernel.to_string(),
+                size: Some(*size),
+                priority: Priority::Batch,
+                deadline: None,
+                max_trace_lines: None,
+                fidelity: Fidelity::Full,
+                faults: None,
+            },
+            Box::new(move |r| {
+                let _ = tx.send(r);
+            }),
+        );
+    }
+    drop(tx);
+
+    let mut map = HashMap::new();
+    for r in rx.iter() {
+        let ok = r.ok().unwrap_or_else(|| panic!("reference request failed: {r:?}"));
+        let idx: usize = r.id.trim_start_matches("ref").parse().expect("ref id");
+        let (kernel, size) = POOL[idx];
+        map.insert((kernel.to_string(), size), ok.decision_signature());
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.served, POOL.len() as u64, "reference runs must all succeed");
+    assert_eq!(stats.worker_panics, 0);
+    assert_eq!(map.len(), POOL.len());
+    map
+}
+
+#[test]
+fn chaos_soak_never_loses_a_response_and_stays_deterministic() {
+    let long = std::env::var("PALO_SERVE_SOAK").map(|v| v == "1").unwrap_or(false);
+    let total: usize = if long { 2000 } else { 500 };
+    let budget = Duration::from_secs(if long { 900 } else { 300 });
+    let start = Instant::now();
+
+    let reference = reference_signatures();
+
+    // The injected optimizer panics are *supposed* to fire (and be
+    // caught); keep their backtrace spam out of the test log while
+    // letting every other panic print normally.
+    let default_hook = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<&str>()
+            .is_some_and(|m| m.contains("injected optimizer fault"));
+        if !injected {
+            default_hook(info);
+        }
+    }));
+
+    // A small queue + few workers so the burst genuinely overloads the
+    // server: Full rejections and elevated shedding levels are part of
+    // what the soak must observe, not an error.
+    let policy = ShedPolicy::default();
+    let server = Server::start(
+        &presets::intel_i7_6700(),
+        ServeConfig {
+            pipeline: PipelineConfig::default(),
+            workers: Some(4),
+            queue_capacity: 16,
+            shed: policy,
+        },
+    )
+    .expect("chaos server");
+
+    // Generate the whole mix up front so the ledger of what each id
+    // requested is available when its response comes back.
+    let mut rng = Lcg(0x5eed_cafe_f00d);
+    let requests: Vec<Request> = (0..total).map(|n| chaos_request(n, &mut rng)).collect();
+    let by_id: HashMap<String, Request> =
+        requests.iter().map(|r| (r.id.clone(), r.clone())).collect();
+
+    // Three client threads interleave submissions; every responder
+    // reports into one channel.
+    let (tx, rx) = mpsc::channel::<Response>();
+    std::thread::scope(|scope| {
+        for chunk in requests.chunks(total.div_ceil(3)) {
+            let server = &server;
+            let tx = tx.clone();
+            scope.spawn(move || {
+                for (i, request) in chunk.iter().enumerate() {
+                    let tx = tx.clone();
+                    server.submit(
+                        request.clone(),
+                        Box::new(move |r| {
+                            let _ = tx.send(r);
+                        }),
+                    );
+                    // Bursty pacing: each thread blasts its first 24
+                    // submissions back-to-back (three threads racing
+                    // into a 16-deep queue — guaranteed overload in any
+                    // build profile), then settles into burst-and-
+                    // breathe so the majority of the load is served
+                    // rather than bounced at the door.
+                    if i >= 24 && i % 4 == 3 {
+                        std::thread::sleep(Duration::from_millis(15));
+                    }
+                }
+            });
+        }
+    });
+    drop(tx);
+
+    // Collect exactly one response per submission, under a watchdog so a
+    // hang fails loudly instead of wedging the test runner.
+    let mut responses: Vec<Response> = Vec::with_capacity(total);
+    while responses.len() < total {
+        let remaining = budget
+            .checked_sub(start.elapsed())
+            .unwrap_or_else(|| panic!("soak hung: {}/{total} responses", responses.len()));
+        match rx.recv_timeout(remaining) {
+            Ok(r) => responses.push(r),
+            Err(_) => {
+                panic!("soak hung or lost responders: {}/{total} responses", responses.len())
+            }
+        }
+    }
+    assert!(rx.try_recv().is_err(), "more responses than submissions");
+
+    let stats = server.shutdown();
+
+    // Zero lost, zero panics: the client ledger and the server's own
+    // terminal counters agree on every submission.
+    assert_eq!(responses.len(), total);
+    assert_eq!(stats.responses(), total as u64, "server counters disagree: {stats:?}");
+    assert_eq!(stats.worker_panics, 0, "a worker died during the soak");
+    assert_eq!(stats.rejected_shutdown, 0, "nothing should drain before the soak ends");
+    assert_eq!(stats.bad_requests, 0, "pre-built requests are never malformed");
+
+    let mut seen_ids: HashMap<&str, u32> = HashMap::new();
+    let mut ok_count = 0u64;
+    let mut shed_seen = 0u64;
+    for r in &responses {
+        *seen_ids.entry(r.id.as_str()).or_insert(0) += 1;
+        let request = &by_id[r.id.as_str()];
+        match r.ok() {
+            Some(ok) => {
+                ok_count += 1;
+                // Shedding consistency: the level reported is exactly the
+                // policy applied to the pressure reported, and the served
+                // fidelity is the ladder's answer for this lane — unless
+                // the explicitly-flagged degraded retry forced Analytic.
+                assert_eq!(
+                    ok.shed_level,
+                    policy.level(ok.pressure),
+                    "{}: level/pressure mismatch",
+                    r.id
+                );
+                let allowed =
+                    policy.fidelity(ok.shed_level, request.priority, request.fidelity);
+                if ok.retried {
+                    assert_eq!(ok.fidelity, Fidelity::Analytic, "{}: retry must degrade", r.id);
+                } else {
+                    assert_eq!(ok.fidelity, allowed, "{}: fidelity off-ladder", r.id);
+                }
+                assert!(ok.fidelity <= request.fidelity, "{}: fidelity exceeds request", r.id);
+                if ok.fidelity < request.fidelity {
+                    shed_seen += 1;
+                }
+                // Analytic answers never carry a simulated estimate.
+                if ok.fidelity == Fidelity::Analytic {
+                    assert!(
+                        ok.nests.iter().all(|n| n.estimate_ms.is_none()),
+                        "{}: analytic answer with an estimate",
+                        r.id
+                    );
+                }
+                // Determinism: a fault-free success must match the clean
+                // fresh-server reference decision bit-for-bit, whatever
+                // fidelity served it.
+                if request.faults.is_none() && !ok.retried {
+                    let key = (request.kernel.clone(), request.size.unwrap_or(0));
+                    assert_eq!(
+                        &ok.decision_signature(),
+                        &reference[&key],
+                        "{}: decision drifted under load for {key:?}",
+                        r.id
+                    );
+                }
+            }
+            None => {
+                let kind = r.error_kind().expect("non-ok response carries a kind");
+                match kind {
+                    ErrorKind::QueueFull => {}
+                    ErrorKind::DeadlineExpired => {
+                        assert!(request.deadline.is_some(), "{}: spurious expiry", r.id)
+                    }
+                    ErrorKind::Failed => assert!(
+                        request.faults.is_some() || request.deadline.is_some(),
+                        "{}: healthy request failed: {r:?}",
+                        r.id
+                    ),
+                    other => panic!("{}: unexpected rejection {other:?}: {r:?}", r.id),
+                }
+            }
+        }
+    }
+    assert!(seen_ids.values().all(|&n| n == 1), "duplicate responses for one id");
+    assert_eq!(seen_ids.len(), total);
+    assert_eq!(ok_count, stats.served, "client/server disagree on successes");
+    assert_eq!(stats.shed, shed_seen, "client/server disagree on shed count");
+
+    // Overload must actually have happened: with 500 requests racing
+    // into a 16-deep queue either the door or the ladder (or both) has
+    // to engage. A soak that never leaves Green tested nothing.
+    assert!(
+        stats.rejected_full > 0 || stats.levels[1] + stats.levels[2] > 0,
+        "soak never overloaded the server: {stats:?}"
+    );
+    assert!(ok_count > 0, "soak produced no successful responses at all");
+
+    eprintln!(
+        "// soak: {total} requests in {:.1?}: {} served ({} shed, {} retried), \
+         {} full, {} expired, {} failed; levels g/y/r {}/{}/{}",
+        start.elapsed(),
+        stats.served,
+        stats.shed,
+        stats.retried,
+        stats.rejected_full,
+        stats.expired,
+        stats.failed,
+        stats.levels[0],
+        stats.levels[1],
+        stats.levels[2],
+    );
+}
+
+/// Shutdown mid-burst: whatever is still queued when the drain begins is
+/// answered with a typed `shutdown` rejection — never silently dropped —
+/// and in-flight work still completes.
+#[test]
+fn drain_under_load_rejects_queued_requests_with_typed_errors() {
+    let server = Server::start(
+        &presets::intel_i7_6700(),
+        ServeConfig {
+            pipeline: PipelineConfig::default(),
+            workers: Some(1),
+            queue_capacity: 32,
+            shed: ShedPolicy::default(),
+        },
+    )
+    .expect("server");
+
+    let total = 24usize;
+    let (tx, rx) = mpsc::channel::<Response>();
+    for n in 0..total {
+        let tx = tx.clone();
+        server.submit(
+            Request {
+                id: format!("d{n}"),
+                kernel: "matmul".to_string(),
+                size: Some(24),
+                priority: Priority::Batch,
+                deadline: None,
+                max_trace_lines: None,
+                fidelity: Fidelity::Full,
+                faults: None,
+            },
+            Box::new(move |r| {
+                let _ = tx.send(r);
+            }),
+        );
+    }
+    drop(tx);
+
+    // Drain immediately: the single worker has barely started.
+    let stats = server.shutdown();
+    let responses: Vec<Response> = rx.iter().collect();
+    assert_eq!(responses.len(), total, "drain lost responses");
+    assert_eq!(stats.responses(), total as u64);
+    assert_eq!(stats.worker_panics, 0);
+
+    let served = responses.iter().filter(|r| r.is_ok()).count() as u64;
+    let shut =
+        responses.iter().filter(|r| r.error_kind() == Some(ErrorKind::Shutdown)).count() as u64;
+    assert_eq!(served + shut, total as u64, "every response is served or typed-shutdown");
+    assert_eq!(served, stats.served);
+    assert_eq!(shut, stats.rejected_shutdown);
+    assert!(shut > 0, "immediate drain should catch queued requests");
+}

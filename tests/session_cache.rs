@@ -8,7 +8,11 @@
 //! * **warm runs replay cold bits** — a cache-served run reproduces the
 //!   cold run's decision, rung, schedule and estimate bit-for-bit;
 //! * **batch determinism** — the batch driver reports the same decisions
-//!   and rungs at every worker count, cold or warm.
+//!   and rungs at every worker count, cold or warm;
+//! * **deadline-adjacent caching** — a deadline-bounded run can never
+//!   poison the cache: its simulate stage stays uncacheable, and an
+//!   identical follow-up with a generous deadline recomputes and returns
+//!   the full-fidelity answer bit-identical to a cold run.
 
 use palo::arch::{presets, Architecture};
 use palo::core::{
@@ -204,4 +208,72 @@ fn batch_driver_is_deterministic_across_worker_counts() {
             Some(r) => assert_eq!(r, &cold_bits, "{workers} workers disagree with 1 worker"),
         }
     }
+}
+
+/// A request that hits its deadline must never poison the cache for the
+/// requests that come after it: the deadline-bounded simulate stage is
+/// uncacheable (bypassed), so an identical follow-up with a generous
+/// deadline recomputes and returns the full-fidelity estimate
+/// bit-identical to a cold, unconstrained run.
+#[test]
+fn deadline_hit_never_poisons_the_cache() {
+    use palo::core::{PaloError, RunOverrides};
+    use std::time::Duration;
+
+    let nest = matmul("mm", 40, 40, 40, DType::F32);
+    let arch = presets::intel_i7_6700();
+
+    // Cold unconstrained reference from a fresh session.
+    let reference = Session::new(&arch, PipelineConfig::default())
+        .expect("session")
+        .run(&nest)
+        .expect("reference run");
+    let ref_bits = reference.report.estimate.as_ref().expect("reference estimate").ms.to_bits();
+
+    let session = Session::new(&arch, PipelineConfig::default()).expect("session");
+
+    // 1. Deadline-hit run: the zero deadline aborts the trace walk. The
+    //    abort is recorded (not silent), no estimate is produced, and
+    //    the simulate request bypassed the cache.
+    let tight = session
+        .run_with(&nest, &RunOverrides { deadline: Some(Duration::ZERO), ..Default::default() })
+        .expect("tight run");
+    assert!(tight.report.estimate.is_none(), "zero deadline still produced an estimate");
+    assert!(
+        tight
+            .report
+            .failures
+            .iter()
+            .any(|f| matches!(f.error, PaloError::DeadlineExceeded { .. })),
+        "deadline abort not recorded: {:?}",
+        tight.report.failures
+    );
+    assert!(tight.report.cache.bypasses >= 1, "deadline simulate must bypass the cache");
+
+    // 2. Identical follow-up, generous deadline: nothing poisoned — it
+    //    recomputes (still bypassing: a deadline is in force) and the
+    //    answer is bit-identical to the cold reference.
+    let generous = session
+        .run_with(
+            &nest,
+            &RunOverrides { deadline: Some(Duration::from_secs(3600)), ..Default::default() },
+        )
+        .expect("generous run");
+    let gen = generous.report.estimate.as_ref().expect("generous estimate");
+    assert_eq!(gen.ms.to_bits(), ref_bits, "deadline-adjacent run changed the estimate");
+    assert_eq!(&generous.decision, &reference.decision);
+    assert_eq!(generous.report.rung, reference.report.rung);
+    assert!(generous.report.cache.bypasses >= 1, "deadline simulate must stay uncacheable");
+
+    // 3. Unconstrained runs on the same warm session now cache the
+    //    simulate artifact — and still agree bit-for-bit.
+    let clean = session.run(&nest).expect("clean run");
+    assert_eq!(clean.report.estimate.as_ref().expect("clean estimate").ms.to_bits(), ref_bits);
+    let warm = session.run(&nest).expect("warm run");
+    assert_eq!(
+        warm.report.cache.misses, 0,
+        "warm clean run recomputed: {:?}",
+        warm.report.cache
+    );
+    assert_eq!(warm.report.estimate.as_ref().expect("warm estimate").ms.to_bits(), ref_bits);
 }
