@@ -1,18 +1,26 @@
 //! Perf-tracking harness for the session pipeline's artifact cache.
 //!
-//! For each requested platform this builds the full evaluation suite,
-//! opens one [`Session`], and runs the whole batch twice through the
-//! concurrent [`palo_core::BatchDriver`] — once cold (empty cache) and
-//! once warm
-//! (every pass request should be served from the cache) — then writes
-//! both wall-clock times and both cache-counter windows to
+//! For each requested platform this builds the full evaluation suite
+//! and climbs the three-rung cache ladder (DESIGN.md §15):
+//!
+//! 1. **cold** — one [`Session`], empty cache, full batch through the
+//!    concurrent [`palo_core::BatchDriver`];
+//! 2. **warm-memory** — the same session runs the batch again; every
+//!    pass request should be served from the in-memory tier;
+//! 3. **warm-disk** — a session with a persistent `--cache-dir`
+//!    populates a fresh directory, is dropped, and a *new* session on
+//!    that directory runs the batch served entirely from the disk tier
+//!    (the in-process stand-in for a process restart; the CI smoke job
+//!    covers the true cross-process case via `palo-opt`).
+//!
+//! All three wall-clock times and cache-counter windows go to
 //! `BENCH_pipeline.json`.
 //!
-//! Exit status is non-zero when any batch item fails, when the warm
-//! batch's hit rate is not above the floor (default 0.5; the acceptance
-//! criterion is that a warm suite run is mostly cache-served), or when
-//! the warm batch recomputed anything it should have cached.
-//! CI runs this at a reduced size as a smoke job.
+//! Exit status is non-zero when any batch item fails, when the
+//! warm-memory or warm-disk hit rate is not above the floor (default
+//! 0.5; the acceptance criterion is that a warm suite run is mostly
+//! cache-served), or when either warm rung recomputed anything it
+//! should have cached. CI runs this at a reduced size as a smoke job.
 //!
 //! Environment:
 //!
@@ -33,7 +41,7 @@
 //!   the candidate search.
 
 use palo_arch::{presets, Architecture};
-use palo_core::{BatchReport, CacheStats, PipelineConfig, Session};
+use palo_core::{BatchReport, CacheConfig, CacheStats, PipelineConfig, Session};
 use palo_ir::LoopNest;
 use palo_suite::Benchmark;
 use std::fmt::Write as _;
@@ -51,8 +59,11 @@ struct PlatformRow {
     nests: usize,
     cold_ms: f64,
     warm_ms: f64,
+    /// Batch time for a fresh session replaying a warm `--cache-dir`.
+    warm_disk_ms: f64,
     cold: CacheStats,
     warm: CacheStats,
+    warm_disk: CacheStats,
     /// Per-pass wall-clock breakdown of the cold batch.
     passes: Vec<PassRow>,
     failed: usize,
@@ -112,13 +123,31 @@ fn run_platform(
     simulate: bool,
 ) -> Result<PlatformRow, String> {
     let config = PipelineConfig { simulate, ..PipelineConfig::default() };
-    let session = Session::new(arch, config).map_err(|e| format!("{platform}: {e}"))?;
+    let session = Session::new(arch, config.clone()).map_err(|e| format!("{platform}: {e}"))?;
 
     let cold = session.batch().run(nests);
     let warm = session.batch().run(nests);
 
-    let failed = cold.failed() + warm.failed();
-    for report in [&cold, &warm] {
+    // Warm-disk rung: populate a persistent directory, drop that
+    // session, and replay the batch from a fresh session whose only
+    // shared state with the writer is the on-disk tier.
+    let root = std::env::temp_dir()
+        .join(format!("palo-bench-pipeline-{platform}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let disk_config = PipelineConfig {
+        cache: CacheConfig { dir: Some(root.clone()), ..CacheConfig::default() },
+        ..config
+    };
+    let writer =
+        Session::new(arch, disk_config.clone()).map_err(|e| format!("{platform}: {e}"))?;
+    let populate = writer.batch().run(nests);
+    drop(writer);
+    let reader = Session::new(arch, disk_config).map_err(|e| format!("{platform}: {e}"))?;
+    let warm_disk = reader.batch().run(nests);
+    let _ = std::fs::remove_dir_all(&root);
+
+    let failed = cold.failed() + warm.failed() + populate.failed() + warm_disk.failed();
+    for report in [&cold, &warm, &populate, &warm_disk] {
         for item in &report.items {
             if let Err(e) = &item.outcome {
                 eprintln!("bench_pipeline: {platform}/{}: {e}", item.name);
@@ -130,9 +159,11 @@ fn run_platform(
         nests: nests.len(),
         cold_ms: cold.elapsed.as_secs_f64() * 1e3,
         warm_ms: warm.elapsed.as_secs_f64() * 1e3,
+        warm_disk_ms: warm_disk.elapsed.as_secs_f64() * 1e3,
         passes: aggregate_passes(&cold),
         cold: cold.cache,
         warm: warm.cache,
+        warm_disk: warm_disk.cache,
         failed,
     })
 }
@@ -146,18 +177,26 @@ fn render_json(rows: &[PlatformRow], size: usize, simulate: bool) -> String {
     out.push_str("  \"platforms\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let speedup = if r.warm_ms > 0.0 { r.cold_ms / r.warm_ms } else { f64::NAN };
+        let disk_speedup =
+            if r.warm_disk_ms > 0.0 { r.cold_ms / r.warm_disk_ms } else { f64::NAN };
         let _ = write!(
             out,
             "    {{\"platform\": \"{}\", \"nests\": {}, \
              \"cold_ms\": {:.3}, \"warm_ms\": {:.3}, \"warm_speedup\": {:.2}, \
+             \"warm_disk_ms\": {:.3}, \"warm_disk_speedup\": {:.2}, \
              \"cold_hits\": {}, \"cold_misses\": {}, \"cold_bypasses\": {}, \
              \"warm_hits\": {}, \"warm_misses\": {}, \"warm_bypasses\": {}, \
-             \"warm_hit_rate\": {:.4}, \"failed\": {}}}",
+             \"warm_hit_rate\": {:.4}, \
+             \"warm_disk_hits\": {}, \"warm_disk_misses\": {}, \
+             \"warm_disk_hit_rate\": {:.4}, \"warm_disk_tier_hits\": {}, \
+             \"warm_disk_anomalies\": {}, \"failed\": {}}}",
             r.platform,
             r.nests,
             r.cold_ms,
             r.warm_ms,
             speedup,
+            r.warm_disk_ms,
+            disk_speedup,
             r.cold.hits,
             r.cold.misses,
             r.cold.bypasses,
@@ -165,6 +204,11 @@ fn render_json(rows: &[PlatformRow], size: usize, simulate: bool) -> String {
             r.warm.misses,
             r.warm.bypasses,
             r.warm.hit_rate(),
+            r.warm_disk.hits,
+            r.warm_disk.misses,
+            r.warm_disk.hit_rate(),
+            r.warm_disk.disk.hits,
+            r.warm_disk.anomalies,
             r.failed,
         );
         // Per-pass cold-batch breakdown (classify → simulate, in
@@ -219,16 +263,22 @@ fn main() {
             Ok(row) => {
                 println!(
                     "{:<6} {:>2} nests: cold {:>9.2} ms, warm {:>9.2} ms ({:.1}x), \
-                     warm cache {} hits / {} misses / {} bypasses ({:.0}% hit rate)",
+                     warm-disk {:>9.2} ms ({:.1}x), \
+                     warm cache {} hits / {} misses / {} bypasses ({:.0}% hit rate), \
+                     disk replay {} hits ({:.0}% hit rate)",
                     row.platform,
                     row.nests,
                     row.cold_ms,
                     row.warm_ms,
                     row.cold_ms / row.warm_ms.max(1e-9),
+                    row.warm_disk_ms,
+                    row.cold_ms / row.warm_disk_ms.max(1e-9),
                     row.warm.hits,
                     row.warm.misses,
                     row.warm.bypasses,
                     row.warm.hit_rate() * 100.0,
+                    row.warm_disk.hits,
+                    row.warm_disk.hit_rate() * 100.0,
                 );
                 for p in &row.passes {
                     println!(
@@ -250,19 +300,28 @@ fn main() {
                     );
                     failed = true;
                 }
-                if row.warm.hit_rate() <= min_hit_rate {
-                    eprintln!(
-                        "bench_pipeline: {}: warm hit rate {:.2} not above floor {:.2}",
-                        row.platform,
-                        row.warm.hit_rate(),
-                        min_hit_rate
-                    );
-                    failed = true;
+                for (rung, stats) in [("warm", &row.warm), ("warm-disk", &row.warm_disk)] {
+                    if stats.hit_rate() <= min_hit_rate {
+                        eprintln!(
+                            "bench_pipeline: {}: {rung} hit rate {:.2} not above floor {:.2}",
+                            row.platform,
+                            stats.hit_rate(),
+                            min_hit_rate
+                        );
+                        failed = true;
+                    }
+                    if stats.misses > 0 {
+                        eprintln!(
+                            "bench_pipeline: {}: {rung} batch recomputed {} cached requests",
+                            row.platform, stats.misses
+                        );
+                        failed = true;
+                    }
                 }
-                if row.warm.misses > 0 {
+                if row.warm_disk.anomalies > 0 {
                     eprintln!(
-                        "bench_pipeline: {}: warm batch recomputed {} cached requests",
-                        row.platform, row.warm.misses
+                        "bench_pipeline: {}: disk replay recorded {} cache anomalies",
+                        row.platform, row.warm_disk.anomalies
                     );
                     failed = true;
                 }

@@ -1,0 +1,101 @@
+//! [`Codec`] implementations for simulator statistics, so simulation
+//! reports can live in the persistent artifact store. Fields encode in
+//! declaration order; changing one requires bumping the simulate pass's
+//! version.
+
+use crate::hierarchy::ReplayStats;
+use crate::stats::{HierarchyStats, LevelStats};
+use palo_codec::{ByteReader, ByteWriter, Codec, DecodeError};
+
+impl Codec for LevelStats {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.write_u64(self.demand_hits);
+        w.write_u64(self.demand_misses);
+        w.write_u64(self.prefetch_hits);
+        w.write_u64(self.prefetch_fills);
+        w.write_u64(self.dirty_evictions);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(LevelStats {
+            demand_hits: r.read_u64()?,
+            demand_misses: r.read_u64()?,
+            prefetch_hits: r.read_u64()?,
+            prefetch_fills: r.read_u64()?,
+            dirty_evictions: r.read_u64()?,
+        })
+    }
+}
+
+impl Codec for HierarchyStats {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.levels.encode(w);
+        w.write_u64(self.mem_demand_fills);
+        w.write_u64(self.mem_prefetch_fills);
+        w.write_u64(self.mem_writebacks);
+        w.write_u64(self.nt_store_lines);
+        w.write_u64(self.total_accesses);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(HierarchyStats {
+            levels: Vec::decode(r)?,
+            mem_demand_fills: r.read_u64()?,
+            mem_prefetch_fills: r.read_u64()?,
+            mem_writebacks: r.read_u64()?,
+            nt_store_lines: r.read_u64()?,
+            total_accesses: r.read_u64()?,
+        })
+    }
+}
+
+impl Codec for ReplayStats {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.write_u64(self.runs);
+        w.write_u64(self.run_lines);
+        w.write_u64(self.cycles_skipped);
+        w.write_u64(self.lines_skipped);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(ReplayStats {
+            runs: r.read_u64()?,
+            run_lines: r.read_u64()?,
+            cycles_skipped: r.read_u64()?,
+            lines_skipped: r.read_u64()?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_round_trip() {
+        let stats = HierarchyStats {
+            levels: vec![
+                LevelStats {
+                    demand_hits: 1,
+                    demand_misses: 2,
+                    prefetch_hits: 3,
+                    prefetch_fills: 4,
+                    dirty_evictions: 5,
+                },
+                LevelStats::default(),
+            ],
+            mem_demand_fills: 6,
+            mem_prefetch_fills: 7,
+            mem_writebacks: 8,
+            nt_store_lines: 9,
+            total_accesses: 10,
+        };
+        let bytes = stats.encode_to_vec();
+        assert_eq!(HierarchyStats::decode_from_slice(&bytes).unwrap(), stats);
+
+        let replay =
+            ReplayStats { runs: 11, run_lines: 12, cycles_skipped: 13, lines_skipped: 14 };
+        let bytes = replay.encode_to_vec();
+        assert_eq!(ReplayStats::decode_from_slice(&bytes).unwrap(), replay);
+    }
+}

@@ -39,6 +39,7 @@
 //! ```
 
 mod cache;
+mod codec;
 mod error;
 mod hierarchy;
 mod prefetch;

@@ -1,0 +1,300 @@
+//! Bounds-checked little-endian byte cursor primitives under [`Codec`].
+//!
+//! [`Codec`]: crate::Codec
+
+use std::fmt;
+
+/// A failed decode: byte offset and description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Byte offset of the failure in the input.
+    pub at: usize,
+    /// What went wrong.
+    pub what: String,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid artifact encoding at byte {}: {}", self.at, self.what)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// An append-only little-endian byte buffer.
+#[derive(Debug, Default)]
+pub struct ByteWriter {
+    buf: Vec<u8>,
+}
+
+impl ByteWriter {
+    /// An empty writer.
+    pub fn new() -> Self {
+        ByteWriter::default()
+    }
+
+    /// The encoded bytes.
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Appends one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    /// Appends a `u32`, little-endian.
+    pub fn write_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u64`, little-endian.
+    pub fn write_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `u128`, little-endian.
+    pub fn write_u128(&mut self, v: u128) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends an `i64`, little-endian two's complement.
+    pub fn write_i64(&mut self, v: i64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// Appends a `usize` as a `u64` (platform-independent width).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Appends an `f64` as its IEEE-754 bit pattern (NaN payloads
+    /// included).
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// Appends a `bool` as one byte.
+    pub fn write_bool(&mut self, v: bool) {
+        self.write_u8(u8::from(v));
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn write_str(&mut self, v: &str) {
+        self.write_usize(v.len());
+        self.buf.extend_from_slice(v.as_bytes());
+    }
+
+    /// Appends raw bytes without a length prefix (frame payloads).
+    pub fn write_raw(&mut self, v: &[u8]) {
+        self.buf.extend_from_slice(v);
+    }
+}
+
+/// A bounds-checked read cursor over an encoded byte slice.
+#[derive(Debug)]
+pub struct ByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    /// A cursor at the start of `bytes`.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        ByteReader { bytes, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// A [`DecodeError`] at the current offset.
+    pub fn invalid(&self, what: &str) -> DecodeError {
+        DecodeError { at: self.pos, what: what.to_string() }
+    }
+
+    /// Fails unless every input byte has been consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] when trailing bytes remain.
+    pub fn expect_end(&self) -> Result<(), DecodeError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(self.invalid("trailing bytes after value"))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(self.invalid("unexpected end of input"));
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on truncated input (as for every `read_*`).
+    pub fn read_u8(&mut self) -> Result<u8, DecodeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u32`.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on truncated input.
+    pub fn read_u32(&mut self) -> Result<u32, DecodeError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap_or_default()))
+    }
+
+    /// Reads a little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on truncated input.
+    pub fn read_u64(&mut self) -> Result<u64, DecodeError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap_or_default()))
+    }
+
+    /// Reads a little-endian `u128`.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on truncated input.
+    pub fn read_u128(&mut self) -> Result<u128, DecodeError> {
+        Ok(u128::from_le_bytes(self.take(16)?.try_into().unwrap_or_default()))
+    }
+
+    /// Reads a little-endian `i64`.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on truncated input.
+    pub fn read_i64(&mut self) -> Result<i64, DecodeError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap_or_default()))
+    }
+
+    /// Reads a `usize` encoded as `u64`.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on truncated input or a value beyond this
+    /// platform's `usize`.
+    pub fn read_usize(&mut self) -> Result<usize, DecodeError> {
+        let v = self.read_u64()?;
+        usize::try_from(v).map_err(|_| self.invalid("usize value exceeds platform width"))
+    }
+
+    /// Reads an `f64` from its bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on truncated input.
+    pub fn read_f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.read_u64()?))
+    }
+
+    /// Reads a `bool`, rejecting anything but 0 or 1.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on truncated input or a non-boolean byte.
+    pub fn read_bool(&mut self) -> Result<bool, DecodeError> {
+        match self.read_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(self.invalid("invalid bool byte")),
+        }
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on truncated input or invalid UTF-8.
+    pub fn read_str(&mut self) -> Result<&'a str, DecodeError> {
+        let len = self.read_usize()?;
+        if len > self.remaining() {
+            return Err(self.invalid("string length exceeds input"));
+        }
+        let at = self.pos;
+        let bytes = self.take(len)?;
+        std::str::from_utf8(bytes)
+            .map_err(|_| DecodeError { at, what: "invalid UTF-8 in string".to_string() })
+    }
+
+    /// Reads exactly `n` raw bytes (frame payloads).
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on truncated input.
+    pub fn read_raw(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        self.take(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_primitive_round_trips_through_the_cursor() {
+        let mut w = ByteWriter::new();
+        w.write_u8(0xAB);
+        w.write_u32(0xDEAD_BEEF);
+        w.write_u64(u64::MAX - 1);
+        w.write_u128(u128::MAX / 3);
+        w.write_i64(-42);
+        w.write_usize(123_456);
+        w.write_f64(-0.0);
+        w.write_bool(true);
+        w.write_str("palo");
+        let bytes = w.into_bytes();
+
+        let mut r = ByteReader::new(&bytes);
+        assert_eq!(r.read_u8().unwrap(), 0xAB);
+        assert_eq!(r.read_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(r.read_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(r.read_u128().unwrap(), u128::MAX / 3);
+        assert_eq!(r.read_i64().unwrap(), -42);
+        assert_eq!(r.read_usize().unwrap(), 123_456);
+        assert_eq!(r.read_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert!(r.read_bool().unwrap());
+        assert_eq!(r.read_str().unwrap(), "palo");
+        r.expect_end().unwrap();
+    }
+
+    #[test]
+    fn reads_past_the_end_fail_with_the_offset() {
+        let mut r = ByteReader::new(&[1, 2]);
+        assert_eq!(r.read_u8().unwrap(), 1);
+        let err = r.read_u64().unwrap_err();
+        assert_eq!(err.at, 1);
+    }
+
+    #[test]
+    fn bad_utf8_and_bad_bool_are_rejected() {
+        let mut w = ByteWriter::new();
+        w.write_usize(2);
+        w.write_raw(&[0xFF, 0xFE]);
+        assert!(ByteReader::new(&w.into_bytes()).read_str().is_err());
+        assert!(ByteReader::new(&[7]).read_bool().is_err());
+    }
+}

@@ -1,0 +1,251 @@
+//! The workspace's serialization layer.
+//!
+//! The vendored `serde` is an offline no-op stand-in (see
+//! `vendor/README.md`), so every byte that leaves a process — the serve
+//! protocol's newline-delimited JSON and the persistent artifact store's
+//! binary entries — goes through this crate instead:
+//!
+//! * [`json`] — the strict JSON reader/writer (promoted here from
+//!   `palo-serve`, which re-exports it);
+//! * [`Codec`] + [`ByteWriter`]/[`ByteReader`] — a deterministic,
+//!   little-endian binary encoding for artifact payloads. Every cached
+//!   pass artifact implements [`Codec`] in its owning crate;
+//! * [`frame`] — the versioned, checksummed envelope around an encoded
+//!   artifact. A frame that fails *any* validation (magic, format
+//!   version, declared length, checksum) is reported as a typed
+//!   [`FrameError`](frame::FrameError) so stores can degrade corrupt
+//!   entries to cache misses instead of surfacing errors.
+//!
+//! The binary encoding is part of the on-disk cache contract: changing
+//! how any type encodes invalidates every persisted artifact, so format
+//! changes must bump [`frame::FORMAT_VERSION`] (or the owning pass's
+//! version) and are pinned by golden-byte tests in
+//! `tests/codec_golden.rs`.
+
+mod bytes;
+pub mod frame;
+pub mod json;
+
+pub use bytes::{ByteReader, ByteWriter, DecodeError};
+
+use std::time::Duration;
+
+/// A type with a deterministic binary encoding.
+///
+/// # Contract
+///
+/// * `decode(encode(x)) == x` bit-exactly (floats round-trip through
+///   [`f64::to_bits`], so NaN payloads survive);
+/// * the encoding is a pure function of the value — no addresses, no
+///   hash-map iteration order, no timestamps;
+/// * decode never panics on malformed input: every read is
+///   bounds-checked and fails with a [`DecodeError`].
+pub trait Codec: Sized {
+    /// Appends this value's encoding to `w`.
+    fn encode(&self, w: &mut ByteWriter);
+
+    /// Reads one value back.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on truncated or malformed input.
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError>;
+
+    /// This value encoded as a fresh byte vector.
+    fn encode_to_vec(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        self.encode(&mut w);
+        w.into_bytes()
+    }
+
+    /// Decodes one value spanning exactly the whole input.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError`] on malformed input or trailing bytes.
+    fn decode_from_slice(bytes: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = ByteReader::new(bytes);
+        let v = Self::decode(&mut r)?;
+        r.expect_end()?;
+        Ok(v)
+    }
+}
+
+macro_rules! int_codec {
+    ($($t:ty => $w:ident / $r:ident),* $(,)?) => {$(
+        impl Codec for $t {
+            fn encode(&self, w: &mut ByteWriter) {
+                w.$w(*self);
+            }
+            fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+                r.$r()
+            }
+        }
+    )*};
+}
+
+int_codec! {
+    u8 => write_u8 / read_u8,
+    u32 => write_u32 / read_u32,
+    u64 => write_u64 / read_u64,
+    u128 => write_u128 / read_u128,
+    i64 => write_i64 / read_i64,
+    usize => write_usize / read_usize,
+    f64 => write_f64 / read_f64,
+    bool => write_bool / read_bool,
+}
+
+impl Codec for String {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.write_str(self);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(r.read_str()?.to_string())
+    }
+}
+
+impl Codec for Duration {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.write_u64(self.as_secs());
+        w.write_u32(self.subsec_nanos());
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let secs = r.read_u64()?;
+        let nanos = r.read_u32()?;
+        if nanos >= 1_000_000_000 {
+            return Err(r.invalid("subsecond nanos out of range"));
+        }
+        Ok(Duration::new(secs, nanos))
+    }
+}
+
+impl<T: Codec> Codec for Option<T> {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            None => w.write_u8(0),
+            Some(v) => {
+                w.write_u8(1);
+                v.encode(w);
+            }
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        match r.read_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            _ => Err(r.invalid("invalid Option tag")),
+        }
+    }
+}
+
+impl<T: Codec> Codec for Vec<T> {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.write_usize(self.len());
+        for v in self {
+            v.encode(w);
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        let len = r.read_usize()?;
+        // Every element of every in-tree encoding occupies at least one
+        // byte, so a length prefix beyond the remaining input is garbage
+        // — reject it before reserving memory for it.
+        if len > r.remaining() {
+            return Err(r.invalid("length prefix exceeds input"));
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Codec, B: Codec> Codec for (A, B) {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.0.encode(w);
+        self.1.encode(w);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Codec + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.encode_to_vec();
+        assert_eq!(T::decode_from_slice(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(u8::MAX);
+        round_trip(u32::MAX);
+        round_trip(u64::MAX);
+        round_trip(u128::MAX);
+        round_trip(i64::MIN);
+        round_trip(usize::MAX);
+        round_trip(true);
+        round_trip(false);
+        round_trip(1.5e300f64);
+        round_trip(String::from("héllo\n"));
+        round_trip(Duration::new(7, 999_999_999));
+        round_trip(Some(42u64));
+        round_trip(None::<u64>);
+        round_trip(vec![1u64, 2, 3]);
+        round_trip((3u32, String::from("x")));
+    }
+
+    #[test]
+    fn nan_payload_survives() {
+        let v = f64::from_bits(0x7ff8_dead_beef_0001);
+        let bytes = v.encode_to_vec();
+        assert_eq!(f64::decode_from_slice(&bytes).unwrap().to_bits(), v.to_bits());
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = 7u64.encode_to_vec();
+        bytes.push(0);
+        assert!(u64::decode_from_slice(&bytes).is_err());
+    }
+
+    #[test]
+    fn truncated_input_is_an_error_not_a_panic() {
+        let bytes = vec![1u64, 2, 3].encode_to_vec();
+        for cut in 0..bytes.len() {
+            assert!(Vec::<u64>::decode_from_slice(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn absurd_length_prefix_is_rejected_before_allocation() {
+        let mut w = ByteWriter::new();
+        w.write_usize(usize::MAX / 2);
+        let bytes = w.into_bytes();
+        let err = Vec::<u64>::decode_from_slice(&bytes).unwrap_err();
+        assert!(err.to_string().contains("length prefix"), "{err}");
+    }
+
+    #[test]
+    fn option_rejects_unknown_tag() {
+        assert!(Option::<u64>::decode_from_slice(&[2]).is_err());
+    }
+
+    #[test]
+    fn duration_rejects_overflowing_nanos() {
+        let mut w = ByteWriter::new();
+        w.write_u64(1);
+        w.write_u32(1_000_000_000);
+        assert!(Duration::decode_from_slice(&w.into_bytes()).is_err());
+    }
+}

@@ -1,0 +1,289 @@
+//! [`Codec`] implementations for the optimizer's cached pass artifacts.
+//!
+//! Together with the impls in `palo-sched`, `palo-cachesim` and
+//! `palo-exec`, this makes every [`Pass`](crate::Pass) output
+//! serializable, which is what lets the artifact store spill to disk and
+//! replay across processes. Encodings are part of the on-disk contract:
+//! changing how a type encodes requires bumping the owning pass's
+//! version so old entries key-miss instead of mis-decoding.
+
+use crate::classify::Class;
+use crate::decision::Decision;
+use crate::model::CostBreakdown;
+use crate::pass::{
+    ClassifyArtifact, DegradeArtifact, LowerArtifact, OptimizeArtifact, SimulateArtifact,
+    ValidateArtifact,
+};
+use crate::pipeline::Rung;
+use crate::search::SearchStats;
+use palo_codec::{ByteReader, ByteWriter, Codec, DecodeError};
+use palo_exec::TimeEstimate;
+use palo_sched::{LoweredNest, Schedule};
+use std::time::Duration;
+
+impl Codec for Class {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.write_u8(match self {
+            Class::Temporal => 0,
+            Class::Spatial => 1,
+            Class::ContiguousOnly => 2,
+        });
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(match r.read_u8()? {
+            0 => Class::Temporal,
+            1 => Class::Spatial,
+            2 => Class::ContiguousOnly,
+            _ => return Err(r.invalid("unknown Class tag")),
+        })
+    }
+}
+
+impl Codec for Rung {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.write_u8(match self {
+            Rung::Proposed => 0,
+            Rung::Stripped => 1,
+            Rung::Baseline => 2,
+            Rung::Naive => 3,
+        });
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(match r.read_u8()? {
+            0 => Rung::Proposed,
+            1 => Rung::Stripped,
+            2 => Rung::Baseline,
+            3 => Rung::Naive,
+            _ => return Err(r.invalid("unknown Rung tag")),
+        })
+    }
+}
+
+impl Codec for CostBreakdown {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.write_f64(self.cl1);
+        w.write_f64(self.cl2);
+        w.write_f64(self.cl2_lines);
+        w.write_f64(self.corder);
+        w.write_f64(self.pref_efficiency);
+        w.write_f64(self.total);
+        w.write_f64(self.tie);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(CostBreakdown {
+            cl1: r.read_f64()?,
+            cl2: r.read_f64()?,
+            cl2_lines: r.read_f64()?,
+            corder: r.read_f64()?,
+            pref_efficiency: r.read_f64()?,
+            total: r.read_f64()?,
+            tie: r.read_f64()?,
+        })
+    }
+}
+
+impl Codec for SearchStats {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.write_usize(self.workers);
+        w.write_u64(self.candidates_evaluated);
+        w.write_u64(self.candidates_pruned);
+        w.write_u64(self.memo_hits);
+        w.write_u64(self.memo_misses);
+        w.write_u64(self.emu_memo_hits);
+        w.write_u64(self.emu_memo_misses);
+        self.wall.encode(w);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(SearchStats {
+            workers: r.read_usize()?,
+            candidates_evaluated: r.read_u64()?,
+            candidates_pruned: r.read_u64()?,
+            memo_hits: r.read_u64()?,
+            memo_misses: r.read_u64()?,
+            emu_memo_hits: r.read_u64()?,
+            emu_memo_misses: r.read_u64()?,
+            wall: Duration::decode(r)?,
+        })
+    }
+}
+
+impl Codec for Decision {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.class.encode(w);
+        self.tile.encode(w);
+        self.inter_order.encode(w);
+        self.intra_order.encode(w);
+        w.write_bool(self.use_nti);
+        w.write_usize(self.vector_lanes);
+        self.parallel_var.encode(w);
+        w.write_f64(self.predicted_cost);
+        self.breakdown.encode(w);
+        self.sched.encode(w);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(Decision {
+            class: Class::decode(r)?,
+            tile: Vec::decode(r)?,
+            inter_order: Vec::decode(r)?,
+            intra_order: Vec::decode(r)?,
+            use_nti: r.read_bool()?,
+            vector_lanes: r.read_usize()?,
+            parallel_var: Option::decode(r)?,
+            predicted_cost: r.read_f64()?,
+            breakdown: CostBreakdown::decode(r)?,
+            sched: Schedule::decode(r)?,
+        })
+    }
+}
+
+impl Codec for ClassifyArtifact {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.class.encode(w);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(ClassifyArtifact { class: Class::decode(r)? })
+    }
+}
+
+impl Codec for OptimizeArtifact {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.decision.encode(w);
+        self.search.encode(w);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(OptimizeArtifact { decision: Decision::decode(r)?, search: SearchStats::decode(r)? })
+    }
+}
+
+impl Codec for DegradeArtifact {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.ladder.encode(w);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(DegradeArtifact { ladder: Vec::decode(r)? })
+    }
+}
+
+impl Codec for LowerArtifact {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.lowered.encode(w);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(LowerArtifact { lowered: LoweredNest::decode(r)? })
+    }
+}
+
+impl Codec for ValidateArtifact {
+    fn encode(&self, _w: &mut ByteWriter) {}
+
+    fn decode(_r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(ValidateArtifact)
+    }
+}
+
+impl Codec for SimulateArtifact {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.estimate.encode(w);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(SimulateArtifact { estimate: TimeEstimate::decode(r)? })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_decision() -> Decision {
+        let mut sched = Schedule::new();
+        sched.split("j", "j_o", "j_i", 512).reorder(&["j_o", "j_i"]).vectorize("j_i", 8);
+        Decision {
+            class: Class::Temporal,
+            tile: vec![32, 512, 2048],
+            inter_order: vec![1, 0],
+            intra_order: vec![2, 0, 1],
+            use_nti: true,
+            vector_lanes: 8,
+            parallel_var: Some(1),
+            predicted_cost: 123.456,
+            breakdown: CostBreakdown {
+                cl1: 1.0,
+                cl2: 2.0,
+                cl2_lines: 3.0,
+                corder: 4.0,
+                pref_efficiency: 0.875,
+                total: 123.456,
+                tie: 7.0,
+            },
+            sched,
+        }
+    }
+
+    fn round_trip<T: Codec + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.encode_to_vec();
+        assert_eq!(T::decode_from_slice(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn decisions_round_trip() {
+        round_trip(sample_decision());
+    }
+
+    #[test]
+    fn enums_reject_unknown_tags() {
+        assert!(Class::decode_from_slice(&[3]).is_err());
+        assert!(Rung::decode_from_slice(&[4]).is_err());
+    }
+
+    #[test]
+    fn artifacts_round_trip() {
+        round_trip(ClassifyArtifact { class: Class::Spatial });
+        let ladder = vec![
+            (Rung::Proposed, sample_decision().into_schedule()),
+            (Rung::Naive, Schedule::new()),
+        ];
+        let deg = DegradeArtifact { ladder };
+        let bytes = deg.encode_to_vec();
+        assert_eq!(DegradeArtifact::decode_from_slice(&bytes).unwrap().ladder, deg.ladder);
+
+        let opt = OptimizeArtifact {
+            decision: sample_decision(),
+            search: SearchStats {
+                workers: 4,
+                candidates_evaluated: 100,
+                candidates_pruned: 50,
+                memo_hits: 10,
+                memo_misses: 5,
+                emu_memo_hits: 3,
+                emu_memo_misses: 2,
+                wall: Duration::from_micros(12_345),
+            },
+        };
+        let bytes = opt.encode_to_vec();
+        let back = OptimizeArtifact::decode_from_slice(&bytes).unwrap();
+        assert_eq!(back.decision, opt.decision);
+        assert_eq!(back.search, opt.search);
+
+        let bytes = ValidateArtifact.encode_to_vec();
+        assert!(bytes.is_empty());
+        ValidateArtifact::decode_from_slice(&bytes).unwrap();
+    }
+
+    #[test]
+    fn truncated_decisions_are_errors_not_panics() {
+        let bytes = sample_decision().encode_to_vec();
+        for cut in 0..bytes.len() {
+            assert!(Decision::decode_from_slice(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+}

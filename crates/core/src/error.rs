@@ -32,6 +32,14 @@ pub enum PaloError {
     Sim(SimConfigError),
     /// The architecture description failed validation.
     Arch(String),
+    /// The persistent artifact store could not be opened (unwritable
+    /// cache directory). Corrupt *entries* never raise this — they
+    /// degrade to cache misses; only a store that can never persist
+    /// anything surfaces an error, at session construction.
+    Store {
+        /// What failed, including the offending path.
+        detail: String,
+    },
     /// A resource budget (e.g. trace-line budget, autotuner evaluation
     /// budget) was exhausted before the stage finished.
     BudgetExceeded {
@@ -74,6 +82,7 @@ impl fmt::Display for PaloError {
             PaloError::Trace(e) => write!(f, "trace error: {e}"),
             PaloError::Sim(e) => write!(f, "cache simulator config error: {e}"),
             PaloError::Arch(msg) => write!(f, "invalid architecture: {msg}"),
+            PaloError::Store { detail } => write!(f, "artifact store error: {detail}"),
             PaloError::BudgetExceeded { what, limit } => {
                 write!(f, "resource budget exhausted: {what} limit {limit}")
             }

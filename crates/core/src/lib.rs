@@ -62,6 +62,7 @@
 mod batch;
 mod candidates;
 pub mod classify;
+mod codec;
 mod config;
 mod decision;
 pub mod emu;
@@ -77,6 +78,7 @@ pub mod post;
 pub mod search;
 mod session;
 pub mod spatial;
+pub mod store;
 pub mod temporal;
 
 pub use batch::{BatchDriver, BatchItem, BatchReport, BatchRequest, Priority};
@@ -98,6 +100,7 @@ pub use pipeline::{
 };
 pub use search::{SearchCounters, SearchStats};
 pub use session::Session;
+pub use store::{ArtifactStore, CacheConfig, ParsePolicyKindError, PolicyKind, TierStats};
 
 use palo_arch::Architecture;
 use palo_ir::{LoopNest, NestInfo};

@@ -47,12 +47,12 @@ use crate::error::PaloError;
 use crate::fingerprint::Fingerprint;
 use crate::model::ResolvedModel;
 use crate::pipeline::PipelineConfig;
+use crate::store::{ArtifactStore, CacheConfig, StoredArtifact, TierStats, TieredStore};
 use palo_arch::Architecture;
-use std::any::Any;
+use palo_codec::{frame, Codec};
 use std::cell::{Cell, RefCell};
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Read-only context every pass runs under: the session's architecture
@@ -206,8 +206,10 @@ impl Default for RunCtl {
 pub trait Pass {
     /// The request consumed by one invocation (borrows are fine).
     type Input<'a>;
-    /// The artifact produced; cached behind an [`Arc`].
-    type Output: Send + Sync + 'static;
+    /// The artifact produced; cached behind an [`Arc`]. The [`Codec`]
+    /// bound is what lets the artifact store persist it to disk and
+    /// replay it bit-identically in another process.
+    type Output: Codec + Send + Sync + 'static;
 
     /// Stable machine-readable pass name, folded into every cache key.
     fn name(&self) -> &'static str;
@@ -228,17 +230,30 @@ pub trait Pass {
 }
 
 /// Counters of one [`ArtifactCache`] (or a window of one), snapshotted
-/// into [`PipelineReport::cache`](crate::PipelineReport::cache) and the
-/// batch report.
+/// into [`PipelineReport::cache`](crate::PipelineReport::cache), the
+/// batch report, and the serve protocol.
+///
+/// The request-level counters (`hits`/`misses`/`bypasses`/`anomalies`)
+/// describe pass requests; the per-tier [`TierStats`] describe where
+/// lookups were served and what eviction did. All counters are
+/// monotonic, so [`CacheStats::since`] windows any two snapshots.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Requests served from a cached artifact.
+    /// Requests served from a cached artifact (either tier).
     pub hits: u64,
     /// Requests that ran their pass and stored the artifact.
     pub misses: u64,
     /// Requests that skipped the cache entirely (armed faults,
     /// uncacheable fingerprints).
     pub bypasses: u64,
+    /// Cached entries that failed validation — corrupt or truncated
+    /// frames, wrong pass header, undecodable payloads. Each was healed
+    /// (deleted) and served as a miss, never an error.
+    pub anomalies: u64,
+    /// The in-memory tier's counters.
+    pub mem: TierStats,
+    /// The on-disk tier's counters (all zero when persistence is off).
+    pub disk: TierStats,
 }
 
 impl CacheStats {
@@ -260,52 +275,156 @@ impl CacheStats {
             hits: self.hits.saturating_sub(earlier.hits),
             misses: self.misses.saturating_sub(earlier.misses),
             bypasses: self.bypasses.saturating_sub(earlier.bypasses),
+            anomalies: self.anomalies.saturating_sub(earlier.anomalies),
+            mem: self.mem.since(&earlier.mem),
+            disk: self.disk.since(&earlier.disk),
         }
+    }
+
+    /// Accumulates another snapshot's counters (aggregating windowed
+    /// stats across runs or serve outcomes).
+    pub fn absorb(&mut self, other: &CacheStats) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.bypasses += other.bypasses;
+        self.anomalies += other.anomalies;
+        self.mem.absorb(&other.mem);
+        self.disk.absorb(&other.disk);
     }
 }
 
-/// The session's content-addressed artifact store.
+/// The session's content-addressed artifact cache: the typed front of
+/// the [`TieredStore`].
 ///
-/// Artifacts are type-erased behind `Arc<dyn Any + Send + Sync>`; the
-/// pass name and version folded into every [`Fingerprint`] guarantee a
-/// key can only ever map to one concrete artifact type, so the downcast
-/// on hit cannot confuse types (a failed downcast is treated as a miss
-/// and overwritten, belt and braces).
-#[derive(Debug, Default)]
+/// Artifacts live in the store as [`StoredArtifact`]s — the canonical
+/// framed encoding plus, in memory, the decoded `Arc` — so a warm
+/// in-memory hit is an `Arc` clone, a disk hit decodes once and is
+/// promoted, and a cold run computes and writes through. The pass name
+/// and version are stamped in every frame header and checked on every
+/// disk-served hit; any mismatch or decode failure counts an anomaly,
+/// heals the entry, and degrades to a miss.
+#[derive(Debug)]
 pub struct ArtifactCache {
-    map: Mutex<HashMap<Fingerprint, Arc<dyn Any + Send + Sync>>>,
+    store: TieredStore,
     hits: AtomicU64,
     misses: AtomicU64,
     bypasses: AtomicU64,
+    anomalies: AtomicU64,
+}
+
+impl Default for ArtifactCache {
+    fn default() -> Self {
+        ArtifactCache::new()
+    }
 }
 
 impl ArtifactCache {
-    /// An empty cache.
+    /// An empty memory-only cache with the original unbounded behavior.
     pub fn new() -> Self {
-        ArtifactCache::default()
+        ArtifactCache::over(TieredStore::unbounded())
     }
 
-    /// The artifact under `key`, if present with the expected type.
-    /// Counts a hit or a miss.
-    pub fn get<T: Send + Sync + 'static>(&self, key: Fingerprint) -> Option<Arc<T>> {
-        let found = self
-            .map
-            .lock()
-            .ok()
-            .and_then(|map| map.get(&key).cloned())
-            .and_then(|any| any.downcast::<T>().ok());
-        match &found {
-            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
-            None => self.misses.fetch_add(1, Ordering::Relaxed),
-        };
-        found
+    /// A cache over the tier stack `config` describes.
+    ///
+    /// # Errors
+    ///
+    /// [`PaloError::Store`] when the configured cache directory cannot
+    /// be opened.
+    pub fn with_config(config: &CacheConfig) -> Result<Self, PaloError> {
+        Ok(ArtifactCache::over(TieredStore::from_config(config)?))
     }
 
-    /// Stores `artifact` under `key`.
-    pub fn insert<T: Send + Sync + 'static>(&self, key: Fingerprint, artifact: Arc<T>) {
-        if let Ok(mut map) = self.map.lock() {
-            map.insert(key, artifact);
+    fn over(store: TieredStore) -> Self {
+        ArtifactCache {
+            store,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            bypasses: AtomicU64::new(0),
+            anomalies: AtomicU64::new(0),
         }
+    }
+
+    /// Whether artifacts persist to disk.
+    pub fn persistent(&self) -> bool {
+        self.store.persistent()
+    }
+
+    fn count_miss(&self) -> Option<std::convert::Infallible> {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        None
+    }
+
+    /// Heals an invalid entry: counts the anomaly, drops the entry from
+    /// every tier, and reports the lookup as a miss.
+    fn count_anomaly(&self, key: Fingerprint) -> Option<std::convert::Infallible> {
+        self.anomalies.fetch_add(1, Ordering::Relaxed);
+        self.store.remove(key);
+        self.count_miss()
+    }
+
+    /// The artifact under `key`, if a valid one is cached for this
+    /// `(pass, pass_version)`. Counts a hit, a miss, or an anomaly.
+    pub fn get<T: Codec + Send + Sync + 'static>(
+        &self,
+        key: Fingerprint,
+        pass: &str,
+        pass_version: u32,
+    ) -> Option<Arc<T>> {
+        let Some(stored) = self.store.get(key) else {
+            self.count_miss();
+            return None;
+        };
+        if let Some(value) = &stored.value {
+            // A memory-tier hit: the decoded artifact is already shared.
+            return match value.clone().downcast::<T>() {
+                Ok(hit) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    Some(hit)
+                }
+                Err(_) => {
+                    // Unreachable while keys fold pass identity; healed
+                    // as an anomaly if it ever happens.
+                    self.count_anomaly(key);
+                    None
+                }
+            };
+        }
+        // A disk-tier hit: validate the stamped header against the
+        // requesting pass, decode once, promote.
+        let decoded = match frame::decode_frame(&stored.bytes) {
+            Ok(f) if f.pass == pass && f.pass_version == pass_version => {
+                T::decode_from_slice(f.payload).ok()
+            }
+            _ => None,
+        };
+        match decoded {
+            Some(artifact) => {
+                let artifact = Arc::new(artifact);
+                self.store.promote(
+                    key,
+                    StoredArtifact { value: Some(artifact.clone()), bytes: stored.bytes },
+                );
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(artifact)
+            }
+            None => {
+                self.count_anomaly(key);
+                None
+            }
+        }
+    }
+
+    /// Stores `artifact` under `key`, framed as `(pass, pass_version)`,
+    /// writing through every tier.
+    pub fn insert<T: Codec + Send + Sync + 'static>(
+        &self,
+        key: Fingerprint,
+        pass: &str,
+        pass_version: u32,
+        artifact: Arc<T>,
+    ) {
+        let bytes = frame::encode_frame(pass, pass_version, &artifact.encode_to_vec());
+        self.store.put(key, StoredArtifact { value: Some(artifact), bytes: bytes.into() });
     }
 
     /// Counts one cache-bypassed request.
@@ -313,22 +432,25 @@ impl ArtifactCache {
         self.bypasses.fetch_add(1, Ordering::Relaxed);
     }
 
-    /// Cached artifacts currently held.
+    /// Artifacts currently resident in the memory tier.
     pub fn len(&self) -> usize {
-        self.map.lock().map(|m| m.len()).unwrap_or(0)
+        self.store.len()
     }
 
-    /// Whether the cache holds no artifacts.
+    /// Whether the memory tier holds no artifacts.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Lifetime counters of this cache.
+    /// Lifetime counters of this cache, request-level and per-tier.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             bypasses: self.bypasses.load(Ordering::Relaxed),
+            anomalies: self.anomalies.load(Ordering::Relaxed) + self.store.disk_anomalies(),
+            mem: self.store.mem_stats(),
+            disk: self.store.disk_stats(),
         }
     }
 }
@@ -336,6 +458,7 @@ impl ArtifactCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::store::PolicyKind;
     use palo_ir::Digest;
 
     fn key(n: u128) -> Fingerprint {
@@ -345,29 +468,97 @@ mod tests {
     #[test]
     fn cache_round_trips_and_counts() {
         let cache = ArtifactCache::new();
-        assert!(cache.get::<String>(key(1)).is_none());
-        cache.insert(key(1), Arc::new("artifact".to_string()));
-        assert_eq!(*cache.get::<String>(key(1)).unwrap(), "artifact");
+        assert!(cache.get::<String>(key(1), "p", 1).is_none());
+        cache.insert(key(1), "p", 1, Arc::new("artifact".to_string()));
+        assert_eq!(*cache.get::<String>(key(1), "p", 1).unwrap(), "artifact");
         cache.count_bypass();
         let s = cache.stats();
-        assert_eq!((s.hits, s.misses, s.bypasses), (1, 1, 1));
+        assert_eq!((s.hits, s.misses, s.bypasses, s.anomalies), (1, 1, 1, 0));
         assert_eq!(s.hit_rate(), 0.5);
         assert_eq!(cache.len(), 1);
+        assert!(!cache.persistent());
     }
 
     #[test]
-    fn mismatched_type_is_a_miss_not_a_confusion() {
+    fn mismatched_type_is_healed_as_an_anomaly() {
         let cache = ArtifactCache::new();
-        cache.insert(key(2), Arc::new(7u64));
-        assert!(cache.get::<String>(key(2)).is_none());
-        assert_eq!(*cache.get::<u64>(key(2)).unwrap(), 7);
+        cache.insert(key(2), "p", 1, Arc::new(7u64));
+        assert!(cache.get::<String>(key(2), "p", 1).is_none());
+        let s = cache.stats();
+        assert_eq!((s.anomalies, s.misses), (1, 1));
+        // The poisoned entry was dropped, so even the right type misses.
+        assert!(cache.get::<u64>(key(2), "p", 1).is_none());
     }
 
     #[test]
-    fn windowed_stats_subtract() {
-        let a = CacheStats { hits: 10, misses: 4, bypasses: 1 };
-        let b = CacheStats { hits: 3, misses: 4, bypasses: 0 };
-        assert_eq!(a.since(&b), CacheStats { hits: 7, misses: 0, bypasses: 1 });
+    fn a_disk_served_artifact_decodes_promotes_and_replays() {
+        let root =
+            std::env::temp_dir().join(format!("palo-cache-promote-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let config = CacheConfig { dir: Some(root.clone()), ..CacheConfig::default() };
+
+        let cold = ArtifactCache::with_config(&config).unwrap();
+        cold.insert(key(3), "p", 2, Arc::new(41u64));
+        drop(cold);
+
+        let warm = ArtifactCache::with_config(&config).unwrap();
+        assert_eq!(*warm.get::<u64>(key(3), "p", 2).unwrap(), 41);
+        assert_eq!(warm.stats().disk.hits, 1);
+        // Promoted: the second hit is served by the memory tier.
+        assert_eq!(*warm.get::<u64>(key(3), "p", 2).unwrap(), 41);
+        assert_eq!(warm.stats().disk.hits, 1);
+        assert_eq!(warm.stats().hits, 2);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn a_pass_version_bump_invalidates_disk_artifacts() {
+        let root =
+            std::env::temp_dir().join(format!("palo-cache-version-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let config = CacheConfig { dir: Some(root.clone()), ..CacheConfig::default() };
+
+        let cold = ArtifactCache::with_config(&config).unwrap();
+        cold.insert(key(4), "p", 1, Arc::new(9u64));
+        drop(cold);
+
+        // Same key, newer pass version: the stale frame is an anomaly,
+        // healed and served as a miss.
+        let warm = ArtifactCache::with_config(&config).unwrap();
+        assert!(warm.get::<u64>(key(4), "p", 2).is_none());
+        let s = warm.stats();
+        assert_eq!((s.anomalies, s.misses, s.hits), (1, 1, 0));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn bounded_config_evicts_but_never_changes_values() {
+        let config = CacheConfig {
+            policy: PolicyKind::Lru,
+            capacity_entries: Some(1),
+            ..CacheConfig::default()
+        };
+        let cache = ArtifactCache::with_config(&config).unwrap();
+        cache.insert(key(5), "p", 1, Arc::new(5u64));
+        cache.insert(key(6), "p", 1, Arc::new(6u64));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().mem.evictions, 1);
+        // The survivor is intact; the evictee is a miss, never garbage.
+        assert!(cache.get::<u64>(key(5), "p", 1).is_none());
+        assert_eq!(*cache.get::<u64>(key(6), "p", 1).unwrap(), 6);
+    }
+
+    #[test]
+    fn windowed_stats_subtract_and_absorb() {
+        let a = CacheStats { hits: 10, misses: 4, bypasses: 1, ..CacheStats::default() };
+        let b = CacheStats { hits: 3, misses: 4, bypasses: 0, ..CacheStats::default() };
+        assert_eq!(
+            a.since(&b),
+            CacheStats { hits: 7, misses: 0, bypasses: 1, ..CacheStats::default() }
+        );
         assert_eq!(CacheStats::default().hit_rate(), 0.0);
+        let mut sum = b;
+        sum.absorb(&a.since(&b));
+        assert_eq!((sum.hits, sum.misses, sum.bypasses), (10, 4, 1));
     }
 }

@@ -36,6 +36,7 @@ use crate::model::CostBreakdown;
 use crate::pass::{CacheStats, PassTiming};
 use crate::search::SearchStats;
 use crate::session::Session;
+use crate::store::CacheConfig;
 use crate::OptimizerConfig;
 use palo_arch::Architecture;
 use palo_exec::TimeEstimate;
@@ -232,6 +233,11 @@ pub struct PipelineConfig {
     pub max_concurrent_sims: Option<usize>,
     /// Fault injection sites (all off by default).
     pub faults: FaultPlan,
+    /// The session's artifact-store tiers (memory bounds, eviction
+    /// policy, on-disk persistence). The default is the original
+    /// unbounded in-process cache. **Never enters any cache key** — the
+    /// store changes where artifacts live, not what is decided.
+    pub cache: CacheConfig,
 }
 
 impl Default for PipelineConfig {
@@ -243,6 +249,7 @@ impl Default for PipelineConfig {
             simulate: true,
             max_concurrent_sims: None,
             faults: FaultPlan::default(),
+            cache: CacheConfig::default(),
         }
     }
 }

@@ -88,8 +88,9 @@ impl Session {
     /// # Errors
     ///
     /// [`PaloError::Arch`] for an inconsistent architecture description,
-    /// or the simulator's rejection when the hierarchy cannot be
-    /// modeled.
+    /// the simulator's rejection when the hierarchy cannot be modeled,
+    /// or [`PaloError::Store`] when the configured cache directory
+    /// cannot be opened.
     pub fn new(arch: &Architecture, config: PipelineConfig) -> Result<Self, PaloError> {
         arch.validate().map_err(PaloError::Arch)?;
         // Reject architectures the simulator cannot model before any
@@ -97,13 +98,8 @@ impl Session {
         Hierarchy::try_from_architecture(arch)?;
         let resolved = model::resolve(&config.optimizer, arch);
         let sim_gate = SimGate::new(config.max_concurrent_sims);
-        Ok(Session {
-            arch: arch.clone(),
-            config,
-            resolved,
-            cache: ArtifactCache::new(),
-            sim_gate,
-        })
+        let cache = ArtifactCache::with_config(&config.cache)?;
+        Ok(Session { arch: arch.clone(), config, resolved, cache, sim_gate })
     }
 
     /// The target architecture.
@@ -172,14 +168,14 @@ impl Session {
             ctl.record_pass(pass.name(), t0.elapsed(), false);
             return out;
         };
-        if let Some(hit) = self.cache.get::<P::Output>(key) {
+        if let Some(hit) = self.cache.get::<P::Output>(key, pass.name(), pass.version()) {
             ctl.record_pass(pass.name(), t0.elapsed(), true);
             return Ok(hit);
         }
         let run = pass.run(&cx, input);
         ctl.record_pass(pass.name(), t0.elapsed(), false);
         let artifact = Arc::new(run?);
-        self.cache.insert(key, artifact.clone());
+        self.cache.insert(key, pass.name(), pass.version(), artifact.clone());
         Ok(artifact)
     }
 

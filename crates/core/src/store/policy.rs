@@ -1,0 +1,443 @@
+//! Pluggable eviction policies for the bounded in-memory tier.
+//!
+//! A [`CachePolicy`] tracks the keys a [`BoundedMemStore`] holds and
+//! picks eviction victims. All three policies are fully deterministic —
+//! orderings come from insertion/access sequence counters, never from
+//! hash-map iteration order, wall-clock time or randomness — because the
+//! determinism contract (DESIGN.md §15) requires that cache state can
+//! change *what is cached*, never *what is decided*.
+//!
+//! [`BoundedMemStore`]: crate::store::BoundedMemStore
+
+use crate::fingerprint::Fingerprint;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+use std::str::FromStr;
+
+/// Chooses which entry a bounded tier evicts under capacity pressure.
+///
+/// The store calls `on_insert`/`on_hit`/`on_remove` to mirror its map;
+/// `victim` must return a key the policy currently tracks (and forget
+/// it). Policies are synchronized externally by the store's lock.
+pub trait CachePolicy: Send + fmt::Debug {
+    /// A new key entered the store.
+    fn on_insert(&mut self, key: Fingerprint);
+
+    /// An existing key was served.
+    fn on_hit(&mut self, key: Fingerprint);
+
+    /// A key was removed outside eviction (healing, replacement).
+    fn on_remove(&mut self, key: Fingerprint);
+
+    /// Selects and forgets the next eviction victim.
+    fn victim(&mut self) -> Option<Fingerprint>;
+}
+
+/// One recency-ordered segment: keys ordered by a shared sequence
+/// counter (oldest first). The building block of all three policies.
+#[derive(Debug, Default)]
+struct Segment {
+    order: BTreeMap<u64, Fingerprint>,
+    index: HashMap<Fingerprint, u64>,
+}
+
+impl Segment {
+    fn touch(&mut self, key: Fingerprint, seq: u64) {
+        if let Some(old) = self.index.insert(key, seq) {
+            self.order.remove(&old);
+        }
+        self.order.insert(seq, key);
+    }
+
+    fn remove(&mut self, key: Fingerprint) -> bool {
+        match self.index.remove(&key) {
+            Some(seq) => {
+                self.order.remove(&seq);
+                true
+            }
+            None => false,
+        }
+    }
+
+    fn pop_oldest(&mut self) -> Option<Fingerprint> {
+        let (&seq, &key) = self.order.iter().next()?;
+        self.order.remove(&seq);
+        self.index.remove(&key);
+        Some(key)
+    }
+
+    fn contains(&self, key: Fingerprint) -> bool {
+        self.index.contains_key(&key)
+    }
+
+    fn len(&self) -> usize {
+        self.index.len()
+    }
+}
+
+/// Least-recently-used: one recency list, victims from the cold end.
+#[derive(Debug, Default)]
+pub struct Lru {
+    seq: u64,
+    seg: Segment,
+}
+
+impl Lru {
+    /// An empty LRU policy.
+    pub fn new() -> Self {
+        Lru::default()
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+}
+
+impl CachePolicy for Lru {
+    fn on_insert(&mut self, key: Fingerprint) {
+        let seq = self.next_seq();
+        self.seg.touch(key, seq);
+    }
+
+    fn on_hit(&mut self, key: Fingerprint) {
+        if self.seg.contains(key) {
+            let seq = self.next_seq();
+            self.seg.touch(key, seq);
+        }
+    }
+
+    fn on_remove(&mut self, key: Fingerprint) {
+        self.seg.remove(key);
+    }
+
+    fn victim(&mut self) -> Option<Fingerprint> {
+        self.seg.pop_oldest()
+    }
+}
+
+/// Segmented LRU: new entries start in a probationary segment and are
+/// promoted to a protected segment on their first re-hit; victims come
+/// from the probationary cold end first. One-touch scans therefore wash
+/// through probation without displacing the re-used working set.
+#[derive(Debug)]
+pub struct Slru {
+    seq: u64,
+    probation: Segment,
+    protected: Segment,
+    /// Protected-segment entry cap; `None` derives 2/3 of the current
+    /// population (bytes-only capacities have no fixed entry budget).
+    protected_cap: Option<usize>,
+}
+
+impl Slru {
+    /// An SLRU policy for a tier capped at `capacity_entries` (the
+    /// protected segment gets two thirds of it).
+    pub fn new(capacity_entries: Option<usize>) -> Self {
+        Slru {
+            seq: 0,
+            probation: Segment::default(),
+            protected: Segment::default(),
+            protected_cap: capacity_entries.map(|c| (c * 2 / 3).max(1)),
+        }
+    }
+
+    fn next_seq(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+
+    fn protected_cap(&self) -> usize {
+        self.protected_cap
+            .unwrap_or(((self.probation.len() + self.protected.len()) * 2 / 3).max(1))
+    }
+
+    /// Demotes protected-LRU entries back to probation MRU until the
+    /// protected segment fits its cap.
+    fn rebalance(&mut self) {
+        while self.protected.len() > self.protected_cap() {
+            let Some(key) = self.protected.pop_oldest() else { break };
+            let seq = self.next_seq();
+            self.probation.touch(key, seq);
+        }
+    }
+}
+
+impl CachePolicy for Slru {
+    fn on_insert(&mut self, key: Fingerprint) {
+        let seq = self.next_seq();
+        self.probation.touch(key, seq);
+    }
+
+    fn on_hit(&mut self, key: Fingerprint) {
+        let seq = self.next_seq();
+        if self.probation.remove(key) || self.protected.contains(key) {
+            self.protected.touch(key, seq);
+            self.rebalance();
+        }
+    }
+
+    fn on_remove(&mut self, key: Fingerprint) {
+        if !self.probation.remove(key) {
+            self.protected.remove(key);
+        }
+    }
+
+    fn victim(&mut self) -> Option<Fingerprint> {
+        self.probation.pop_oldest().or_else(|| self.protected.pop_oldest())
+    }
+}
+
+/// 2Q: a small FIFO (`A1in`) admits new entries; keys evicted from it
+/// are remembered in a ghost list (`A1out`, keys only); a key re-seen
+/// while ghosted enters the main LRU (`Am`). Correlated double hits
+/// inside `A1in` do *not* promote — only a re-reference after FIFO
+/// eviction proves a key is worth main-memory residency.
+#[derive(Debug)]
+pub struct TwoQ {
+    seq: u64,
+    a1in: VecDeque<Fingerprint>,
+    a1out: VecDeque<Fingerprint>,
+    am: Segment,
+    /// Entry budget the segment caps derive from; `None` derives from
+    /// the current population.
+    capacity_entries: Option<usize>,
+}
+
+impl TwoQ {
+    /// A 2Q policy for a tier capped at `capacity_entries` (`A1in` gets
+    /// a quarter, the ghost list half).
+    pub fn new(capacity_entries: Option<usize>) -> Self {
+        TwoQ {
+            seq: 0,
+            a1in: VecDeque::new(),
+            a1out: VecDeque::new(),
+            am: Segment::default(),
+            capacity_entries,
+        }
+    }
+
+    fn budget(&self) -> usize {
+        self.capacity_entries.unwrap_or(self.a1in.len() + self.am.len()).max(1)
+    }
+
+    fn a1in_cap(&self) -> usize {
+        (self.budget() / 4).max(1)
+    }
+
+    fn ghost_cap(&self) -> usize {
+        (self.budget() / 2).max(2)
+    }
+
+    fn ghost_remember(&mut self, key: Fingerprint) {
+        self.a1out.push_back(key);
+        while self.a1out.len() > self.ghost_cap() {
+            self.a1out.pop_front();
+        }
+    }
+}
+
+impl CachePolicy for TwoQ {
+    fn on_insert(&mut self, key: Fingerprint) {
+        if let Some(pos) = self.a1out.iter().position(|&k| k == key) {
+            // Re-reference of a ghosted key: proven reuse, straight to Am.
+            self.a1out.remove(pos);
+            self.seq += 1;
+            self.am.touch(key, self.seq);
+        } else {
+            self.a1in.push_back(key);
+        }
+    }
+
+    fn on_hit(&mut self, key: Fingerprint) {
+        if self.am.contains(key) {
+            self.seq += 1;
+            self.am.touch(key, self.seq);
+        }
+        // Hits inside A1in deliberately do not reorder the FIFO.
+    }
+
+    fn on_remove(&mut self, key: Fingerprint) {
+        if let Some(pos) = self.a1in.iter().position(|&k| k == key) {
+            self.a1in.remove(pos);
+        } else {
+            self.am.remove(key);
+        }
+    }
+
+    fn victim(&mut self) -> Option<Fingerprint> {
+        // Unproven FIFO entries go first whenever A1in is at or over its
+        // share (or Am is empty); Am residents have proven reuse and are
+        // only evicted once A1in is below its cap.
+        if self.a1in.len() >= self.a1in_cap() || self.am.len() == 0 {
+            if let Some(key) = self.a1in.pop_front() {
+                self.ghost_remember(key);
+                return Some(key);
+            }
+        }
+        self.am.pop_oldest().or_else(|| {
+            let key = self.a1in.pop_front()?;
+            self.ghost_remember(key);
+            Some(key)
+        })
+    }
+}
+
+/// Which eviction policy the bounded memory tier uses — the CLI-facing
+/// name behind `--cache-policy`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum PolicyKind {
+    /// Least-recently-used.
+    #[default]
+    Lru,
+    /// Segmented LRU (probation + protected).
+    Slru,
+    /// 2Q (FIFO admission + ghost list + main LRU).
+    TwoQ,
+}
+
+impl PolicyKind {
+    /// Builds the policy for a tier capped at `capacity_entries`.
+    pub fn build(self, capacity_entries: Option<usize>) -> Box<dyn CachePolicy> {
+        match self {
+            PolicyKind::Lru => Box::new(Lru::new()),
+            PolicyKind::Slru => Box::new(Slru::new(capacity_entries)),
+            PolicyKind::TwoQ => Box::new(TwoQ::new(capacity_entries)),
+        }
+    }
+
+    /// Every policy, for differential tests and help text.
+    pub const ALL: [PolicyKind; 3] = [PolicyKind::Lru, PolicyKind::Slru, PolicyKind::TwoQ];
+
+    /// The CLI name.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PolicyKind::Lru => "lru",
+            PolicyKind::Slru => "slru",
+            PolicyKind::TwoQ => "2q",
+        }
+    }
+}
+
+impl fmt::Display for PolicyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error of parsing a [`PolicyKind`]: the rejected input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolicyKindError(pub String);
+
+impl fmt::Display for ParsePolicyKindError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown cache policy {:?} (expected lru, slru or 2q)", self.0)
+    }
+}
+
+impl std::error::Error for ParsePolicyKindError {}
+
+impl FromStr for PolicyKind {
+    type Err = ParsePolicyKindError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "lru" => Ok(PolicyKind::Lru),
+            "slru" => Ok(PolicyKind::Slru),
+            "2q" | "twoq" => Ok(PolicyKind::TwoQ),
+            other => Err(ParsePolicyKindError(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use palo_ir::Digest;
+
+    fn key(n: u128) -> Fingerprint {
+        Fingerprint(Digest(n))
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest() {
+        let mut p = Lru::new();
+        for n in 1..=3 {
+            p.on_insert(key(n));
+        }
+        p.on_hit(key(1)); // 1 is now warmest; 2 is coldest
+        assert_eq!(p.victim(), Some(key(2)));
+        assert_eq!(p.victim(), Some(key(3)));
+        assert_eq!(p.victim(), Some(key(1)));
+        assert_eq!(p.victim(), None);
+    }
+
+    #[test]
+    fn slru_protects_rehit_entries_from_scans() {
+        let mut p = Slru::new(Some(6));
+        p.on_insert(key(1));
+        p.on_hit(key(1)); // promoted to protected
+        for n in 2..=5 {
+            p.on_insert(key(n)); // a one-touch scan
+        }
+        // Victims drain the probationary scan before touching key 1.
+        for expect in 2..=5 {
+            assert_eq!(p.victim(), Some(key(expect)));
+        }
+        assert_eq!(p.victim(), Some(key(1)));
+    }
+
+    #[test]
+    fn slru_demotes_when_protected_overflows() {
+        let mut p = Slru::new(Some(3)); // protected cap = 2
+        for n in 1..=3 {
+            p.on_insert(key(n));
+            p.on_hit(key(n)); // all promoted; 1 demoted on overflow
+        }
+        // 1 was demoted back to probation, so it is the first victim.
+        assert_eq!(p.victim(), Some(key(1)));
+    }
+
+    #[test]
+    fn twoq_promotes_only_ghosted_rereferences() {
+        let mut p = TwoQ::new(Some(4)); // a1in cap = 1
+        p.on_insert(key(1));
+        p.on_hit(key(1)); // a1in hit: no promotion
+        p.on_insert(key(2));
+        // a1in over cap → victim is the FIFO head (1), ghosted.
+        assert_eq!(p.victim(), Some(key(1)));
+        // Re-reference of ghosted 1 → admitted straight to Am.
+        p.on_insert(key(1));
+        p.on_insert(key(3));
+        p.on_insert(key(4));
+        // 2 and 3 are FIFO fodder; Am-resident 1 survives both.
+        assert_eq!(p.victim(), Some(key(2)));
+        assert_eq!(p.victim(), Some(key(3)));
+        assert_eq!(p.victim(), Some(key(4)));
+        assert_eq!(p.victim(), Some(key(1)));
+    }
+
+    #[test]
+    fn policies_forget_removed_keys() {
+        for kind in PolicyKind::ALL {
+            let mut p = kind.build(Some(8));
+            p.on_insert(key(1));
+            p.on_insert(key(2));
+            p.on_remove(key(1));
+            assert_eq!(p.victim(), Some(key(2)), "{kind}");
+            assert_eq!(p.victim(), None, "{kind}");
+        }
+    }
+
+    #[test]
+    fn policy_kind_parses_and_displays() {
+        assert_eq!("lru".parse::<PolicyKind>().unwrap(), PolicyKind::Lru);
+        assert_eq!("SLRU".parse::<PolicyKind>().unwrap(), PolicyKind::Slru);
+        assert_eq!("2q".parse::<PolicyKind>().unwrap(), PolicyKind::TwoQ);
+        assert_eq!("twoq".parse::<PolicyKind>().unwrap(), PolicyKind::TwoQ);
+        assert!("fifo".parse::<PolicyKind>().is_err());
+        for kind in PolicyKind::ALL {
+            assert_eq!(kind.as_str().parse::<PolicyKind>().unwrap(), kind);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! [`Codec`] implementation for [`TimeEstimate`], so simulation reports
+//! can live in the persistent artifact store. Floats round-trip through
+//! their bit patterns, so a stored estimate replays bit-identically.
+
+use crate::timing::TimeEstimate;
+use palo_cachesim::{HierarchyStats, ReplayStats};
+use palo_codec::{ByteReader, ByteWriter, Codec, DecodeError};
+
+impl Codec for TimeEstimate {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.write_f64(self.ms);
+        w.write_f64(self.memory_cycles);
+        w.write_f64(self.bus_cycles);
+        w.write_f64(self.compute_cycles);
+        w.write_f64(self.speedup);
+        self.stats.encode(w);
+        self.replay.encode(w);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(TimeEstimate {
+            ms: r.read_f64()?,
+            memory_cycles: r.read_f64()?,
+            bus_cycles: r.read_f64()?,
+            compute_cycles: r.read_f64()?,
+            speedup: r.read_f64()?,
+            stats: HierarchyStats::decode(r)?,
+            replay: ReplayStats::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn estimates_round_trip_bit_exactly() {
+        let est = TimeEstimate {
+            ms: 1.5,
+            memory_cycles: 2.25,
+            bus_cycles: 3.5,
+            compute_cycles: 4.75,
+            speedup: 8.0,
+            stats: HierarchyStats::default(),
+            replay: ReplayStats { runs: 1, run_lines: 2, cycles_skipped: 3, lines_skipped: 4 },
+        };
+        let bytes = est.encode_to_vec();
+        let back = TimeEstimate::decode_from_slice(&bytes).unwrap();
+        assert_eq!(back.ms.to_bits(), est.ms.to_bits());
+        assert_eq!(back.stats, est.stats);
+        assert_eq!(back.replay, est.replay);
+    }
+}

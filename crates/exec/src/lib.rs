@@ -43,6 +43,7 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod buffers;
+mod codec;
 mod error;
 mod fingerprint;
 mod interp;

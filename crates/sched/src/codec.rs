@@ -1,0 +1,215 @@
+//! [`Codec`] implementations for the schedule language and lowered
+//! nests, so optimizer decisions and lowering artifacts can live in the
+//! persistent artifact store.
+//!
+//! Enum variants encode as a leading `u8` tag followed by the variant's
+//! fields in declaration order; unknown tags are decode errors (a store
+//! written by a newer schema reads as corrupt, which callers degrade to
+//! a cache miss). These encodings are part of the on-disk contract —
+//! changing one requires bumping the owning pass's version.
+
+use crate::directive::{Directive, Schedule};
+use crate::lower::{Contribution, LoopKind, LoweredLoop, LoweredNest};
+use palo_codec::{ByteReader, ByteWriter, Codec, DecodeError};
+use palo_ir::VarId;
+
+impl Codec for Directive {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            Directive::Split { var, outer, inner, factor } => {
+                w.write_u8(0);
+                w.write_str(var);
+                w.write_str(outer);
+                w.write_str(inner);
+                w.write_usize(*factor);
+            }
+            Directive::Reorder { order } => {
+                w.write_u8(1);
+                order.encode(w);
+            }
+            Directive::Fuse { outer, inner, fused } => {
+                w.write_u8(2);
+                w.write_str(outer);
+                w.write_str(inner);
+                w.write_str(fused);
+            }
+            Directive::Vectorize { var, lanes } => {
+                w.write_u8(3);
+                w.write_str(var);
+                w.write_usize(*lanes);
+            }
+            Directive::Parallel { var } => {
+                w.write_u8(4);
+                w.write_str(var);
+            }
+            Directive::StoreNt => w.write_u8(5),
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(match r.read_u8()? {
+            0 => Directive::Split {
+                var: r.read_str()?.to_string(),
+                outer: r.read_str()?.to_string(),
+                inner: r.read_str()?.to_string(),
+                factor: r.read_usize()?,
+            },
+            1 => Directive::Reorder { order: Vec::decode(r)? },
+            2 => Directive::Fuse {
+                outer: r.read_str()?.to_string(),
+                inner: r.read_str()?.to_string(),
+                fused: r.read_str()?.to_string(),
+            },
+            3 => {
+                Directive::Vectorize { var: r.read_str()?.to_string(), lanes: r.read_usize()? }
+            }
+            4 => Directive::Parallel { var: r.read_str()?.to_string() },
+            5 => Directive::StoreNt,
+            _ => return Err(r.invalid("unknown Directive tag")),
+        })
+    }
+}
+
+impl Codec for Schedule {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.directives.encode(w);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(Schedule { directives: Vec::decode(r)? })
+    }
+}
+
+impl Codec for Contribution {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.write_usize(self.var.index());
+        w.write_usize(self.stride);
+        w.write_usize(self.divisor);
+        w.write_usize(self.modulus);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(Contribution {
+            var: VarId(r.read_usize()?),
+            stride: r.read_usize()?,
+            divisor: r.read_usize()?,
+            modulus: r.read_usize()?,
+        })
+    }
+}
+
+impl Codec for LoopKind {
+    fn encode(&self, w: &mut ByteWriter) {
+        match self {
+            LoopKind::Serial => w.write_u8(0),
+            LoopKind::Parallel => w.write_u8(1),
+            LoopKind::Vectorized(lanes) => {
+                w.write_u8(2);
+                w.write_usize(*lanes);
+            }
+        }
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(match r.read_u8()? {
+            0 => LoopKind::Serial,
+            1 => LoopKind::Parallel,
+            2 => LoopKind::Vectorized(r.read_usize()?),
+            _ => return Err(r.invalid("unknown LoopKind tag")),
+        })
+    }
+}
+
+impl Codec for LoweredLoop {
+    fn encode(&self, w: &mut ByteWriter) {
+        w.write_str(&self.name);
+        w.write_usize(self.trip);
+        self.kind.encode(w);
+        self.contribs.encode(w);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(LoweredLoop {
+            name: r.read_str()?.to_string(),
+            trip: r.read_usize()?,
+            kind: LoopKind::decode(r)?,
+            contribs: Vec::decode(r)?,
+        })
+    }
+}
+
+impl Codec for LoweredNest {
+    fn encode(&self, w: &mut ByteWriter) {
+        self.loops.encode(w);
+        w.write_bool(self.nt_store);
+        w.write_bool(self.needs_guard);
+        self.extents.encode(w);
+    }
+
+    fn decode(r: &mut ByteReader<'_>) -> Result<Self, DecodeError> {
+        Ok(LoweredNest {
+            loops: Vec::decode(r)?,
+            nt_store: r.read_bool()?,
+            needs_guard: r.read_bool()?,
+            extents: Vec::decode(r)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Codec + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.encode_to_vec();
+        assert_eq!(T::decode_from_slice(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn schedules_round_trip() {
+        let mut s = Schedule::new();
+        s.split("j", "j_o", "j_i", 512)
+            .split("i", "i_o", "i_i", 32)
+            .reorder(&["j_o", "i_o", "i_i", "j_i"])
+            .fuse("j_o", "i_o", "t")
+            .vectorize("j_i", 8)
+            .parallel("t")
+            .store_nt();
+        round_trip(s);
+        round_trip(Schedule::new());
+    }
+
+    #[test]
+    fn lowered_nests_round_trip() {
+        use palo_ir::{DType, NestBuilder};
+        let mut b = NestBuilder::new("copy", DType::F32);
+        let i = b.var("i", 100);
+        let a = b.array("A", &[100]);
+        let c = b.array("C", &[100]);
+        let rhs = b.load(a, &[i]);
+        b.store(c, &[i], rhs);
+        let nest = b.build().unwrap();
+
+        let mut s = Schedule::new();
+        s.split("i", "i_o", "i_i", 7).vectorize("i_i", 4).store_nt();
+        let lowered = s.lower(&nest).unwrap();
+        assert!(lowered.needs_guard());
+        round_trip(lowered);
+    }
+
+    #[test]
+    fn unknown_tags_are_decode_errors() {
+        assert!(Directive::decode_from_slice(&[9]).is_err());
+        assert!(LoopKind::decode_from_slice(&[7]).is_err());
+    }
+
+    #[test]
+    fn truncated_schedules_are_errors_not_panics() {
+        let mut s = Schedule::new();
+        s.split("i", "o", "n", 3).parallel("o");
+        let bytes = s.encode_to_vec();
+        for cut in 0..bytes.len() {
+            assert!(Schedule::decode_from_slice(&bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+}

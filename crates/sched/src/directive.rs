@@ -59,7 +59,7 @@ pub enum Directive {
 /// [`Schedule::lower`].
 #[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Schedule {
-    directives: Vec<Directive>,
+    pub(crate) directives: Vec<Directive>,
 }
 
 impl Schedule {

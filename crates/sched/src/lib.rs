@@ -40,6 +40,7 @@
 
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+mod codec;
 mod directive;
 mod error;
 mod fingerprint;

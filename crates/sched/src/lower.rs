@@ -68,10 +68,10 @@ impl LoweredLoop {
 /// statement.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct LoweredNest {
-    loops: Vec<LoweredLoop>,
-    nt_store: bool,
-    needs_guard: bool,
-    extents: Vec<usize>,
+    pub(crate) loops: Vec<LoweredLoop>,
+    pub(crate) nt_store: bool,
+    pub(crate) needs_guard: bool,
+    pub(crate) extents: Vec<usize>,
 }
 
 impl LoweredNest {

@@ -1,418 +1,8 @@
-//! A minimal JSON reader/writer for the serve protocol.
+//! The serve protocol's JSON dialect — re-exported from [`palo_codec`].
 //!
-//! The workspace's `serde` is an offline no-op stand-in (see
-//! `vendor/README.md`), so the newline-delimited JSON protocol is parsed
-//! and emitted by hand. The dialect is standard JSON restricted to what
-//! the protocol needs: objects, arrays, strings (with escapes and BMP
-//! `\uXXXX` including surrogate pairs), `f64` numbers, booleans and
-//! `null`. Parsing is strict — trailing garbage, unterminated strings
-//! and malformed numbers are errors, never silently accepted — because a
-//! daemon that guesses at half-parsed requests is a daemon that serves
-//! the wrong nest.
+//! The strict reader/writer that used to live here was promoted to the
+//! shared `palo-codec` crate (the artifact store needed the same "no
+//! serde, hand-rolled and strict" serialization story); this module
+//! stays so existing `palo_serve::json::…` paths keep working.
 
-use std::fmt;
-
-/// A parsed JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any JSON number (always read as `f64`).
-    Num(f64),
-    /// A string (escapes already decoded).
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object, in source order (duplicate keys keep the last).
-    Obj(Vec<(String, Json)>),
-}
-
-/// A parse failure: byte offset and description.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct JsonError {
-    /// Byte offset of the failure in the input.
-    pub at: usize,
-    /// What went wrong.
-    pub what: String,
-}
-
-impl fmt::Display for JsonError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid JSON at byte {}: {}", self.at, self.what)
-    }
-}
-
-impl std::error::Error for JsonError {}
-
-impl Json {
-    /// Parses exactly one JSON value spanning the whole input.
-    ///
-    /// # Errors
-    ///
-    /// [`JsonError`] on malformed input or trailing non-whitespace.
-    pub fn parse(input: &str) -> Result<Json, JsonError> {
-        let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
-        p.skip_ws();
-        let v = p.value()?;
-        p.skip_ws();
-        if p.pos != p.bytes.len() {
-            return Err(p.err("trailing characters after value"));
-        }
-        Ok(v)
-    }
-
-    /// The value under `key`, when this is an object that has it.
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(fields) => fields.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The string content, when this is a string.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The number, when this is a number.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) => Some(*n),
-            _ => None,
-        }
-    }
-
-    /// The number as a non-negative integer, when it is one exactly.
-    pub fn as_u64(&self) -> Option<u64> {
-        match self {
-            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
-                Some(*n as u64)
-            }
-            _ => None,
-        }
-    }
-
-    /// The boolean, when this is a boolean.
-    pub fn as_bool(&self) -> Option<bool> {
-        match self {
-            Json::Bool(b) => Some(*b),
-            _ => None,
-        }
-    }
-}
-
-struct Parser<'a> {
-    bytes: &'a [u8],
-    pos: usize,
-}
-
-impl<'a> Parser<'a> {
-    fn err(&self, what: &str) -> JsonError {
-        JsonError { at: self.pos, what: what.to_string() }
-    }
-
-    fn peek(&self) -> Option<u8> {
-        self.bytes.get(self.pos).copied()
-    }
-
-    fn skip_ws(&mut self) {
-        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
-            self.pos += 1;
-        }
-    }
-
-    fn expect(&mut self, b: u8) -> Result<(), JsonError> {
-        if self.peek() == Some(b) {
-            self.pos += 1;
-            Ok(())
-        } else {
-            Err(self.err(&format!("expected {:?}", b as char)))
-        }
-    }
-
-    fn value(&mut self) -> Result<Json, JsonError> {
-        match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
-            Some(b'"') => Ok(Json::Str(self.string()?)),
-            Some(b't') => self.keyword("true", Json::Bool(true)),
-            Some(b'f') => self.keyword("false", Json::Bool(false)),
-            Some(b'n') => self.keyword("null", Json::Null),
-            Some(b'-' | b'0'..=b'9') => self.number(),
-            Some(_) => Err(self.err("unexpected character")),
-            None => Err(self.err("unexpected end of input")),
-        }
-    }
-
-    fn keyword(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
-        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
-            self.pos += word.len();
-            Ok(value)
-        } else {
-            Err(self.err(&format!("expected {word:?}")))
-        }
-    }
-
-    fn object(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'{')?;
-        let mut fields = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b'}') {
-            self.pos += 1;
-            return Ok(Json::Obj(fields));
-        }
-        loop {
-            self.skip_ws();
-            let key = self.string()?;
-            self.skip_ws();
-            self.expect(b':')?;
-            self.skip_ws();
-            let value = self.value()?;
-            fields.push((key, value));
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b'}') => {
-                    self.pos += 1;
-                    return Ok(Json::Obj(fields));
-                }
-                _ => return Err(self.err("expected ',' or '}'")),
-            }
-        }
-    }
-
-    fn array(&mut self) -> Result<Json, JsonError> {
-        self.expect(b'[')?;
-        let mut items = Vec::new();
-        self.skip_ws();
-        if self.peek() == Some(b']') {
-            self.pos += 1;
-            return Ok(Json::Arr(items));
-        }
-        loop {
-            self.skip_ws();
-            items.push(self.value()?);
-            self.skip_ws();
-            match self.peek() {
-                Some(b',') => self.pos += 1,
-                Some(b']') => {
-                    self.pos += 1;
-                    return Ok(Json::Arr(items));
-                }
-                _ => return Err(self.err("expected ',' or ']'")),
-            }
-        }
-    }
-
-    fn string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
-        let mut out = String::new();
-        loop {
-            match self.peek() {
-                None => return Err(self.err("unterminated string")),
-                Some(b'"') => {
-                    self.pos += 1;
-                    return Ok(out);
-                }
-                Some(b'\\') => {
-                    self.pos += 1;
-                    match self.peek() {
-                        Some(b'"') => out.push('"'),
-                        Some(b'\\') => out.push('\\'),
-                        Some(b'/') => out.push('/'),
-                        Some(b'b') => out.push('\u{8}'),
-                        Some(b'f') => out.push('\u{c}'),
-                        Some(b'n') => out.push('\n'),
-                        Some(b'r') => out.push('\r'),
-                        Some(b't') => out.push('\t'),
-                        Some(b'u') => {
-                            self.pos += 1;
-                            let hi = self.hex4()?;
-                            let c = if (0xD800..0xDC00).contains(&hi) {
-                                // Surrogate pair: require the low half.
-                                if !self.bytes[self.pos..].starts_with(b"\\u") {
-                                    return Err(self.err("lone high surrogate"));
-                                }
-                                self.pos += 2;
-                                let lo = self.hex4()?;
-                                if !(0xDC00..0xE000).contains(&lo) {
-                                    return Err(self.err("invalid low surrogate"));
-                                }
-                                let cp = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
-                                char::from_u32(cp)
-                            } else {
-                                char::from_u32(hi)
-                            };
-                            match c {
-                                Some(c) => out.push(c),
-                                None => return Err(self.err("invalid \\u escape")),
-                            }
-                            continue;
-                        }
-                        _ => return Err(self.err("invalid escape")),
-                    }
-                    self.pos += 1;
-                }
-                Some(_) => {
-                    // Consume one UTF-8 scalar (the input is &str, so the
-                    // next char boundary is valid).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid UTF-8"))?;
-                    let c = s.chars().next().ok_or_else(|| self.err("empty"))?;
-                    if c.is_control() {
-                        return Err(self.err("unescaped control character"));
-                    }
-                    out.push(c);
-                    self.pos += c.len_utf8();
-                }
-            }
-        }
-    }
-
-    fn hex4(&mut self) -> Result<u32, JsonError> {
-        let end = self.pos.checked_add(4).filter(|&e| e <= self.bytes.len());
-        let end = end.ok_or_else(|| self.err("truncated \\u escape"))?;
-        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
-            .map_err(|_| self.err("non-ASCII in \\u escape"))?;
-        let v = u32::from_str_radix(hex, 16).map_err(|_| self.err("non-hex in \\u escape"))?;
-        self.pos = end;
-        Ok(v)
-    }
-
-    fn number(&mut self) -> Result<Json, JsonError> {
-        let start = self.pos;
-        if self.peek() == Some(b'-') {
-            self.pos += 1;
-        }
-        while matches!(self.peek(), Some(b'0'..=b'9')) {
-            self.pos += 1;
-        }
-        if self.peek() == Some(b'.') {
-            self.pos += 1;
-            while matches!(self.peek(), Some(b'0'..=b'9')) {
-                self.pos += 1;
-            }
-        }
-        if matches!(self.peek(), Some(b'e' | b'E')) {
-            self.pos += 1;
-            if matches!(self.peek(), Some(b'+' | b'-')) {
-                self.pos += 1;
-            }
-            while matches!(self.peek(), Some(b'0'..=b'9')) {
-                self.pos += 1;
-            }
-        }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos])
-            .map_err(|_| self.err("invalid number"))?;
-        text.parse::<f64>().map(Json::Num).map_err(|_| self.err("invalid number"))
-    }
-}
-
-/// Appends `s` to `out` as a quoted JSON string with escapes.
-pub fn push_json_str(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-/// Appends an `f64` in shortest round-trip form (`null` for non-finite
-/// values, which JSON cannot express).
-pub fn push_json_f64(out: &mut String, v: f64) {
-    if v.is_finite() {
-        out.push_str(&format!("{v}"));
-    } else {
-        out.push_str("null");
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn parses_the_protocol_shapes() {
-        let v = Json::parse(
-            r#"{"id":"r1","kernel":"matmul","size":64,"priority":"interactive",
-                "deadline_ms":250.0,"faults":{"fail_first_lowerings":2},
-                "tags":[1,-2.5,true,null]}"#,
-        )
-        .unwrap();
-        assert_eq!(v.get("id").and_then(Json::as_str), Some("r1"));
-        assert_eq!(v.get("size").and_then(Json::as_u64), Some(64));
-        assert_eq!(v.get("deadline_ms").and_then(Json::as_u64), Some(250));
-        let faults = v.get("faults").unwrap();
-        assert_eq!(faults.get("fail_first_lowerings").and_then(Json::as_u64), Some(2));
-        assert_eq!(
-            v.get("tags"),
-            Some(&Json::Arr(vec![
-                Json::Num(1.0),
-                Json::Num(-2.5),
-                Json::Bool(true),
-                Json::Null
-            ]))
-        );
-    }
-
-    #[test]
-    fn decodes_escapes_and_surrogate_pairs() {
-        let v = Json::parse(r#""a\"b\\c\n\u0041\ud83d\ude00""#).unwrap();
-        assert_eq!(v.as_str(), Some("a\"b\\c\nA😀"));
-    }
-
-    #[test]
-    fn rejects_malformed_input() {
-        for bad in [
-            "",
-            "{",
-            "{\"a\":}",
-            "[1,]",
-            "tru",
-            "\"unterminated",
-            "1 2",
-            "{\"a\" 1}",
-            "\"\\ud800\"",
-            "01a",
-            "nul",
-        ] {
-            assert!(Json::parse(bad).is_err(), "accepted {bad:?}");
-        }
-    }
-
-    #[test]
-    fn duplicate_keys_keep_the_last() {
-        let v = Json::parse(r#"{"a":1,"a":2}"#).unwrap();
-        assert_eq!(v.get("a").and_then(Json::as_f64), Some(2.0));
-    }
-
-    #[test]
-    fn string_escaping_round_trips() {
-        let mut out = String::new();
-        push_json_str(&mut out, "a\"b\\c\nd\u{1}");
-        assert_eq!(out, r#""a\"b\\c\nd\u0001""#);
-        assert_eq!(Json::parse(&out).unwrap().as_str(), Some("a\"b\\c\nd\u{1}"));
-
-        let mut num = String::new();
-        push_json_f64(&mut num, 1.5e300);
-        assert_eq!(Json::parse(&num).unwrap().as_f64(), Some(1.5e300));
-        let mut nan = String::new();
-        push_json_f64(&mut nan, f64::NAN);
-        assert_eq!(nan, "null");
-    }
-}
+pub use palo_codec::json::{push_json_f64, push_json_str, Json, JsonError};

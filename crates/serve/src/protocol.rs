@@ -468,9 +468,21 @@ impl Response {
                     }
                     out.push_str("]}");
                 }
+                let tier = |t: &palo_core::TierStats| {
+                    format!(
+                        "{{\"hits\":{},\"misses\":{},\"evictions\":{},\"bytes_written\":{}}}",
+                        t.hits, t.misses, t.evictions, t.bytes_written
+                    )
+                };
                 out.push_str(&format!(
-                    "],\"cache\":{{\"hits\":{},\"misses\":{},\"bypasses\":{}}},\"elapsed_ms\":",
-                    ok.cache.hits, ok.cache.misses, ok.cache.bypasses
+                    "],\"cache\":{{\"hits\":{},\"misses\":{},\"bypasses\":{},\
+                     \"anomalies\":{},\"mem\":{},\"disk\":{}}},\"elapsed_ms\":",
+                    ok.cache.hits,
+                    ok.cache.misses,
+                    ok.cache.bypasses,
+                    ok.cache.anomalies,
+                    tier(&ok.cache.mem),
+                    tier(&ok.cache.disk)
                 ));
                 push_json_f64(&mut out, ok.elapsed.as_secs_f64() * 1e3);
             }
@@ -564,7 +576,7 @@ mod tests {
                 shed_level: ShedLevel::Green,
                 pressure: 0.25,
                 retried: false,
-                cache: CacheStats { hits: 5, misses: 1, bypasses: 0 },
+                cache: CacheStats { hits: 5, misses: 1, ..CacheStats::default() },
                 elapsed: Duration::from_millis(12),
             }),
         };
@@ -585,6 +597,10 @@ mod tests {
         assert_eq!(pass.get("requests").and_then(Json::as_u64), Some(1));
         let cache = v.get("cache").unwrap();
         assert_eq!(cache.get("hits").and_then(Json::as_u64), Some(5));
+        assert_eq!(cache.get("anomalies").and_then(Json::as_u64), Some(0));
+        let mem = cache.get("mem").expect("per-tier counters must serialize");
+        assert_eq!(mem.get("evictions").and_then(Json::as_u64), Some(0));
+        assert!(cache.get("disk").is_some());
 
         let err = Response::error("r2", ErrorKind::QueueFull, "queue at capacity (64)");
         let v = Json::parse(&err.to_json()).unwrap();
@@ -614,7 +630,7 @@ mod tests {
             shed_level: level,
             pressure,
             retried: false,
-            cache: CacheStats { hits, misses: 0, bypasses: 0 },
+            cache: CacheStats { hits, ..CacheStats::default() },
             elapsed: Duration::from_millis(7),
         };
         assert_eq!(

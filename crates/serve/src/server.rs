@@ -410,9 +410,7 @@ fn respond_ok(
     Counters::bump(&shared.counters.served);
     let mut cache = CacheStats::default();
     for out in outcomes {
-        cache.hits += out.report.cache.hits;
-        cache.misses += out.report.cache.misses;
-        cache.bypasses += out.report.cache.bypasses;
+        cache.absorb(&out.report.cache);
     }
     Response {
         id: job_request.id.clone(),

@@ -9,8 +9,18 @@
 //!          [--model paper|tss|tts|sim]
 //!          [--ablate no-prefetch-discount,no-corder,...]
 //!          [--estimate] [--profile] [--no-nti] [--verbose] [--cache-stats]
+//!          [--cache-dir DIR] [--cache-policy lru|slru|2q]
+//!          [--cache-capacity ENTRIES] [--cache-capacity-bytes BYTES]
 //! palo-opt --batch [kernel] [--threads N] [--estimate] [--profile] [--cache-stats]
+//!          [--cache-dir DIR] [--cache-policy lru|slru|2q] [--cache-capacity N]
 //! ```
+//!
+//! `--cache-dir` opens the tiered persistent artifact store (DESIGN.md
+//! §15): a second invocation on the same directory replays the first
+//! run's pass artifacts bit-identically instead of re-optimizing.
+//! `--cache-policy` and the `--cache-capacity*` flags bound the in-memory
+//! tier; decisions are identical under every policy and capacity — only
+//! hit rates change.
 //!
 //! `--profile` (implies `--estimate`) prints, per nest, the per-pass
 //! wall-clock breakdown of the run plus the replay engine's run/line
@@ -27,7 +37,8 @@
 use palo::arch::{presets, Architecture};
 use palo::baselines::{schedule_for, Technique};
 use palo::core::{
-    ModelKind, Optimizer, OptimizerConfig, PipelineConfig, PipelineReport, Priority, Session,
+    CacheConfig, CacheStats, ModelKind, Optimizer, OptimizerConfig, PipelineConfig,
+    PipelineReport, PolicyKind, Priority, Session,
 };
 use palo::serve::{
     signal, Fidelity, NestResult, Request, Responder, Response, ServeConfig, Server, ShedPolicy,
@@ -51,6 +62,7 @@ struct Args {
     batch: bool,
     threads: Option<usize>,
     cache_stats: bool,
+    cache: CacheConfig,
 }
 
 fn usage() -> ExitCode {
@@ -60,7 +72,10 @@ fn usage() -> ExitCode {
          \x20               [--model paper|tss|tts|sim]\n\
          \x20               [--ablate no-prefetch-discount,no-corder,no-parallel-grain,no-bandwidth-term]\n\
          \x20               [--estimate] [--profile] [--no-nti] [--verbose] [--cache-stats]\n\
+         \x20               [--cache-dir DIR] [--cache-policy lru|slru|2q]\n\
+         \x20               [--cache-capacity ENTRIES] [--cache-capacity-bytes BYTES]\n\
          \x20      palo-opt --batch [kernel] [--threads N] [--estimate] [--profile] [--cache-stats]\n\
+         \x20               [--cache-dir DIR] [--cache-policy lru|slru|2q] [--cache-capacity N]\n\
          kernels: {}",
         Benchmark::all().map(|b| b.name()).join(", ")
     );
@@ -82,6 +97,7 @@ fn parse() -> Result<Args, ExitCode> {
         batch: false,
         threads: None,
         cache_stats: false,
+        cache: CacheConfig::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -104,6 +120,24 @@ fn parse() -> Result<Args, ExitCode> {
             }
             "--threads" => {
                 args.threads = Some(it.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?)
+            }
+            "--cache-dir" => {
+                args.cache.dir = Some(std::path::PathBuf::from(it.next().ok_or_else(usage)?))
+            }
+            "--cache-policy" => {
+                let name = it.next().ok_or_else(usage)?;
+                args.cache.policy = name.parse::<PolicyKind>().map_err(|e| {
+                    eprintln!("{e}");
+                    usage()
+                })?;
+            }
+            "--cache-capacity" => {
+                args.cache.capacity_entries =
+                    Some(it.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?)
+            }
+            "--cache-capacity-bytes" => {
+                args.cache.capacity_bytes =
+                    Some(it.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?)
             }
             "--estimate" => args.estimate = true,
             "--profile" => {
@@ -184,16 +218,28 @@ fn print_profile(report: &PipelineReport) {
     }
 }
 
-fn print_cache_stats(session: &Session) {
-    let s = session.cache_stats();
+fn print_cache_stats(s: &CacheStats, cached_artifacts: usize, persistent: bool) {
     println!(
         "// cache: {} hits, {} misses, {} bypasses ({:.0}% hit rate, {} artifacts)",
         s.hits,
         s.misses,
         s.bypasses,
         s.hit_rate() * 100.0,
-        session.cached_artifacts()
+        cached_artifacts
     );
+    println!(
+        "//   mem tier:  {} hits, {} misses, {} evictions, {} bytes written",
+        s.mem.hits, s.mem.misses, s.mem.evictions, s.mem.bytes_written
+    );
+    if persistent {
+        println!(
+            "//   disk tier: {} hits, {} misses, {} evictions, {} bytes written",
+            s.disk.hits, s.disk.misses, s.disk.evictions, s.disk.bytes_written
+        );
+    }
+    if s.anomalies > 0 {
+        println!("//   {} corrupt entries healed (served as misses)", s.anomalies);
+    }
 }
 
 /// The served-batch equivalent of [`print_profile`]: the per-pass and
@@ -241,6 +287,7 @@ fn run_batch(args: &Args, arch: &Architecture) -> ExitCode {
         pipeline: PipelineConfig {
             optimizer: config,
             simulate: args.estimate,
+            cache: args.cache.clone(),
             ..PipelineConfig::default()
         },
         workers: args.threads,
@@ -299,6 +346,7 @@ fn run_batch(args: &Args, arch: &Architecture) -> ExitCode {
     // rejections.
     let session_stats = server.session().cache_stats();
     let cached_artifacts = server.session().cached_artifacts();
+    let persistent = args.cache.dir.is_some();
     let stats = server.shutdown();
     while let Ok(r) = rx.try_recv() {
         responses.push(r);
@@ -342,14 +390,7 @@ fn run_batch(args: &Args, arch: &Architecture) -> ExitCode {
         }
     }
     if args.cache_stats {
-        println!(
-            "// cache: {} hits, {} misses, {} bypasses ({:.0}% hit rate, {} artifacts)",
-            session_stats.hits,
-            session_stats.misses,
-            session_stats.bypasses,
-            session_stats.hit_rate() * 100.0,
-            cached_artifacts
-        );
+        print_cache_stats(&session_stats, cached_artifacts, persistent);
     }
     debug_assert_eq!(stats.responses() as usize, responses.len(), "a response was lost");
     if interrupted {
@@ -390,8 +431,10 @@ fn main() -> ExitCode {
     };
 
     // One session for every nest and estimate of this invocation: the
-    // model is resolved once and repeated work hits the artifact cache.
-    let session = match Session::new(&arch, PipelineConfig::default()) {
+    // model is resolved once and repeated work hits the artifact cache
+    // (persisting across processes when --cache-dir is given).
+    let pipeline = PipelineConfig { cache: args.cache.clone(), ..PipelineConfig::default() };
+    let session = match Session::new(&arch, pipeline) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("cannot open session: {e}");
@@ -487,7 +530,11 @@ fn main() -> ExitCode {
         }
     }
     if args.cache_stats {
-        print_cache_stats(&session);
+        print_cache_stats(
+            &session.cache_stats(),
+            session.cached_artifacts(),
+            args.cache.dir.is_some(),
+        );
     }
     ExitCode::SUCCESS
 }

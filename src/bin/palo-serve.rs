@@ -10,9 +10,15 @@
 //! palo-serve [--platform 5930k|6700|a15] [--socket PATH]
 //!            [--workers N] [--queue N] [--max-sims N]
 //!            [--yellow F] [--red F] [--no-estimate]
+//!            [--cache-dir DIR] [--cache-policy lru|slru|2q]
+//!            [--cache-capacity ENTRIES] [--cache-capacity-bytes BYTES]
 //!
 //! echo '{"id":"r1","kernel":"matmul","size":256}' | palo-serve
 //! ```
+//!
+//! `--cache-dir` opens the tiered persistent artifact store at startup
+//! (DESIGN.md §15): a restarted daemon starts warm, replaying the
+//! previous process's pass artifacts bit-identically from disk.
 //!
 //! SIGINT/SIGTERM (and end of input) drain gracefully: in-flight
 //! requests finish, queued ones are answered with a typed `shutdown`
@@ -20,7 +26,7 @@
 //! response per request, always.
 
 use palo::arch::{presets, Architecture};
-use palo::core::PipelineConfig;
+use palo::core::{CacheConfig, PipelineConfig, PolicyKind};
 use palo::serve::{signal, Responder, Response, ServeConfig, Server, ShedPolicy};
 use std::io::{BufRead, BufReader, Write};
 use std::process::ExitCode;
@@ -37,6 +43,7 @@ struct Args {
     yellow: f64,
     red: f64,
     estimate: bool,
+    cache: CacheConfig,
 }
 
 fn usage() -> ExitCode {
@@ -44,6 +51,8 @@ fn usage() -> ExitCode {
         "usage: palo-serve [--platform 5930k|6700|a15] [--socket PATH]\n\
          \x20                 [--workers N] [--queue N] [--max-sims N]\n\
          \x20                 [--yellow F] [--red F] [--no-estimate]\n\
+         \x20                 [--cache-dir DIR] [--cache-policy lru|slru|2q]\n\
+         \x20                 [--cache-capacity ENTRIES] [--cache-capacity-bytes BYTES]\n\
          protocol: one JSON request per line on stdin (or per socket\n\
          connection), one JSON response per line back; see README."
     );
@@ -61,6 +70,7 @@ fn parse() -> Result<Args, ExitCode> {
         yellow: shed.yellow,
         red: shed.red,
         estimate: true,
+        cache: CacheConfig::default(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -85,6 +95,24 @@ fn parse() -> Result<Args, ExitCode> {
             }
             "--red" => args.red = next_parsed("--red")?.parse().map_err(|_| usage())?,
             "--no-estimate" => args.estimate = false,
+            "--cache-dir" => {
+                args.cache.dir = Some(std::path::PathBuf::from(next_parsed("--cache-dir")?))
+            }
+            "--cache-policy" => {
+                args.cache.policy =
+                    next_parsed("--cache-policy")?.parse::<PolicyKind>().map_err(|e| {
+                        eprintln!("{e}");
+                        usage()
+                    })?
+            }
+            "--cache-capacity" => {
+                args.cache.capacity_entries =
+                    Some(next_parsed("--cache-capacity")?.parse().map_err(|_| usage())?)
+            }
+            "--cache-capacity-bytes" => {
+                args.cache.capacity_bytes =
+                    Some(next_parsed("--cache-capacity-bytes")?.parse().map_err(|_| usage())?)
+            }
             "-h" | "--help" => return Err(usage()),
             _ => return Err(usage()),
         }
@@ -110,6 +138,17 @@ fn print_final_stats(server: &Server) {
         cache.bypasses,
         cache.hit_rate() * 100.0,
         server.session().cached_artifacts()
+    );
+    eprintln!(
+        "//   mem tier:  {} hits, {} misses, {} evictions; disk tier: {} hits, {} misses, \
+         {} bytes written; {} anomalies healed",
+        cache.mem.hits,
+        cache.mem.misses,
+        cache.mem.evictions,
+        cache.disk.hits,
+        cache.disk.misses,
+        cache.disk.bytes_written,
+        cache.anomalies,
     );
 }
 
@@ -324,6 +363,7 @@ fn main() -> ExitCode {
         pipeline: PipelineConfig {
             simulate: args.estimate,
             max_concurrent_sims: args.max_sims,
+            cache: args.cache.clone(),
             ..PipelineConfig::default()
         },
         workers: args.workers,
@@ -337,6 +377,9 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    if let Some(dir) = &args.cache.dir {
+        eprintln!("// artifact store: {} (persistent)", dir.display());
+    }
 
     match &args.socket {
         Some(path) => serve_socket(server, path),

@@ -11,6 +11,8 @@
 //!
 //! * [`ir`] — loop-nest IR ([`palo_ir`])
 //! * [`arch`] — architecture descriptions ([`palo_arch`])
+//! * [`codec`] — strict JSON + checksummed binary artifact framing
+//!   ([`palo_codec`])
 //! * [`sched`] — schedule directives and lowering ([`palo_sched`])
 //! * [`cachesim`] — cache + prefetcher simulator ([`palo_cachesim`])
 //! * [`exec`] — interpreter and trace generator ([`palo_exec`])
@@ -57,6 +59,7 @@
 pub use palo_arch as arch;
 pub use palo_baselines as baselines;
 pub use palo_cachesim as cachesim;
+pub use palo_codec as codec;
 pub use palo_core as core;
 pub use palo_exec as exec;
 pub use palo_ir as ir;

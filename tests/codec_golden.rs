@@ -1,0 +1,99 @@
+//! Golden snapshot of the artifact codec's wire bytes.
+//!
+//! The persistent store replays artifacts across processes, so the
+//! binary encoding is a *compatibility surface*: an accidental codec
+//! change silently invalidates (or worse, misreads) every on-disk cache.
+//! This test pins the exact framed bytes of the deterministic pass
+//! artifacts — classify, degrade, lower — for one fixed nest, so any
+//! encoding change fails loudly and must be blessed like source.
+//!
+//! (The optimize and simulate artifacts carry wall-clock search/replay
+//! telemetry and are deliberately not byte-pinned.)
+//!
+//! To regenerate after an *intentional* codec or schema change:
+//!
+//! ```text
+//! PALO_BLESS_GOLDEN=1 cargo test --test codec_golden
+//! ```
+
+use palo::codec::{frame, Codec};
+use palo::core::pass::{ClassifyPass, DegradePass, LowerPass, Pass};
+use palo::core::{PipelineConfig, RunCtl, Session};
+use palo::ir::{DType, LoopNest, NestBuilder};
+use std::fmt::Write as _;
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/artifact_bytes.txt");
+
+/// The fixed nest: an 8×8×8 f32 matmul (small, classifies Temporal).
+fn fixed_nest() -> LoopNest {
+    let mut b = NestBuilder::new("golden", DType::F32);
+    let i = b.var("i", 8);
+    let j = b.var("j", 8);
+    let k = b.var("k", 8);
+    let a = b.array("A", &[8, 8]);
+    let bm = b.array("B", &[8, 8]);
+    let c = b.array("C", &[8, 8]);
+    b.accumulate(c, &[i, j], b.load(a, &[i, k]) * b.load(bm, &[k, j]));
+    b.build().expect("valid nest")
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// One line per artifact: `<pass> <framed bytes as hex>` — the exact
+/// bytes the disk tier stores.
+fn render_artifact_bytes() -> String {
+    let session =
+        Session::new(&palo::arch::presets::intel_i7_6700(), PipelineConfig::default())
+            .expect("session must open");
+    let nest = fixed_nest();
+    let ctl = RunCtl::new();
+
+    let mut out = String::new();
+    let mut pin = |pass: &str, version: u32, payload: Vec<u8>| {
+        let framed = frame::encode_frame(pass, version, &payload);
+        writeln!(out, "{pass} {}", hex(&framed)).expect("write to String cannot fail");
+    };
+
+    let classify = session.execute(&ClassifyPass, &ctl, &&nest).expect("classify");
+    pin("classify", ClassifyPass.version(), classify.encode_to_vec());
+
+    let degrade = session.execute(&DegradePass, &ctl, &(&nest, None)).expect("degrade");
+    pin("degrade", DegradePass.version(), degrade.encode_to_vec());
+
+    let schedule = degrade.ladder.first().expect("ladder is never empty").1.clone();
+    let lower = session.execute(&LowerPass, &ctl, &(&nest, &schedule)).expect("lower");
+    pin("lower", LowerPass.version(), lower.encode_to_vec());
+
+    out
+}
+
+#[test]
+fn artifact_wire_bytes_are_bit_identical_to_the_snapshot() {
+    let got = render_artifact_bytes();
+    if std::env::var_os("PALO_BLESS_GOLDEN").is_some() {
+        std::fs::write(GOLDEN, &got).expect("bless: cannot write snapshot");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN)
+        .expect("missing snapshot; run with PALO_BLESS_GOLDEN=1 to create it");
+    assert_eq!(
+        got, want,
+        "artifact wire bytes diverged from the golden snapshot; an on-disk \
+         cache written by the previous build would now misread or \
+         invalidate — if the schema change is intentional, bump the pass \
+         version, re-bless with PALO_BLESS_GOLDEN=1 and review the diff"
+    );
+}
+
+/// The frame header itself is pinned separately so a framing change
+/// cannot hide behind a payload change.
+#[test]
+fn frame_header_layout_is_pinned() {
+    let framed = frame::encode_frame("p", 3, b"xyz");
+    assert_eq!(&framed[..8], b"PALOART\0", "magic");
+    assert_eq!(&framed[8..12], &1u32.to_le_bytes(), "format version");
+    let decoded = frame::decode_frame(&framed).expect("round-trip");
+    assert_eq!((decoded.pass, decoded.pass_version, decoded.payload), ("p", 3, &b"xyz"[..]));
+}
