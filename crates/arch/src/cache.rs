@@ -22,11 +22,15 @@ pub enum WriteAllocate {
 
 /// Hardware prefetcher attached to a cache level.
 ///
-/// The paper models two units: an L1 *next-line streamer* that fetches the
-/// successor of every referenced line, and an L2 *constant-stride*
+/// The paper models two units — an L1 *next-line streamer* that fetches
+/// the successor of every referenced line, and an L2 *constant-stride*
 /// prefetcher that issues `degree` requests per access (`L2pref`) up to a
 /// maximum distance of `max_distance` lines ahead of the demand stream
-/// (`L2maxpref`, "usually 20 for Intel processors").
+/// (`L2maxpref`, "usually 20 for Intel processors"). The remaining
+/// variants describe the wider prefetcher zoo found on shipping cores
+/// (Intel's adjacent-sector unit, AMD/ARM L2 stream engines with
+/// confirmation thresholds); each maps onto one simulator strategy and
+/// one analytic-coverage rule, so platform presets can mix them freely.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum PrefetcherConfig {
     /// No prefetcher at this level.
@@ -40,6 +44,32 @@ pub enum PrefetcherConfig {
         /// Maximum lines of run-ahead past the demand stream (`L2maxpref`).
         max_distance: usize,
     },
+    /// Adjacent-pair (buddy-line) unit: on a demand miss to line `l`,
+    /// fetch the other half of the aligned two-line sector (`l ^ 1`),
+    /// like Intel's adjacent-cache-line or spatial prefetcher.
+    AdjacentPair,
+    /// Constant-stride streamer with an explicit confirmation threshold:
+    /// a stream must repeat its stride `min_confidence` times before any
+    /// prefetch issues (ARM L2 units train slower than Intel's).
+    ConfidentStride {
+        /// Prefetch requests issued per triggering access.
+        degree: usize,
+        /// Maximum lines of run-ahead past the demand stream.
+        max_distance: usize,
+        /// Consecutive stride confirmations required before issuing.
+        min_confidence: u8,
+    },
+    /// Stream engine with confirmation, styled after AMD L2 stream
+    /// prefetchers: only unit-stride (ascending or descending) streams
+    /// ever issue, and only after `confirm` consecutive confirmations.
+    Stream {
+        /// Prefetch requests issued per triggering access.
+        degree: usize,
+        /// Maximum lines of run-ahead past the demand stream.
+        max_distance: usize,
+        /// Consecutive direction confirmations required before issuing.
+        confirm: u8,
+    },
 }
 
 impl PrefetcherConfig {
@@ -47,8 +77,10 @@ impl PrefetcherConfig {
     pub fn degree(&self) -> usize {
         match self {
             PrefetcherConfig::None => 0,
-            PrefetcherConfig::NextLine => 1,
-            PrefetcherConfig::Stride { degree, .. } => *degree,
+            PrefetcherConfig::NextLine | PrefetcherConfig::AdjacentPair => 1,
+            PrefetcherConfig::Stride { degree, .. }
+            | PrefetcherConfig::ConfidentStride { degree, .. }
+            | PrefetcherConfig::Stream { degree, .. } => *degree,
         }
     }
 
@@ -56,14 +88,128 @@ impl PrefetcherConfig {
     pub fn max_distance(&self) -> usize {
         match self {
             PrefetcherConfig::None => 0,
-            PrefetcherConfig::NextLine => 1,
-            PrefetcherConfig::Stride { max_distance, .. } => *max_distance,
+            PrefetcherConfig::NextLine | PrefetcherConfig::AdjacentPair => 1,
+            PrefetcherConfig::Stride { max_distance, .. }
+            | PrefetcherConfig::ConfidentStride { max_distance, .. }
+            | PrefetcherConfig::Stream { max_distance, .. } => *max_distance,
         }
     }
 
     /// Whether any prefetching happens at this level.
     pub fn is_enabled(&self) -> bool {
         !matches!(self, PrefetcherConfig::None)
+    }
+
+    /// Confirmations a stream needs before this unit issues (the seed's
+    /// stride table used a fixed threshold of two).
+    pub fn min_confidence(&self) -> u8 {
+        match self {
+            PrefetcherConfig::ConfidentStride { min_confidence, .. } => *min_confidence,
+            PrefetcherConfig::Stream { confirm, .. } => *confirm,
+            _ => 2,
+        }
+    }
+
+    /// Whether the unit follows constant-stride demand streams, i.e.
+    /// covers the cold misses of a streamed row walk (the premise behind
+    /// the analytic model's `rows()`-based miss discount). The
+    /// adjacent-pair unit is the one enabled strategy that does not: it
+    /// fetches a fixed buddy line instead of running ahead of a stream.
+    pub fn covers_streams(&self) -> bool {
+        matches!(
+            self,
+            PrefetcherConfig::NextLine
+                | PrefetcherConfig::Stride { .. }
+                | PrefetcherConfig::ConfidentStride { .. }
+                | PrefetcherConfig::Stream { .. }
+        )
+    }
+
+    /// Extra successor lines fetched alongside each contiguous row, used
+    /// by the analytic model's L1 footprint inflation (Algorithm 1 adds
+    /// one line per row for the next-line streamer). Every enabled
+    /// strategy overshoots a row's end by one line; `None` fetches
+    /// nothing.
+    pub fn line_inflation(&self) -> usize {
+        if self.is_enabled() {
+            1
+        } else {
+            0
+        }
+    }
+}
+
+impl std::fmt::Display for PrefetcherConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrefetcherConfig::None => write!(f, "none"),
+            PrefetcherConfig::NextLine => write!(f, "next-line"),
+            PrefetcherConfig::AdjacentPair => write!(f, "adjacent-pair"),
+            PrefetcherConfig::Stride { degree, max_distance } => {
+                write!(f, "stride:{degree}:{max_distance}")
+            }
+            PrefetcherConfig::ConfidentStride { degree, max_distance, min_confidence } => {
+                write!(f, "confident-stride:{degree}:{max_distance}:{min_confidence}")
+            }
+            PrefetcherConfig::Stream { degree, max_distance, confirm } => {
+                write!(f, "stream:{degree}:{max_distance}:{confirm}")
+            }
+        }
+    }
+}
+
+impl std::str::FromStr for PrefetcherConfig {
+    type Err = String;
+
+    /// Parses the CLI spelling produced by [`Display`](std::fmt::Display):
+    /// `none`, `next-line`, `adjacent-pair`, `stride:D:M`,
+    /// `confident-stride:D:M:C`, `stream:D:M:C`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parts = s.split(':');
+        let head = parts.next().unwrap_or("");
+        let mut nums = Vec::new();
+        for p in parts {
+            nums.push(p.parse::<usize>().map_err(|_| format!("bad prefetcher knob {p:?}"))?);
+        }
+        let knobs = |n: usize| -> Result<(), String> {
+            if nums.len() == n {
+                Ok(())
+            } else {
+                Err(format!("{head} takes {n} knobs, got {}", nums.len()))
+            }
+        };
+        let conf = |v: usize| -> Result<u8, String> {
+            u8::try_from(v).map_err(|_| format!("confidence {v} out of range"))
+        };
+        match head {
+            "none" => knobs(0).map(|()| PrefetcherConfig::None),
+            "next-line" => knobs(0).map(|()| PrefetcherConfig::NextLine),
+            "adjacent-pair" => knobs(0).map(|()| PrefetcherConfig::AdjacentPair),
+            "stride" => {
+                knobs(2)?;
+                Ok(PrefetcherConfig::Stride { degree: nums[0], max_distance: nums[1] })
+            }
+            "confident-stride" => {
+                knobs(3)?;
+                Ok(PrefetcherConfig::ConfidentStride {
+                    degree: nums[0],
+                    max_distance: nums[1],
+                    min_confidence: conf(nums[2])?,
+                })
+            }
+            "stream" => {
+                knobs(3)?;
+                Ok(PrefetcherConfig::Stream {
+                    degree: nums[0],
+                    max_distance: nums[1],
+                    confirm: conf(nums[2])?,
+                })
+            }
+            other => Err(format!(
+                "unknown prefetcher {other:?} (try none, next-line, adjacent-pair, \
+                 stride:D:M, confident-stride:D:M:C, stream:D:M:C)"
+            )),
+        }
     }
 }
 
@@ -168,6 +314,48 @@ mod tests {
         assert_eq!(s.degree(), 2);
         assert_eq!(s.max_distance(), 20);
         assert!(s.is_enabled());
+    }
+
+    #[test]
+    fn zoo_accessors() {
+        let cs = PrefetcherConfig::ConfidentStride {
+            degree: 2,
+            max_distance: 12,
+            min_confidence: 3,
+        };
+        assert_eq!(cs.degree(), 2);
+        assert_eq!(cs.max_distance(), 12);
+        assert_eq!(cs.min_confidence(), 3);
+        assert!(cs.covers_streams());
+        let st = PrefetcherConfig::Stream { degree: 4, max_distance: 16, confirm: 2 };
+        assert_eq!(st.degree(), 4);
+        assert_eq!(st.min_confidence(), 2);
+        assert!(st.covers_streams());
+        let ap = PrefetcherConfig::AdjacentPair;
+        assert_eq!(ap.degree(), 1);
+        assert!(!ap.covers_streams());
+        assert_eq!(ap.line_inflation(), 1);
+        assert_eq!(PrefetcherConfig::None.line_inflation(), 0);
+        assert_eq!(PrefetcherConfig::NextLine.line_inflation(), 1);
+    }
+
+    #[test]
+    fn prefetcher_parse_round_trips() {
+        let all = [
+            PrefetcherConfig::None,
+            PrefetcherConfig::NextLine,
+            PrefetcherConfig::AdjacentPair,
+            PrefetcherConfig::Stride { degree: 2, max_distance: 20 },
+            PrefetcherConfig::ConfidentStride { degree: 1, max_distance: 8, min_confidence: 3 },
+            PrefetcherConfig::Stream { degree: 4, max_distance: 16, confirm: 2 },
+        ];
+        for cfg in all {
+            let s = cfg.to_string();
+            assert_eq!(s.parse::<PrefetcherConfig>(), Ok(cfg), "{s}");
+        }
+        assert!("bogus".parse::<PrefetcherConfig>().is_err());
+        assert!("stride:2".parse::<PrefetcherConfig>().is_err());
+        assert!("stream:1:2:999".parse::<PrefetcherConfig>().is_err());
     }
 
     #[test]

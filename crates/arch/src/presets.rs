@@ -132,6 +132,132 @@ pub fn all() -> Vec<Architecture> {
     vec![intel_i7_5930k(), intel_i7_6700(), arm_cortex_a15()]
 }
 
+/// AMD Zen 2 (Ryzen 3700X-style): 8 cores × 2 threads, 32 KiB 8-way L1
+/// with a next-line streamer, 512 KiB 8-way L2 driven by a
+/// *stream-with-confirmation* engine (unit-stride only, 2 confirmations,
+/// degree 4 up to 16 lines ahead), 16 MiB shared L3, AVX2.
+pub fn amd_zen2() -> Architecture {
+    Architecture {
+        name: "AMD Zen 2".into(),
+        caches: vec![
+            CacheLevel {
+                line_size: 64,
+                associativity: 8,
+                size_bytes: 32 * 1024,
+                sharing: SharingScope::Core,
+                write_allocate: WriteAllocate::Allocate,
+                prefetcher: PrefetcherConfig::NextLine,
+                latency_cycles: 4.0,
+            },
+            CacheLevel {
+                line_size: 64,
+                associativity: 8,
+                size_bytes: 512 * 1024,
+                sharing: SharingScope::Core,
+                write_allocate: WriteAllocate::Allocate,
+                prefetcher: PrefetcherConfig::Stream {
+                    degree: 4,
+                    max_distance: 16,
+                    confirm: 2,
+                },
+                latency_cycles: 12.0,
+            },
+            CacheLevel {
+                line_size: 64,
+                associativity: 16,
+                size_bytes: 16 * 1024 * 1024,
+                sharing: SharingScope::Chip,
+                write_allocate: WriteAllocate::Allocate,
+                prefetcher: PrefetcherConfig::None,
+                latency_cycles: 39.0,
+            },
+        ],
+        cores: 8,
+        threads_per_core: 2,
+        vector_bytes: 32,
+        supports_nt_stores: true,
+        timing: TimingModel {
+            freq_ghz: 3.6,
+            mem_latency_cycles: 240.0,
+            mem_transfer_cycles: 11.0,
+            compute_cycles_per_iter: 1.0,
+            hit_exposed_fraction: 0.15,
+        },
+    }
+}
+
+/// ARM Neoverse N1: 4 cores × 1 thread, 64 KiB 4-way L1 with an
+/// adjacent-pair unit, 1 MiB 8-way private L2 with a slow-training
+/// *confident-stride* engine (3 confirmations, degree 2 up to 12 lines),
+/// 4 MiB shared SLC, NEON.
+pub fn arm_neoverse_n1() -> Architecture {
+    Architecture {
+        name: "ARM Neoverse N1".into(),
+        caches: vec![
+            CacheLevel {
+                line_size: 64,
+                associativity: 4,
+                size_bytes: 64 * 1024,
+                sharing: SharingScope::Core,
+                write_allocate: WriteAllocate::Allocate,
+                prefetcher: PrefetcherConfig::AdjacentPair,
+                latency_cycles: 4.0,
+            },
+            CacheLevel {
+                line_size: 64,
+                associativity: 8,
+                size_bytes: 1024 * 1024,
+                sharing: SharingScope::Core,
+                write_allocate: WriteAllocate::Allocate,
+                prefetcher: PrefetcherConfig::ConfidentStride {
+                    degree: 2,
+                    max_distance: 12,
+                    min_confidence: 3,
+                },
+                latency_cycles: 11.0,
+            },
+            CacheLevel {
+                line_size: 64,
+                associativity: 16,
+                size_bytes: 4 * 1024 * 1024,
+                sharing: SharingScope::Chip,
+                write_allocate: WriteAllocate::Allocate,
+                prefetcher: PrefetcherConfig::None,
+                latency_cycles: 28.0,
+            },
+        ],
+        cores: 4,
+        threads_per_core: 1,
+        vector_bytes: 16,
+        supports_nt_stores: false,
+        timing: TimingModel {
+            freq_ghz: 2.6,
+            mem_latency_cycles: 220.0,
+            mem_transfer_cycles: 16.0,
+            compute_cycles_per_iter: 1.5,
+            hit_exposed_fraction: 0.20,
+        },
+    }
+}
+
+/// [`intel_i7_6700`] with every hardware prefetcher disabled — the
+/// ablation personality: the optimizer must stop discounting
+/// prefetch-covered misses and decisions shift accordingly.
+pub fn intel_i7_6700_no_prefetch() -> Architecture {
+    let mut arch = intel_i7_6700();
+    arch.name = "Intel i7-6700 (no prefetch)".into();
+    for level in &mut arch.caches {
+        level.prefetcher = PrefetcherConfig::None;
+    }
+    arch
+}
+
+/// The prefetcher-zoo presets added on top of the paper's Table-3 trio,
+/// in golden-suite row order.
+pub fn zoo() -> Vec<Architecture> {
+    vec![amd_zen2(), arm_neoverse_n1(), intel_i7_6700_no_prefetch()]
+}
+
 /// Presets for the *reproduction's scaled problem sizes* (DESIGN.md §5).
 ///
 /// The paper's working sets exceed the last-level cache by large factors
@@ -169,6 +295,21 @@ pub mod repro {
     pub fn arm_cortex_a15() -> Architecture {
         super::arm_cortex_a15()
     }
+
+    /// [`super::amd_zen2`] with the L3 scaled to 1 MiB.
+    pub fn amd_zen2() -> Architecture {
+        shrink_llc(super::amd_zen2())
+    }
+
+    /// [`super::arm_neoverse_n1`] with the SLC scaled to 2 MiB.
+    pub fn arm_neoverse_n1() -> Architecture {
+        shrink_llc(super::arm_neoverse_n1())
+    }
+
+    /// [`super::intel_i7_6700_no_prefetch`] with the L3 scaled to 512 KiB.
+    pub fn intel_i7_6700_no_prefetch() -> Architecture {
+        shrink_llc(super::intel_i7_6700_no_prefetch())
+    }
 }
 
 #[cfg(test)]
@@ -197,5 +338,26 @@ mod tests {
     fn intel_prefetch_distance_is_twenty() {
         let p = intel_i7_5930k();
         assert_eq!(p.l2().prefetcher.max_distance(), 20);
+    }
+
+    #[test]
+    fn zoo_presets_validate() {
+        let zoo = zoo();
+        assert_eq!(zoo.len(), 3);
+        for arch in zoo {
+            arch.validate().unwrap_or_else(|e| panic!("{}: {e}", arch.name));
+        }
+    }
+
+    #[test]
+    fn zoo_covers_distinct_strategies() {
+        assert!(matches!(amd_zen2().l2().prefetcher, PrefetcherConfig::Stream { .. }));
+        assert!(matches!(
+            arm_neoverse_n1().l2().prefetcher,
+            PrefetcherConfig::ConfidentStride { .. }
+        ));
+        assert!(matches!(arm_neoverse_n1().l1().prefetcher, PrefetcherConfig::AdjacentPair));
+        let nopf = intel_i7_6700_no_prefetch();
+        assert!(nopf.caches.iter().all(|c| !c.prefetcher.is_enabled()));
     }
 }

@@ -45,6 +45,7 @@ fn emu_bounds(c: &mut Criterion) {
                 l2_max_pref: 20,
                 for_l2: true,
                 halve_l2_sets: true,
+                inflate_lines: 0,
                 cap: 1 << 16,
             })
         })

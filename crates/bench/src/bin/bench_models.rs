@@ -1,12 +1,16 @@
 //! Model-fidelity harness: how well does each *analytical* cost model
 //! rank candidates compared to the simulator's measured time?
 //!
-//! For each kernel this enumerates a fixed grid of candidate points
-//! (tile + the driver-default `(x, u)` orders), scores every point with
-//! the three analytical models — the paper's prefetch-aware model, TSS
-//! and TTS, each under its own *effective* `(config, arch)` pair — and
-//! with the [`SimulatedModel`] oracle (estimated milliseconds on the
-//! cache simulator). Per model it reports the Spearman rank correlation
+//! For each scenario — kernel × platform preset, where the platforms
+//! cover the prefetcher zoo (the paper's i7-5930k next-line + stride
+//! units, an AMD-styled L2 stream unit, an ARM-styled confident-stride
+//! unit behind an adjacent-pair L1, and a prefetch-less control) — this
+//! enumerates a fixed grid of candidate points (tile + the
+//! driver-default `(x, u)` orders), scores every point with the three
+//! analytical models — the paper's prefetch-aware model, TSS and TTS,
+//! each under its own *effective* `(config, arch)` pair — and with the
+//! [`SimulatedModel`] oracle (estimated milliseconds on the cache
+//! simulator). Per model it reports the Spearman rank correlation
 //! between predicted cost and simulated time (average ranks under ties;
 //! model-infeasible points count as tied-worst), plus whether the
 //! model's argmin point is also the simulator's. Results go to
@@ -26,7 +30,7 @@
 //! `matmul gemm syrk` plus the spatial `tp`, at sizes small enough that
 //! simulating the full grid takes seconds.
 
-use palo_arch::presets;
+use palo_arch::{presets, Architecture};
 use palo_baselines::{TssModel, TtsModel};
 use palo_core::{
     classify, post, CandidatePoint, Class, CostModel, Footprints, ModelKind, OptimizerConfig,
@@ -53,9 +57,22 @@ struct ModelRow {
 
 struct KernelRow {
     name: &'static str,
+    platform: &'static str,
     size: usize,
     points: usize,
     models: Vec<ModelRow>,
+}
+
+/// The fidelity scenarios' platforms: the paper's reference machine plus
+/// the prefetcher-zoo presets, so every strategy family gets ranked
+/// against the simulator.
+fn platforms() -> Vec<(&'static str, Architecture)> {
+    vec![
+        ("5930k", presets::intel_i7_5930k()),
+        ("zen2", presets::amd_zen2()),
+        ("n1", presets::arm_neoverse_n1()),
+        ("nopf", presets::intel_i7_6700_no_prefetch()),
+    ]
 }
 
 /// Benchmark size: the simulator traces the full kernel once per point,
@@ -115,6 +132,7 @@ fn candidate_points(class: Class, extents: &[usize], col: usize, row: usize) -> 
 fn score_points(
     nest: &LoopNest,
     info: &NestInfo,
+    base_arch: &Architecture,
     class: Class,
     kind: ModelKind,
     model: &dyn CostModel,
@@ -122,9 +140,8 @@ fn score_points(
     row: usize,
     points: &[Point],
 ) -> Vec<f64> {
-    let base_arch = presets::intel_i7_5930k();
     let config = kind.effective_config(&OptimizerConfig::default());
-    let arch = kind.effective_arch(&base_arch);
+    let arch = kind.effective_arch(base_arch);
     let extents = nest.extents();
     let fp = Footprints::new(nest, arch.l1().line_size);
     let use_nti = post::nti_eligible(info, &arch, &config);
@@ -200,7 +217,11 @@ fn argmin(scores: &[f64]) -> usize {
     best
 }
 
-fn run_kernel(b: Benchmark) -> Result<Option<KernelRow>, String> {
+fn run_kernel(
+    b: Benchmark,
+    pname: &'static str,
+    base_arch: &Architecture,
+) -> Result<Option<KernelRow>, String> {
     let size = bench_size(b);
     let nests: Vec<LoopNest> = b.build(size).map_err(|e| format!("{}: {e}", b.name()))?;
     // Multi-stage benchmarks: score the first transformable stage.
@@ -224,6 +245,7 @@ fn run_kernel(b: Benchmark) -> Result<Option<KernelRow>, String> {
         let truth = score_points(
             nest,
             &info,
+            base_arch,
             class,
             ModelKind::Paper,
             &SimulatedModel::default(),
@@ -233,7 +255,7 @@ fn run_kernel(b: Benchmark) -> Result<Option<KernelRow>, String> {
         );
         let measured = truth.iter().filter(|t| t.is_finite()).count();
         if measured == 0 {
-            return Err(format!("{}: simulator scored no candidate point", b.name()));
+            return Err(format!("{} @ {pname}: simulator scored no candidate point", b.name()));
         }
         let truth_best = argmin(&truth);
 
@@ -244,7 +266,8 @@ fn run_kernel(b: Benchmark) -> Result<Option<KernelRow>, String> {
         ];
         let mut models = Vec::new();
         for (name, kind, model) in analytical {
-            let pred = score_points(nest, &info, class, kind, model, col, row, &points);
+            let pred =
+                score_points(nest, &info, base_arch, class, kind, model, col, row, &points);
             models.push(ModelRow {
                 model: name,
                 spearman: spearman(&pred, &truth),
@@ -252,7 +275,13 @@ fn run_kernel(b: Benchmark) -> Result<Option<KernelRow>, String> {
                 best_agrees: argmin(&pred) == truth_best,
             });
         }
-        return Ok(Some(KernelRow { name: b.name(), size, points: points.len(), models }));
+        return Ok(Some(KernelRow {
+            name: b.name(),
+            platform: pname,
+            size,
+            points: points.len(),
+            models,
+        }));
     }
     Ok(None) // nothing transformable (contiguous benchmark)
 }
@@ -262,8 +291,9 @@ fn render_json(rows: &[KernelRow]) -> String {
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             out,
-            "    {{\"kernel\": \"{}\", \"size\": {}, \"points\": {}, \"models\": [",
-            r.name, r.size, r.points
+            "    {{\"kernel\": \"{}\", \"platform\": \"{}\", \"size\": {}, \"points\": {}, \
+             \"models\": [",
+            r.name, r.platform, r.size, r.points
         );
         for (j, m) in r.models.iter().enumerate() {
             let rho = match m.spearman {
@@ -327,27 +357,30 @@ fn main() {
 
     let mut rows = Vec::new();
     let mut failed = false;
-    for b in kernels {
-        match run_kernel(b) {
-            Ok(Some(row)) => {
-                for m in &row.models {
-                    println!(
-                        "{:<10} size {:>4}, {:>2} points: {:<5} spearman {}, \
-                         argmin agrees: {}",
-                        row.name,
-                        row.size,
-                        row.points,
-                        m.model,
-                        m.spearman.map(|v| format!("{v:+.3}")).unwrap_or("n/a ".into()),
-                        m.best_agrees,
-                    );
+    for (pname, arch) in &platforms() {
+        for &b in &kernels {
+            match run_kernel(b, pname, arch) {
+                Ok(Some(row)) => {
+                    for m in &row.models {
+                        println!(
+                            "{:<10} @ {:<5} size {:>4}, {:>2} points: {:<5} spearman {}, \
+                             argmin agrees: {}",
+                            row.name,
+                            row.platform,
+                            row.size,
+                            row.points,
+                            m.model,
+                            m.spearman.map(|v| format!("{v:+.3}")).unwrap_or("n/a ".into()),
+                            m.best_agrees,
+                        );
+                    }
+                    rows.push(row);
                 }
-                rows.push(row);
-            }
-            Ok(None) => println!("{:<10} skipped (no transformable stage)", b.name()),
-            Err(e) => {
-                eprintln!("bench_models: {e}");
-                failed = true;
+                Ok(None) => println!("{:<10} skipped (no transformable stage)", b.name()),
+                Err(e) => {
+                    eprintln!("bench_models: {e}");
+                    failed = true;
+                }
             }
         }
     }

@@ -2,18 +2,19 @@
 
 use crate::cache::{AccessOutcome, Cache, Eviction};
 use crate::error::SimConfigError;
-use crate::prefetch::{Stream, StridePrefetcher};
 use crate::stats::HierarchyStats;
-use palo_arch::{Architecture, PrefetcherConfig};
+use crate::strategy::{unit_for, PrefetchSnap, Prefetcher};
+use palo_arch::Architecture;
 
 /// Number of cache levels the fused lookup-victim path keeps on the
 /// stack; deeper (hypothetical) hierarchies fall back to the re-scanning
 /// fill. Every real architecture has at most three levels.
 const FUSED_LEVELS: usize = 8;
 
-/// The parked-frontier predicate of [`StridePrefetcher::parked`] computed
-/// from the run engine's local ramp mirror: every further expected feed
-/// then pushes exactly one line (the new frontier) and preserves `r`.
+/// The parked-frontier predicate of a ramp-capable prefetcher
+/// ([`Prefetcher::ramp_state`]) computed from the run engine's local ramp
+/// mirror: every further expected feed then pushes exactly one line (the
+/// new frontier) and preserves `r`.
 #[inline]
 fn parked_from(r: i64, st_abs: u64, limit: u64, degree: u32) -> bool {
     degree > 0
@@ -147,10 +148,9 @@ impl PrefetchThrottle {
 #[derive(Debug)]
 pub(crate) struct HierSnap {
     levels: Vec<LevelSnap>,
-    streams: Vec<Stream>,
-    creations: u64,
+    /// One state image per prefetcher unit, level order.
+    prefs: Vec<PrefetchSnap>,
     throttle: PrefetchThrottle,
-    l1_last_miss: u64,
     stats: HierarchyStats,
 }
 
@@ -182,11 +182,9 @@ pub struct Hierarchy {
     caches: Vec<Cache>,
     latencies: Vec<f64>,
     line_bits: u32,
-    l1_next_line: bool,
-    /// Last line that missed L1 (the DCU next-line streamer only triggers
-    /// on ascending sequential misses, not on arbitrary misses).
-    l1_last_miss: u64,
-    l2_stride: Option<StridePrefetcher>,
+    /// One prefetcher unit per cache level (inert where the config has
+    /// none), built by [`unit_for`] from the architecture description.
+    units: Vec<Box<dyn Prefetcher>>,
     throttle: PrefetchThrottle,
     stats: HierarchyStats,
     replay: ReplayStats,
@@ -289,22 +287,18 @@ impl Hierarchy {
             caches.push(Cache::new(sets, ways));
             latencies.push(level.latency_cycles);
         }
-        let l1_next_line = matches!(arch.l1().prefetcher, PrefetcherConfig::NextLine);
-        let l2_stride = match arch.l2().prefetcher {
-            PrefetcherConfig::Stride { degree, max_distance } => {
-                Some(StridePrefetcher::new(degree, max_distance))
-            }
-            PrefetcherConfig::NextLine => Some(StridePrefetcher::new(1, 1)),
-            PrefetcherConfig::None => None,
-        };
+        let units: Vec<Box<dyn Prefetcher>> = arch
+            .caches
+            .iter()
+            .enumerate()
+            .map(|(k, level)| unit_for(k, &level.prefetcher))
+            .collect();
         let n = caches.len();
         Ok(Hierarchy {
             caches,
             latencies,
             line_bits,
-            l1_next_line,
-            l1_last_miss: u64::MAX,
-            l2_stride,
+            units,
             throttle: PrefetchThrottle::default(),
             stats: HierarchyStats::new(n),
             replay: ReplayStats::default(),
@@ -335,16 +329,15 @@ impl Hierarchy {
         self.probe_last = HierarchyStats::new(self.caches.len());
     }
 
-    /// Empties every cache and stream table.
+    /// Empties every cache and prefetcher unit.
     pub fn flush(&mut self) {
         for c in &mut self.caches {
             c.clear();
         }
-        if let Some(p) = &mut self.l2_stride {
-            p.reset();
+        for u in &mut self.units {
+            u.reset();
         }
         self.throttle = PrefetchThrottle::default();
-        self.l1_last_miss = u64::MAX;
     }
 
     /// Number of cache levels.
@@ -466,32 +459,44 @@ impl Hierarchy {
 
         // Prefetchers observe the demand stream.
         if served.level >= 1 {
-            // L1 missed: the L1 next-line streamer fetches the successor,
-            // and the L2 prefetcher sees the access.
-            let sequential =
-                line == self.l1_last_miss.wrapping_add(1) || line == self.l1_last_miss;
-            self.l1_last_miss = line;
-            if self.l1_next_line && sequential && self.throttle.allow() {
-                self.prefetch_fill(0, line + 1);
-                self.throttle.on_fill();
-            }
-            if self.l2_stride.is_some() {
-                let mut buf = std::mem::take(&mut self.pf_buf);
-                buf.clear();
-                if let Some(p) = self.l2_stride.as_mut() {
-                    p.observe_into(line, &mut buf);
-                }
-                self.issue_stride_prefetches(&buf);
-                self.pf_buf = buf;
-            }
+            self.observe_demand_miss(line);
         }
         served
     }
 
+    /// Feeds an L1 demand miss to every prefetcher unit and issues what
+    /// they emit — the scalar engine's observe path.
+    fn observe_demand_miss(&mut self, line: u64) {
+        let mut units = std::mem::take(&mut self.units);
+        let mut buf = std::mem::take(&mut self.pf_buf);
+        for (k, unit) in units.iter_mut().enumerate() {
+            self.observe_unit(k, unit.as_mut(), line, &mut buf);
+        }
+        self.pf_buf = buf;
+        self.units = units;
+    }
+
+    /// Feeds one miss to the unit at level `k` and issues its emissions —
+    /// the per-unit observe step shared by the scalar engine and the run
+    /// engine (which drives the locked unit separately).
+    fn observe_unit(
+        &mut self,
+        k: usize,
+        unit: &mut dyn Prefetcher,
+        line: u64,
+        buf: &mut Vec<u64>,
+    ) {
+        buf.clear();
+        unit.observe_into(line, buf);
+        self.issue_prefetches(k, buf);
+    }
+
     /// The run-compressed hot loop: same per-line transition as
     /// [`Hierarchy::access_line`], plus an expected-stream lock that
-    /// bypasses the prefetcher's table scan while a lower-indexed stream
-    /// provably cannot capture the run's lines.
+    /// bypasses the level-1 prefetcher's table scan while a lower-indexed
+    /// stream provably cannot capture the run's lines. Units at other
+    /// levels take the plain per-line observe path (cheap: they are
+    /// table-free or inert on every preset).
     fn access_run_fast(&mut self, run: &AccessRun) {
         let write = run.kind == AccessKind::Store;
         let stride = run.stride_lines;
@@ -509,19 +514,24 @@ impl Hierarchy {
         let mut safe_left: u64 = 0;
         let mut expect_next: u64 = 0;
         // Whether the locked stream's frontier is parked at the run-ahead
-        // limit (see [`StridePrefetcher::parked`]) — feeds then take the
-        // O(1) single-line path. Parkedness is invariant under parked
-        // feeds, so it is only re-evaluated after full-path feeds.
+        // limit — feeds then take the O(1) single-line path. Parkedness
+        // is invariant under parked feeds, so it is only re-evaluated
+        // after full-path feeds.
         let mut parked = false;
         // Exact local mirror of the locked stream's ramp state (see
-        // [`StridePrefetcher::ramp_state`]): `ramp_r` is the signed
-        // frontier run-ahead, updated arithmetically on fast-path feeds
-        // and re-read after full-path feeds, so both fast-feed regime
-        // checks run without touching the stream table.
+        // [`Prefetcher::ramp_state`]): `ramp_r` is the signed frontier
+        // run-ahead, updated arithmetically on fast-path feeds and
+        // re-read after full-path feeds, so both fast-feed regime checks
+        // run without touching the stream table. `has_ramp` is whether
+        // the locked unit exposes a ramp at all — strategies that keep
+        // the default `None` still lock, but every feed takes the
+        // full-transition path.
+        let mut has_ramp = false;
         let mut ramp_r: i64 = 0;
         let mut ramp_limit: u64 = 0;
         let mut degree: u32 = 0;
         let st_abs = stride.unsigned_abs();
+        let mut units = std::mem::take(&mut self.units);
         let mut buf = std::mem::take(&mut self.pf_buf);
         for _ in 0..run.count {
             self.stats.total_accesses += 1;
@@ -563,14 +573,13 @@ impl Hierarchy {
                 self.handle_eviction(k, ev);
             }
             if served_level >= 1 {
-                let sequential =
-                    line == self.l1_last_miss.wrapping_add(1) || line == self.l1_last_miss;
-                self.l1_last_miss = line;
-                if self.l1_next_line && sequential && self.throttle.allow() {
-                    self.prefetch_fill(0, line + 1);
-                    self.throttle.on_fill();
+                // Level-0 unit: plain per-miss observe (next-line and
+                // adjacent-pair units are O(1) and table-free).
+                if let Some(u0) = units.first_mut() {
+                    self.observe_unit(0, u0.as_mut(), line, &mut buf);
                 }
-                if let Some(p) = self.l2_stride.as_mut() {
+                // Level-1 unit: the expected-stream lock.
+                if let Some(p) = units.get_mut(1).map(Box::as_mut) {
                     if p.disabled() {
                         p.tick(1);
                     } else {
@@ -584,8 +593,9 @@ impl Hierarchy {
                                     st_abs.saturating_mul(u64::from(degree).saturating_sub(1));
                                 if parked {
                                     let pline = p.feed_parked(f, line);
-                                    self.issue_stride_prefetches(std::slice::from_ref(&pline));
-                                } else if ramp_r >= st_abs as i64
+                                    self.issue_prefetches(1, std::slice::from_ref(&pline));
+                                } else if has_ramp
+                                    && ramp_r >= st_abs as i64
                                     && (ramp_r as u64).saturating_add(span) <= ramp_limit
                                     && self.throttle.denies_run(degree)
                                 {
@@ -598,10 +608,15 @@ impl Hierarchy {
                                 } else {
                                     buf.clear();
                                     p.observe_expected(f, line, &mut buf);
-                                    ramp_r = p.ramp_state(f).0;
-                                    parked = parked_from(ramp_r, st_abs, ramp_limit, degree);
+                                    if has_ramp {
+                                        if let Some((r, _, _)) = p.ramp_state(f) {
+                                            ramp_r = r;
+                                        }
+                                        parked =
+                                            parked_from(ramp_r, st_abs, ramp_limit, degree);
+                                    }
                                     if !buf.is_empty() {
-                                        self.issue_stride_prefetches(&buf);
+                                        self.issue_prefetches(1, &buf);
                                     }
                                 }
                             }
@@ -610,47 +625,67 @@ impl Hierarchy {
                                 locked = p.observe_into(line, &mut buf);
                                 safe_left = 0;
                                 parked = false;
+                                has_ramp = false;
                                 if let Some(f) = locked {
                                     let next = line.wrapping_add_signed(stride);
                                     if p.expects(f, next) {
                                         safe_left = p.capture_free_steps(f, next, stride);
                                         expect_next = next;
-                                        let (r, limit, d) = p.ramp_state(f);
-                                        ramp_r = r;
-                                        ramp_limit = limit;
-                                        degree = d;
-                                        parked =
-                                            parked_from(ramp_r, st_abs, ramp_limit, degree);
+                                        if let Some((r, limit, d)) = p.ramp_state(f) {
+                                            has_ramp = true;
+                                            ramp_r = r;
+                                            ramp_limit = limit;
+                                            degree = d;
+                                            parked =
+                                                parked_from(ramp_r, st_abs, ramp_limit, degree);
+                                        }
                                     }
                                 }
                                 if !buf.is_empty() {
-                                    self.issue_stride_prefetches(&buf);
+                                    self.issue_prefetches(1, &buf);
                                 }
                             }
                         }
                     }
+                }
+                // Deeper units (inert on every real preset): plain observe.
+                for (k, u) in units.iter_mut().enumerate().skip(2) {
+                    self.observe_unit(k, u.as_mut(), line, &mut buf);
                 }
             }
             line = line.wrapping_add_signed(stride);
         }
         buf.clear();
         self.pf_buf = buf;
+        self.units = units;
     }
 
-    /// Routes confirmed stride prefetches into L2 and below, through the
-    /// accuracy throttle.
-    fn issue_stride_prefetches(&mut self, plines: &[u64]) {
+    /// Routes a unit's emitted prefetch lines into the hierarchy, through
+    /// the accuracy throttle. Level-0 emissions fill L1 only (the
+    /// next-line/adjacent-pair placement); emissions from level `k >= 1`
+    /// fill levels `k..` bottom-up.
+    fn issue_prefetches(&mut self, level: usize, plines: &[u64]) {
+        if level == 0 {
+            for &pline in plines {
+                if self.throttle.allow() {
+                    self.prefetch_fill(0, pline);
+                    self.throttle.on_fill();
+                }
+            }
+            return;
+        }
         let last = self.caches.len() - 1;
         for &pline in plines {
             if !self.throttle.allow() {
                 continue;
             }
-            // Stride prefetches land in L2 (and the LLC on the way),
-            // filled bottom-up: once the bottom level is handled the line
-            // is resident there, so the upper levels' came-from-memory
-            // probe (`in_lower` in [`Hierarchy::prefetch_fill`]) would
-            // provably succeed and is skipped.
-            for k in (1..=last).rev() {
+            // Stream/stride prefetches land in their own level (and the
+            // LLC on the way), filled bottom-up: once the bottom level is
+            // handled the line is resident there, so the upper levels'
+            // came-from-memory probe (`in_lower` in
+            // [`Hierarchy::prefetch_fill`]) would provably succeed and is
+            // skipped.
+            for k in (level..=last).rev() {
                 if self.caches[k].probe(pline) {
                     continue;
                 }
@@ -737,8 +772,8 @@ impl Hierarchy {
             mix(u64::from(self.throttle.hits), 0);
             mix(u64::from(self.throttle.duty), 0);
             mix(u64::from(self.throttle.throttled), 0);
-            if let Some(p) = &self.l2_stride {
-                mix(p.creations(), 0);
+            for u in &self.units {
+                mix(u.creations(), 0);
             }
             for (l, p) in self.stats.levels.iter().zip(&self.probe_last.levels) {
                 mix(l.demand_hits, p.demand_hits);
@@ -773,16 +808,10 @@ impl Hierarchy {
             }
             levels.push(LevelSnap { entries, starts });
         }
-        let (streams, creations) = match &self.l2_stride {
-            Some(p) => (p.streams().to_vec(), p.creations()),
-            None => (Vec::new(), 0),
-        };
         HierSnap {
             levels,
-            streams,
-            creations,
+            prefs: self.units.iter().map(|u| u.snapshot()).collect(),
             throttle: self.throttle.clone(),
-            l1_last_miss: self.l1_last_miss,
             stats: self.stats.clone(),
         }
     }
@@ -796,33 +825,12 @@ impl Hierarchy {
     /// (`creations` compare): allocation is the one event that reads
     /// absolute stamps and permutes table indices.
     pub(crate) fn cycle_matches_impl(&self, snap: &HierSnap, t: i64) -> bool {
-        if let Some(p) = &self.l2_stride {
-            if p.creations() != snap.creations {
+        for (u, s) in self.units.iter().zip(&snap.prefs) {
+            if !u.matches_translated(s, t) {
                 return false;
-            }
-            let cur = p.streams();
-            if cur.len() != snap.streams.len() {
-                return false;
-            }
-            for (c, s) in cur.iter().zip(&snap.streams) {
-                if c.stride != s.stride
-                    || c.confidence != s.confidence
-                    || c.last != s.last.wrapping_add_signed(t)
-                    || c.frontier != s.frontier.wrapping_add_signed(t)
-                {
-                    return false;
-                }
             }
         }
         if self.throttle != snap.throttle {
-            return false;
-        }
-        let want_miss = if snap.l1_last_miss == u64::MAX {
-            u64::MAX
-        } else {
-            snap.l1_last_miss.wrapping_add_signed(t)
-        };
-        if self.l1_last_miss != want_miss {
             return false;
         }
         let mut scratch: Vec<(u64, u64)> = Vec::new();
@@ -862,14 +870,8 @@ impl Hierarchy {
         for c in &mut self.caches {
             c.translate(shift);
         }
-        if let Some(p) = &mut self.l2_stride {
-            for s in p.streams_mut() {
-                s.last = s.last.wrapping_add_signed(shift);
-                s.frontier = s.frontier.wrapping_add_signed(shift);
-            }
-        }
-        if self.l1_last_miss != u64::MAX {
-            self.l1_last_miss = self.l1_last_miss.wrapping_add_signed(shift);
+        for u in &mut self.units {
+            u.translate(shift);
         }
         self.replay.cycles_skipped += cycles;
         self.replay.lines_skipped += lines_delta * cycles;
@@ -880,7 +882,7 @@ impl Hierarchy {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use palo_arch::presets;
+    use palo_arch::{presets, PrefetcherConfig};
 
     fn intel() -> Hierarchy {
         Hierarchy::from_architecture(&presets::intel_i7_6700())
@@ -1047,27 +1049,36 @@ mod tests {
         for arch in
             [presets::intel_i7_6700(), presets::intel_i7_5930k(), presets::arm_cortex_a15()]
         {
-            let mut fast = Hierarchy::from_architecture(&arch);
-            let mut slow = Hierarchy::from_architecture(&arch);
-            let start_line = 1 << 14;
-            fast.access_run(&AccessRun { start_line, stride_lines, count, kind });
-            let mut line = start_line;
-            for _ in 0..count {
-                slow.access_line(line, kind);
-                line = line.wrapping_add_signed(stride_lines);
-            }
-            assert_eq!(fast.stats(), slow.stats(), "{}: stride {stride_lines}", arch.name);
-            // And the state is equivalent too: a probe stream afterwards
-            // behaves identically.
-            let probe = AccessRun { start_line, stride_lines, count, kind: AccessKind::Load };
-            fast.access_run(&probe);
-            let mut line = start_line;
-            for _ in 0..count {
-                slow.access_line(line, AccessKind::Load);
-                line = line.wrapping_add_signed(stride_lines);
-            }
-            assert_eq!(fast.stats(), slow.stats(), "{}: reprobe {stride_lines}", arch.name);
+            assert_run_matches_scalar_on(&arch, stride_lines, count, kind);
         }
+    }
+
+    fn assert_run_matches_scalar_on(
+        arch: &palo_arch::Architecture,
+        stride_lines: i64,
+        count: u64,
+        kind: AccessKind,
+    ) {
+        let mut fast = Hierarchy::from_architecture(arch);
+        let mut slow = Hierarchy::from_architecture(arch);
+        let start_line = 1 << 14;
+        fast.access_run(&AccessRun { start_line, stride_lines, count, kind });
+        let mut line = start_line;
+        for _ in 0..count {
+            slow.access_line(line, kind);
+            line = line.wrapping_add_signed(stride_lines);
+        }
+        assert_eq!(fast.stats(), slow.stats(), "{}: stride {stride_lines}", arch.name);
+        // And the state is equivalent too: a probe stream afterwards
+        // behaves identically.
+        let probe = AccessRun { start_line, stride_lines, count, kind: AccessKind::Load };
+        fast.access_run(&probe);
+        let mut line = start_line;
+        for _ in 0..count {
+            slow.access_line(line, AccessKind::Load);
+            line = line.wrapping_add_signed(stride_lines);
+        }
+        assert_eq!(fast.stats(), slow.stats(), "{}: reprobe {stride_lines}", arch.name);
     }
 
     #[test]
@@ -1081,6 +1092,43 @@ mod tests {
         for stride in [2i64, 7, 16, 100, 1000, -3, -64] {
             assert_run_matches_scalar(stride, 300, AccessKind::Load);
             assert_run_matches_scalar(stride, 300, AccessKind::Store);
+        }
+    }
+
+    /// Every `PrefetcherConfig` variant installed at both L1 and L2, plus
+    /// the zoo platform presets: the run engine must stay bit-identical
+    /// to the scalar path for every [`Prefetcher`] implementation —
+    /// including the conservative implementations that opt out of the
+    /// stream lock entirely.
+    #[test]
+    fn run_engine_matches_scalar_across_the_prefetcher_zoo() {
+        let variants = [
+            PrefetcherConfig::None,
+            PrefetcherConfig::NextLine,
+            PrefetcherConfig::AdjacentPair,
+            PrefetcherConfig::Stride { degree: 2, max_distance: 20 },
+            PrefetcherConfig::ConfidentStride {
+                degree: 2,
+                max_distance: 12,
+                min_confidence: 3,
+            },
+            PrefetcherConfig::Stream { degree: 4, max_distance: 16, confirm: 2 },
+        ];
+        let mut archs: Vec<palo_arch::Architecture> = variants
+            .into_iter()
+            .map(|pf| {
+                let mut arch = presets::intel_i7_6700();
+                arch.caches[0].prefetcher = pf;
+                arch.caches[1].prefetcher = pf;
+                arch
+            })
+            .collect();
+        archs.extend(presets::zoo());
+        for arch in &archs {
+            for stride in [1i64, 4, -3] {
+                assert_run_matches_scalar_on(arch, stride, 400, AccessKind::Load);
+                assert_run_matches_scalar_on(arch, stride, 400, AccessKind::Store);
+            }
         }
     }
 

@@ -8,12 +8,13 @@
 //! * set-associative, write-back, (configurable) write-allocate caches
 //!   with true-LRU replacement, built directly from
 //!   [`palo_arch::CacheLevel`] descriptions;
-//! * an **L1 next-line streamer** — on every demand L1 miss the successor
-//!   line is fetched, mirroring the paper's "fetch the next cache line
-//!   after every reference";
-//! * an **L2 constant-stride prefetcher** with a stream table, a prefetch
-//!   degree (`L2pref`) and a maximum run-ahead distance (`L2maxpref`,
-//!   20 lines on Intel);
+//! * a **pluggable per-level prefetcher zoo** behind the [`Prefetcher`]
+//!   trait: an L1 next-line streamer (the paper's "fetch the next cache
+//!   line after every reference"), an adjacent-pair (buddy-line) unit, and
+//!   a constant-stride stream-table family with a prefetch degree
+//!   (`L2pref`), a maximum run-ahead distance (`L2maxpref`, 20 lines on
+//!   Intel), a confidence threshold, and an optional unit-stride-only
+//!   (stream) restriction;
 //! * **non-temporal stores** that bypass allocation entirely and cost one
 //!   bandwidth-side line transfer (write-combining).
 //!
@@ -45,6 +46,7 @@ mod hierarchy;
 mod prefetch;
 mod sink;
 mod stats;
+mod strategy;
 
 pub use cache::{Cache, Eviction};
 pub use error::SimConfigError;
@@ -52,3 +54,6 @@ pub use hierarchy::{AccessKind, AccessRun, Hierarchy, ReplayStats, ServedBy};
 pub use prefetch::StridePrefetcher;
 pub use sink::{CountingSink, CycleSnapshot, LineSink};
 pub use stats::{HierarchyStats, LevelStats};
+pub use strategy::{
+    AdjacentPairPrefetcher, InertPrefetcher, NextLinePrefetcher, PrefetchSnap, Prefetcher,
+};

@@ -22,6 +22,15 @@ pub(crate) struct Stream {
 /// also capable of detecting non-unit strides"), issues `degree`
 /// (`L2pref`) prefetches per triggering access, and never runs more than
 /// `max_distance` (`L2maxpref`) lines ahead of the demand stream.
+///
+/// Two knobs generalise the table into the rest of the stride family:
+/// `min_confidence` (the confirmations a stream needs before issuing —
+/// the paper's unit is hard-wired to 2) parameterises the
+/// *confident-stride* strategy, and `unit_only` restricts issuing to
+/// unit-stride streams, which is the *stream-with-confirmation* engine
+/// styled after AMD L2 units. All knob settings share the identical
+/// table mechanics, so the run engine's steady-state contract holds for
+/// every member of the family.
 #[derive(Debug, Clone)]
 pub struct StridePrefetcher {
     streams: Vec<Stream>,
@@ -32,6 +41,10 @@ pub struct StridePrefetcher {
     /// Window (in lines) within which a new address is matched to an
     /// existing stream.
     match_window: i64,
+    /// Confirmations a stream needs before any prefetch issues.
+    min_confidence: u8,
+    /// When set, only unit-stride (±1 line) streams ever issue.
+    unit_only: bool,
     /// Streams allocated since construction/reset. The run engine's
     /// steady-state detector requires a creation-free cycle: allocation
     /// is the only event that reads absolute stamps (LRU victim choice)
@@ -50,8 +63,33 @@ impl StridePrefetcher {
             max_distance: max_distance as u64,
             clock: 0,
             match_window: 64,
+            min_confidence: 2,
+            unit_only: false,
             creations: 0,
         }
+    }
+
+    /// [`StridePrefetcher::new`] with an explicit confirmation threshold
+    /// (the `ConfidentStride` strategy; `new` fixes it at 2).
+    pub fn with_confidence(degree: usize, max_distance: usize, min_confidence: u8) -> Self {
+        let mut p = Self::new(degree, max_distance);
+        p.min_confidence = min_confidence;
+        p
+    }
+
+    /// A stream-with-confirmation engine (the `Stream` strategy): only
+    /// unit-stride streams issue, after `confirm` confirmations.
+    pub fn stream(degree: usize, max_distance: usize, confirm: u8) -> Self {
+        let mut p = Self::with_confidence(degree, max_distance, confirm);
+        p.unit_only = true;
+        p
+    }
+
+    /// Whether a stream with this stride may issue under the unit-stride
+    /// restriction.
+    #[inline]
+    fn issues_for(&self, stride: i64) -> bool {
+        !self.unit_only || stride.unsigned_abs() == 1
     }
 
     /// Observes a demand access to `line` and returns the lines to
@@ -107,7 +145,9 @@ impl StridePrefetcher {
                 }
                 s.last = line;
                 s.stamp = self.clock;
-                if s.confidence >= 2 {
+                let (confidence, stride) = (s.confidence, s.stride);
+                if confidence >= self.min_confidence && self.issues_for(stride) {
+                    let s = &mut self.streams[i];
                     Self::run_ahead(s, line, self.degree, self.max_distance, out);
                 }
                 Some(i)
@@ -184,7 +224,9 @@ impl StridePrefetcher {
         s.confidence = s.confidence.saturating_add(1);
         s.last = line;
         s.stamp = self.clock;
-        if s.confidence >= 2 {
+        let (confidence, stride) = (s.confidence, s.stride);
+        if confidence >= self.min_confidence && self.issues_for(stride) {
+            let s = &mut self.streams[i];
             Self::run_ahead(s, line, self.degree, self.max_distance, out);
         }
     }
@@ -323,6 +365,85 @@ impl StridePrefetcher {
     }
 }
 
+impl crate::strategy::Prefetcher for StridePrefetcher {
+    fn box_clone(&self) -> Box<dyn crate::strategy::Prefetcher> {
+        Box::new(self.clone())
+    }
+
+    fn observe_into(&mut self, line: u64, out: &mut Vec<u64>) -> Option<usize> {
+        StridePrefetcher::observe_into(self, line, out)
+    }
+
+    fn expects(&self, i: usize, line: u64) -> bool {
+        StridePrefetcher::expects(self, i, line)
+    }
+
+    fn observe_expected(&mut self, i: usize, line: u64, out: &mut Vec<u64>) {
+        StridePrefetcher::observe_expected(self, i, line, out);
+    }
+
+    fn capture_free_steps(&self, i: usize, next_line: u64, stride: i64) -> u64 {
+        StridePrefetcher::capture_free_steps(self, i, next_line, stride)
+    }
+
+    fn ramp_state(&self, i: usize) -> Option<(i64, u64, u32)> {
+        Some(StridePrefetcher::ramp_state(self, i))
+    }
+
+    fn feed_denied(&mut self, i: usize, line: u64) {
+        StridePrefetcher::feed_denied(self, i, line);
+    }
+
+    fn feed_parked(&mut self, i: usize, line: u64) -> u64 {
+        StridePrefetcher::feed_parked(self, i, line)
+    }
+
+    fn creations(&self) -> u64 {
+        StridePrefetcher::creations(self)
+    }
+
+    fn disabled(&self) -> bool {
+        StridePrefetcher::disabled(self)
+    }
+
+    fn tick(&mut self, n: u64) {
+        StridePrefetcher::tick(self, n);
+    }
+
+    fn reset(&mut self) {
+        StridePrefetcher::reset(self);
+    }
+
+    fn snapshot(&self) -> crate::strategy::PrefetchSnap {
+        crate::strategy::PrefetchSnap(crate::strategy::SnapRepr::Streams {
+            streams: self.streams().to_vec(),
+            creations: self.creations,
+        })
+    }
+
+    fn matches_translated(&self, snap: &crate::strategy::PrefetchSnap, t: i64) -> bool {
+        let crate::strategy::SnapRepr::Streams { streams, creations } = &snap.0 else {
+            return false;
+        };
+        if self.creations != *creations || self.streams.len() != streams.len() {
+            return false;
+        }
+        self.streams.iter().zip(streams).all(|(c, s)| {
+            c.stride == s.stride
+                && c.confidence == s.confidence
+                && c.last == s.last.wrapping_add_signed(t)
+                && c.frontier == s.frontier.wrapping_add_signed(t)
+        })
+    }
+
+    fn translate(&mut self, shift: i64) {
+        for s in self.streams_mut() {
+            s.last = s.last.wrapping_add_signed(shift);
+            s.frontier = s.frontier.wrapping_add_signed(shift);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -439,6 +560,68 @@ mod tests {
             assert_eq!(slow, buf, "line {line}");
         }
         assert_eq!(fast.capture_free_steps(0, 60, 3), u64::MAX);
+    }
+
+    #[test]
+    fn confidence_threshold_delays_issuing() {
+        // min_confidence 4: the stride must repeat four times.
+        let mut p = StridePrefetcher::with_confidence(2, 20, 4);
+        assert!(p.observe(100).is_empty()); // new stream
+        assert!(p.observe(101).is_empty()); // confidence 1
+        assert!(p.observe(102).is_empty()); // confidence 2
+        assert!(p.observe(103).is_empty()); // confidence 3
+        assert_eq!(p.observe(104), vec![105, 106]); // confidence 4
+    }
+
+    #[test]
+    fn stream_engine_ignores_non_unit_strides() {
+        let mut p = StridePrefetcher::stream(2, 20, 2);
+        p.observe(0);
+        p.observe(8);
+        assert!(p.observe(16).is_empty(), "non-unit stride must never issue");
+        assert!(p.observe(24).is_empty());
+        // A unit-stride stream issues normally after `confirm` repeats.
+        let mut p = StridePrefetcher::stream(2, 20, 2);
+        p.observe(1000);
+        p.observe(1001);
+        assert_eq!(p.observe(1002), vec![1003, 1004]);
+        // Descending unit stride counts too.
+        let mut p = StridePrefetcher::stream(1, 20, 2);
+        p.observe(5000);
+        p.observe(4999);
+        assert_eq!(p.observe(4998), vec![4997]);
+    }
+
+    #[test]
+    fn default_knobs_match_the_seed_unit() {
+        // `new` is the paper's unit: threshold 2, any stride.
+        let a = StridePrefetcher::new(2, 20);
+        let b = StridePrefetcher::with_confidence(2, 20, 2);
+        assert_eq!(a.min_confidence, b.min_confidence);
+        assert!(!a.unit_only);
+    }
+
+    #[test]
+    fn expected_path_matches_scan_path_with_knobs() {
+        for (mk, label) in [
+            (StridePrefetcher::with_confidence(2, 20, 4), "confident"),
+            (StridePrefetcher::stream(2, 20, 3), "stream"),
+        ] {
+            let mut scan = mk.clone();
+            let mut fast = mk;
+            for line in [0u64, 1, 2] {
+                scan.observe(line);
+                fast.observe(line);
+            }
+            let mut buf = Vec::new();
+            for line in 3..40u64 {
+                let slow = scan.observe(line);
+                assert!(fast.expects(0, line), "{label} line {line}");
+                buf.clear();
+                fast.observe_expected(0, line, &mut buf);
+                assert_eq!(slow, buf, "{label} line {line}");
+            }
+        }
     }
 
     #[test]

@@ -6,10 +6,13 @@
 //! next row would overflow some set's (thread-effective) associativity,
 //! i.e. as soon as an interference miss becomes possible.
 //!
-//! Prefetcher awareness, per the paper:
-//! * when bounding against the **L1**, every row is inflated by one line
-//!   (the next-line streamer fetches the successor of each row's last
-//!   line): `Ti−1 = ⌈max(Ti−1 + lc, 2·lc) / lc⌉`;
+//! Prefetcher awareness, per the paper (generalized to the target's
+//! declared prefetcher descriptions):
+//! * when bounding against the **L1**, every row is inflated by the
+//!   level's prefetcher demand-side inflation — one line for the
+//!   next-line streamer (which fetches the successor of each row's last
+//!   line, `Ti−1 = ⌈max(Ti−1 + lc, 2·lc) / lc⌉`) and the adjacent-pair
+//!   unit, zero for a prefetch-less L1;
 //! * when bounding against the **L2**, the set count is halved (capacity
 //!   reserved for constant-stride prefetch streams) and, for every line
 //!   within `L2maxpref` of the demand frontier, the `L2pref` lines a
@@ -44,6 +47,11 @@ pub struct EmuParams<'a> {
     /// Use the L2 variant (halved sets, stride-prefetch tests) instead of
     /// the L1 variant (next-line row inflation).
     pub for_l2: bool,
+    /// Extra lines the L1 variant books per row — the demand-side
+    /// inflation of the level's own prefetcher (1 for the next-line
+    /// streamer and the adjacent-pair unit, 0 for a prefetch-less L1).
+    /// Ignored by the L2 variant.
+    pub inflate_lines: usize,
     /// Halve the effective set count in the L2 variant (ablation switch;
     /// the paper always halves).
     pub halve_l2_sets: bool,
@@ -62,14 +70,17 @@ pub fn emu(p: &EmuParams<'_>) -> usize {
     let mut nsets = p.level.num_sets().max(1);
     let eff_ways = (p.level.associativity / p.threads.max(1)).max(1);
 
-    // Row length in lines, with the L1 next-line inflation.
+    // Row length in lines, with the L1 variant's per-strategy inflation
+    // (`inflate_lines` extra lines per row; 1 reproduces the paper's
+    // next-line formula `⌈max(Ti−1 + lc, 2·lc) / lc⌉`).
     let lines_per_row = if p.for_l2 {
         if p.halve_l2_sets {
             nsets = (nsets / 2).max(1);
         }
         p.row_len.max(lc).div_ceil(lc)
     } else {
-        (p.row_len + lc).max(2 * lc).div_ceil(lc)
+        let inflate = p.inflate_lines;
+        (p.row_len + inflate * lc).max((1 + inflate) * lc).div_ceil(lc)
     };
 
     let mut emucache = vec![0u32; nsets];
@@ -143,6 +154,7 @@ pub struct EmuKey {
     l2_pref: usize,
     l2_max_pref: usize,
     for_l2: bool,
+    inflate_lines: usize,
     halve_l2_sets: bool,
     cap: usize,
 }
@@ -162,6 +174,7 @@ impl EmuKey {
             l2_pref: p.l2_pref,
             l2_max_pref: p.l2_max_pref,
             for_l2: p.for_l2,
+            inflate_lines: p.inflate_lines,
             halve_l2_sets: p.halve_l2_sets,
             cap: p.cap,
         }
@@ -214,7 +227,8 @@ pub fn l1_params(
 
 /// Shared base of the two parameter builders: the L1 defaults, which the
 /// L2 variant overrides field-wise (`halve_l2_sets` is unused by the L1
-/// variant).
+/// variant). The row inflation comes from the level's own prefetcher
+/// description, so a prefetch-less L1 books no successor lines.
 fn base_params(
     level: &CacheLevel,
     dts: usize,
@@ -233,6 +247,7 @@ fn base_params(
         l2_pref: 0,
         l2_max_pref: 0,
         for_l2: false,
+        inflate_lines: level.prefetcher.line_inflation(),
         halve_l2_sets: true,
         cap,
     }
@@ -378,10 +393,25 @@ mod tests {
             l2_pref: 0,
             l2_max_pref: 0,
             for_l2: true,
+            inflate_lines: 0,
             halve_l2_sets: false,
             cap: 4096,
         });
         assert!(b_l1 <= b_l2, "{b_l1} vs {b_l2}");
+    }
+
+    #[test]
+    fn prefetchless_l1_books_no_successor_lines() {
+        // With the prefetcher stripped from the level description, the L1
+        // variant books exactly the demand lines: one-line rows walking
+        // every set fill the whole cache instead of half of it.
+        let mut bare = l1();
+        bare.prefetcher = palo_arch::PrefetcherConfig::None;
+        assert_eq!(bare.prefetcher.line_inflation(), 0);
+        let stride = 64 * 16 + 16; // 65 lines, co-prime with 64 sets
+        let b_next_line = emu_l1(&l1(), 4, 16, stride, 1, 4096);
+        let b_bare = emu_l1(&bare, 4, 16, stride, 1, 4096);
+        assert!(b_bare >= 2 * b_next_line - 1, "{b_bare} vs {b_next_line}");
     }
 
     #[test]

@@ -54,6 +54,19 @@ fn hash_prefetcher(h: &mut StableHasher, p: &PrefetcherConfig) {
             h.write_usize(*degree);
             h.write_usize(*max_distance);
         }
+        PrefetcherConfig::AdjacentPair => h.write_u8(3),
+        PrefetcherConfig::ConfidentStride { degree, max_distance, min_confidence } => {
+            h.write_u8(4);
+            h.write_usize(*degree);
+            h.write_usize(*max_distance);
+            h.write_u8(*min_confidence);
+        }
+        PrefetcherConfig::Stream { degree, max_distance, confirm } => {
+            h.write_u8(5);
+            h.write_usize(*degree);
+            h.write_usize(*max_distance);
+            h.write_u8(*confirm);
+        }
     }
 }
 

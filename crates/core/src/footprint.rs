@@ -9,10 +9,33 @@
 //! * **lines** — cold misses *without* prefetch discounting (Eq. 2);
 //! * **rows** — cold misses *with* the streaming prefetcher covering each
 //!   contiguous row after its first line (Eq. 3): the number of distinct
-//!   row segments.
+//!   row segments;
+//! * **pairs** — cold misses with an *adjacent-pair* (buddy-line)
+//!   prefetcher: every demand miss also fetches the other line of its
+//!   aligned pair, so a contiguous row costs one miss per line *pair*.
+//!
+//! Which estimate applies is a property of the target's prefetchers, not
+//! of the model: [`Coverage`] names the three regimes and
+//! [`Footprints::misses_for`] selects among them.
 
 use palo_ir::{ArrayId, LoopNest};
 use std::collections::BTreeSet;
+
+/// How much of a tile's cold misses the target's hardware prefetchers
+/// absorb — the per-strategy discount the analytical models route their
+/// `a2`/`a3` miss terms through.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Coverage {
+    /// No prefetch coverage: every touched line is a miss
+    /// ([`Footprints::lines`], Eq. 2).
+    None,
+    /// Adjacent-pair (buddy-line) coverage: one miss per aligned line
+    /// pair of each row ([`Footprints::pairs`]).
+    Pairs,
+    /// Stream coverage: a streaming unit covers each contiguous row after
+    /// its first line ([`Footprints::rows`], Eq. 3).
+    Rows,
+}
 
 /// Shape of one (deduplicated) access: per array dimension, the
 /// `(variable, |coefficient|)` terms of its subscript.
@@ -125,13 +148,36 @@ impl Footprints {
         }
     }
 
+    /// Cold misses with an adjacent-pair prefetcher: each demand miss
+    /// drags in the buddy line of its aligned pair, so a row of `L` lines
+    /// costs `⌈L/2⌉` misses.
+    pub fn pairs(&self, a: usize, sizes: &[usize]) -> f64 {
+        let e = self.extents(a, sizes);
+        match e.split_last() {
+            Some((last, rest)) => {
+                let lines = (last / self.lc as f64).ceil().max(1.0);
+                rest.iter().product::<f64>() * (lines / 2.0).ceil()
+            }
+            None => 1.0,
+        }
+    }
+
     /// Cold-miss estimate: [`Footprints::rows`] with prefetch
     /// discounting, [`Footprints::lines`] without.
     pub fn misses(&self, a: usize, sizes: &[usize], prefetch_discount: bool) -> f64 {
-        if prefetch_discount {
-            self.rows(a, sizes)
-        } else {
-            self.lines(a, sizes)
+        self.misses_for(
+            a,
+            sizes,
+            if prefetch_discount { Coverage::Rows } else { Coverage::None },
+        )
+    }
+
+    /// Cold-miss estimate under the given prefetch [`Coverage`] regime.
+    pub fn misses_for(&self, a: usize, sizes: &[usize], coverage: Coverage) -> f64 {
+        match coverage {
+            Coverage::None => self.lines(a, sizes),
+            Coverage::Pairs => self.pairs(a, sizes),
+            Coverage::Rows => self.rows(a, sizes),
         }
     }
 
@@ -209,6 +255,20 @@ mod tests {
         assert_eq!(fp.rows(0, &sizes), 2.0);
         assert_eq!(fp.misses(0, &sizes, true), 2.0);
         assert_eq!(fp.misses(0, &sizes, false), 4.0);
+    }
+
+    #[test]
+    fn pair_coverage_sits_between_lines_and_rows() {
+        let fp = Footprints::new(&matmul(64), 64); // lc = 16 f32
+        let sizes = [2usize, 40, 1];
+        // C footprint 2x40: 2 rows of ceil(40/16)=3 lines; a buddy-line
+        // unit covers them in ceil(3/2)=2 misses per row.
+        assert_eq!(fp.lines(0, &sizes), 6.0);
+        assert_eq!(fp.pairs(0, &sizes), 4.0);
+        assert_eq!(fp.rows(0, &sizes), 2.0);
+        assert_eq!(fp.misses_for(0, &sizes, Coverage::Pairs), 4.0);
+        assert_eq!(fp.misses_for(0, &sizes, Coverage::None), fp.lines(0, &sizes));
+        assert_eq!(fp.misses_for(0, &sizes, Coverage::Rows), fp.rows(0, &sizes));
     }
 
     #[test]

@@ -88,10 +88,10 @@ pub use decision::Decision;
 pub use emu::{emu, emu_cached, EmuKey, EmuParams};
 pub use error::{catch_panic, PaloError};
 pub use fingerprint::{Fingerprint, FingerprintBuilder};
-pub use footprint::Footprints;
+pub use footprint::{Coverage, Footprints};
 pub use model::{
-    resolve, shift_hierarchy, CandidatePoint, CostBreakdown, CostModel, PrefetchAwareModel,
-    ResolvedModel, SimulatedModel, TileContext,
+    coverage_of, resolve, shift_hierarchy, CandidatePoint, CostBreakdown, CostModel,
+    PrefetchAwareModel, ResolvedModel, SimulatedModel, TileContext,
 };
 pub use pass::{CacheStats, Pass, PassCx, PassTiming, RunCtl};
 pub use pipeline::{

@@ -37,11 +37,11 @@ use crate::config::{ModelKind, OptimizerConfig};
 use crate::decision::Decision;
 use crate::emu::{emu, emu_cached, l1_params, l2_params, EmuParams};
 use crate::error::{catch_panic, PaloError};
-use crate::footprint::Footprints;
+use crate::footprint::{Coverage, Footprints};
 use crate::order::inter_trip;
 use crate::post;
 use crate::search::{MemoTable, SearchCounters};
-use palo_arch::{Architecture, SharingScope};
+use palo_arch::{Architecture, PrefetcherConfig, SharingScope};
 use palo_exec::{estimate_time_with, TimeEstimate, TraceOptions};
 use palo_ir::LoopNest;
 use palo_sched::LoweredNest;
@@ -105,6 +105,27 @@ pub fn sharing_divisor(level: &palo_arch::CacheLevel, arch: &Architecture) -> us
     }
 }
 
+/// The prefetch [`Coverage`] regime the miss terms run under: derived
+/// from the target's per-level prefetcher descriptions, gated by the
+/// `prefetch_discount` ablation switch. Any stream-capable unit anywhere
+/// in the hierarchy yields row coverage (Eq. 3, the paper's discount); a
+/// hierarchy whose strongest unit is adjacent-pair yields pair coverage;
+/// a prefetch-less target pays full line misses even with the discount
+/// switch on — the a2/a3 terms follow the hardware, not the flag alone.
+pub fn coverage_of(arch: &Architecture, config: &OptimizerConfig) -> Coverage {
+    if !config.prefetch_discount {
+        return Coverage::None;
+    }
+    if arch.caches.iter().any(|c| c.prefetcher.covers_streams()) {
+        Coverage::Rows
+    } else if arch.caches.iter().any(|c| matches!(c.prefetcher, PrefetcherConfig::AdjacentPair))
+    {
+        Coverage::Pairs
+    } else {
+        Coverage::None
+    }
+}
+
 /// Everything a [`CostModel`] may consult about the nest under
 /// optimization, shared read-only across the search worker pool.
 ///
@@ -148,6 +169,9 @@ pub struct TileContext<'a> {
     pub am: f64,
     /// Hardware threads of the target.
     pub threads: usize,
+    /// Prefetch-coverage regime of the miss terms, derived from the
+    /// target's prefetcher descriptions (see [`coverage_of`]).
+    pub coverage: Coverage,
     /// Whether the emitted schedule will use non-temporal stores (the
     /// [`SimulatedModel`] scores candidates under the same hint).
     pub use_nti: bool,
@@ -175,7 +199,7 @@ impl<'a> TileContext<'a> {
         let l1_budget = (arch.l1().size_bytes / dts / sharing_divisor(arch.l1(), arch)) as f64;
         let mut l2_budget =
             (arch.l2().size_bytes / dts / sharing_divisor(arch.l2(), arch)) as f64;
-        if config.halve_l2_sets {
+        if config.halve_l2_sets && arch.l2().prefetcher.covers_streams() {
             l2_budget /= 2.0;
         }
         Self::assemble(
@@ -214,7 +238,7 @@ impl<'a> TileContext<'a> {
         let l1_budget = (arch.l1().size_bytes / dts / arch.threads_per_core.max(1)) as f64;
         let mut l2_budget =
             (arch.l2().size_bytes / dts / sharing_divisor(arch.l2(), arch)) as f64;
-        if config.halve_l2_sets {
+        if config.halve_l2_sets && arch.l2().prefetcher.covers_streams() {
             l2_budget /= 2.0;
         }
         Self::assemble(
@@ -271,6 +295,7 @@ impl<'a> TileContext<'a> {
             a3,
             am,
             threads: arch.total_threads(),
+            coverage: coverage_of(arch, config),
             use_nti,
             fp_cache: MemoTable::new(32),
             counters,
@@ -284,7 +309,7 @@ impl<'a> TileContext<'a> {
         let compute = || {
             (
                 self.fp.elems(a, sizes),
-                self.fp.misses(a, sizes, self.config.prefetch_discount),
+                self.fp.misses_for(a, sizes, self.coverage),
                 self.fp.lines(a, sizes),
             )
         };
@@ -315,17 +340,21 @@ impl<'a> TileContext<'a> {
     }
 
     /// Algorithm-1 bound of a tile dimension against the **L2** (halved
-    /// sets, stride-prefetch tests), capped at `cap`.
+    /// sets, stride-prefetch tests), capped at `cap`. The set halving
+    /// reserves capacity for stream prefetches, so it only applies when
+    /// the L2's declared unit actually runs streams; the injected test
+    /// lines likewise follow the unit's degree and run-ahead distance.
     pub fn l2_cap(&self, row_len: usize, row_stride: usize, cap: usize) -> usize {
+        let l2_pref = &self.arch.l2().prefetcher;
         self.bound(&l2_params(
             self.arch.l2(),
             self.dts,
             row_len,
             row_stride,
             self.arch.threads_per_core,
-            self.arch.l2().prefetcher.degree(),
-            self.arch.l2().prefetcher.max_distance(),
-            self.config.halve_l2_sets,
+            if l2_pref.covers_streams() { l2_pref.degree() } else { 0 },
+            l2_pref.max_distance(),
+            self.config.halve_l2_sets && l2_pref.covers_streams(),
             cap,
         ))
     }
@@ -510,7 +539,7 @@ impl PrefetchAwareModel {
         let eff = tw as f64 / lc as f64;
         let c_total: f64 = inputs
             .iter()
-            .map(|&a| ctx.fp.misses(a, tile, ctx.config.prefetch_discount) * ntiles * eff)
+            .map(|&a| ctx.fp.misses_for(a, tile, ctx.coverage) * ntiles * eff)
             .sum();
         Some(CostBreakdown {
             cl1: 0.0,

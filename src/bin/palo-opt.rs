@@ -4,9 +4,10 @@
 //! time estimate) back in milliseconds of optimizer runtime.
 //!
 //! ```text
-//! palo-opt <kernel> [--size N] [--platform 5930k|6700|a15]
+//! palo-opt <kernel> [--size N] [--platform 5930k|6700|a15|zen2|n1|nopf]
 //!          [--technique proposed|autosched|baseline|autotune|tss|tts]
 //!          [--model paper|tss|tts|sim]
+//!          [--prefetcher l1=SPEC,l2=SPEC,...]
 //!          [--ablate no-prefetch-discount,no-corder,...]
 //!          [--estimate] [--profile] [--no-nti] [--verbose] [--cache-stats]
 //!          [--cache-dir DIR] [--cache-policy lru|slru|2q]
@@ -14,6 +15,16 @@
 //! palo-opt --batch [kernel] [--threads N] [--estimate] [--profile] [--cache-stats]
 //!          [--cache-dir DIR] [--cache-policy lru|slru|2q] [--cache-capacity N]
 //! ```
+//!
+//! `--prefetcher` swaps individual hardware prefetch units of the chosen
+//! platform before optimizing — the prefetcher zoo (DESIGN.md §16). A
+//! SPEC is one of `none`, `next-line`, `adjacent-pair`,
+//! `stride:DEGREE:MAXDIST`, `confident-stride:DEGREE:MAXDIST:CONF` or
+//! `stream:DEGREE:MAXDIST:CONFIRM`; e.g.
+//! `--prefetcher l1=adjacent-pair,l2=stream:4:16:2` optimizes for an
+//! AMD-style L2 stream unit behind a buddy-line L1. The analytic model's
+//! coverage discounts, Algorithm 1's row inflation and set reservations,
+//! and the simulator all follow the override.
 //!
 //! `--cache-dir` opens the tiered persistent artifact store (DESIGN.md
 //! §15): a second invocation on the same directory replays the first
@@ -52,6 +63,7 @@ struct Args {
     kernel: String,
     size: Option<usize>,
     platform: String,
+    prefetcher: Option<String>,
     technique: String,
     model: ModelKind,
     ablate: Vec<String>,
@@ -67,9 +79,11 @@ struct Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: palo-opt <kernel> [--size N] [--platform 5930k|6700|a15]\n\
+        "usage: palo-opt <kernel> [--size N] [--platform 5930k|6700|a15|zen2|n1|nopf]\n\
          \x20               [--technique proposed|autosched|baseline|autotune|tss|tts]\n\
          \x20               [--model paper|tss|tts|sim]\n\
+         \x20               [--prefetcher l1=SPEC,l2=SPEC,...] (SPEC: none|next-line|adjacent-pair|\n\
+         \x20                       stride:D:M|confident-stride:D:M:C|stream:D:M:C)\n\
          \x20               [--ablate no-prefetch-discount,no-corder,no-parallel-grain,no-bandwidth-term]\n\
          \x20               [--estimate] [--profile] [--no-nti] [--verbose] [--cache-stats]\n\
          \x20               [--cache-dir DIR] [--cache-policy lru|slru|2q]\n\
@@ -87,6 +101,7 @@ fn parse() -> Result<Args, ExitCode> {
         kernel: String::new(),
         size: None,
         platform: "5930k".into(),
+        prefetcher: None,
         technique: "proposed".into(),
         model: ModelKind::Paper,
         ablate: Vec::new(),
@@ -106,6 +121,7 @@ fn parse() -> Result<Args, ExitCode> {
                 args.size = Some(it.next().and_then(|v| v.parse().ok()).ok_or_else(usage)?)
             }
             "--platform" => args.platform = it.next().ok_or_else(usage)?,
+            "--prefetcher" => args.prefetcher = Some(it.next().ok_or_else(usage)?),
             "--technique" => args.technique = it.next().ok_or_else(usage)?,
             "--model" => {
                 let name = it.next().ok_or_else(usage)?;
@@ -183,8 +199,34 @@ fn platform(name: &str) -> Option<Architecture> {
         "5930k" | "5930K" => Some(presets::repro::intel_i7_5930k()),
         "6700" => Some(presets::repro::intel_i7_6700()),
         "a15" | "A15" | "arm" => Some(presets::repro::arm_cortex_a15()),
+        "zen2" | "amd" => Some(presets::repro::amd_zen2()),
+        "n1" | "neoverse" => Some(presets::repro::arm_neoverse_n1()),
+        "nopf" | "no-prefetch" => Some(presets::repro::intel_i7_6700_no_prefetch()),
         _ => None,
     }
+}
+
+/// Applies `--prefetcher` overrides (`l1=SPEC,l2=SPEC,...`) to the
+/// chosen platform. Specs use the [`palo::arch::PrefetcherConfig`]
+/// grammar; levels are named `l1`, `l2`, `l3` outermost-first.
+fn apply_prefetcher_overrides(arch: &mut Architecture, overrides: &str) -> Result<(), String> {
+    for part in overrides.split(',') {
+        let part = part.trim();
+        let (level, spec) = part
+            .split_once('=')
+            .ok_or_else(|| format!("prefetcher override {part:?} is not LEVEL=SPEC"))?;
+        let k = match level.trim().to_ascii_lowercase().as_str() {
+            "l1" => 0,
+            "l2" => 1,
+            "l3" => 2,
+            other => return Err(format!("unknown cache level {other:?} (use l1, l2 or l3)")),
+        };
+        if k >= arch.caches.len() {
+            return Err(format!("platform {:?} has no {} cache", arch.name, level.trim()));
+        }
+        arch.caches[k].prefetcher = spec.trim().parse()?;
+    }
+    Ok(())
 }
 
 fn optimizer_config(args: &Args) -> Result<OptimizerConfig, ExitCode> {
@@ -407,10 +449,17 @@ fn main() -> ExitCode {
         Ok(a) => a,
         Err(code) => return code,
     };
-    let Some(arch) = platform(&args.platform) else {
+    let Some(mut arch) = platform(&args.platform) else {
         eprintln!("unknown platform {:?}", args.platform);
         return usage();
     };
+    if let Some(overrides) = &args.prefetcher {
+        if let Err(e) = apply_prefetcher_overrides(&mut arch, overrides) {
+            eprintln!("{e}");
+            return usage();
+        }
+    }
+    let arch = arch;
     if args.batch {
         return run_batch(&args, &arch);
     }

@@ -7,7 +7,7 @@
 //! default or a Unix socket with `--socket`:
 //!
 //! ```text
-//! palo-serve [--platform 5930k|6700|a15] [--socket PATH]
+//! palo-serve [--platform 5930k|6700|a15|zen2|n1|nopf] [--socket PATH]
 //!            [--workers N] [--queue N] [--max-sims N]
 //!            [--yellow F] [--red F] [--no-estimate]
 //!            [--cache-dir DIR] [--cache-policy lru|slru|2q]
@@ -48,7 +48,7 @@ struct Args {
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: palo-serve [--platform 5930k|6700|a15] [--socket PATH]\n\
+        "usage: palo-serve [--platform 5930k|6700|a15|zen2|n1|nopf] [--socket PATH]\n\
          \x20                 [--workers N] [--queue N] [--max-sims N]\n\
          \x20                 [--yellow F] [--red F] [--no-estimate]\n\
          \x20                 [--cache-dir DIR] [--cache-policy lru|slru|2q]\n\
@@ -125,6 +125,9 @@ fn platform(name: &str) -> Option<Architecture> {
         "5930k" | "5930K" => Some(presets::repro::intel_i7_5930k()),
         "6700" => Some(presets::repro::intel_i7_6700()),
         "a15" | "A15" | "arm" => Some(presets::repro::arm_cortex_a15()),
+        "zen2" | "amd" => Some(presets::repro::amd_zen2()),
+        "n1" | "neoverse" => Some(presets::repro::arm_neoverse_n1()),
+        "nopf" | "no-prefetch" => Some(presets::repro::intel_i7_6700_no_prefetch()),
         _ => None,
     }
 }

@@ -21,12 +21,19 @@ use std::fmt::Write as _;
 
 const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/decisions.txt");
 
-/// The three platforms of the paper's Table 3.
+/// The three platforms of the paper's Table 3, followed by the
+/// prefetcher-zoo presets (AMD- and ARM-styled units plus the
+/// prefetch-less control). The zoo rows pin the per-strategy coverage
+/// routing: a model change that only affects one strategy's discount
+/// shows up as a diff confined to that platform's block.
 fn platforms() -> Vec<(&'static str, palo::arch::Architecture)> {
     vec![
         ("5930k", presets::intel_i7_5930k()),
         ("6700", presets::intel_i7_6700()),
         ("a15", presets::arm_cortex_a15()),
+        ("zen2", presets::amd_zen2()),
+        ("n1", presets::arm_neoverse_n1()),
+        ("nopf", presets::intel_i7_6700_no_prefetch()),
     ]
 }
 

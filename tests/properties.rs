@@ -146,6 +146,7 @@ proptest! {
             l2_pref: 0,
             l2_max_pref: 0,
             for_l2: false,
+            inflate_lines: 1,
             halve_l2_sets: true,
             cap: 1 << 12,
         });

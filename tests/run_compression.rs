@@ -6,13 +6,17 @@
 //! path on every statistic the simulator reports. These tests drive both
 //! engines over the full evaluation suite (every benchmark nest, both the
 //! program-order schedule and the optimizer's proposed schedule) and over
-//! proptest-sampled random affine nests, on all three platform presets,
-//! and demand equal [`HierarchyStats`].
+//! proptest-sampled random affine nests, on all six platform presets
+//! (Table 3 plus the prefetcher-zoo trio), and demand equal
+//! [`HierarchyStats`]. A dedicated sweep additionally pins the contract
+//! per [`Prefetcher`] implementation: every `PrefetcherConfig` variant is
+//! installed at both L1 and L2 and replayed through both engines.
 //!
 //! [`AccessRun`]: palo::cachesim::AccessRun
 //! [`HierarchyStats`]: palo::cachesim::HierarchyStats
+//! [`Prefetcher`]: palo::cachesim::Prefetcher
 
-use palo::arch::{presets, Architecture};
+use palo::arch::{presets, Architecture, PrefetcherConfig};
 use palo::core::Optimizer;
 use palo::exec::{estimate_time_with, TraceOptions};
 use palo::ir::{DType, LoopNest, NestBuilder};
@@ -20,8 +24,43 @@ use palo::sched::Schedule;
 use palo::suite::Benchmark;
 use proptest::prelude::*;
 
-fn platforms() -> [Architecture; 3] {
-    [presets::intel_i7_5930k(), presets::intel_i7_6700(), presets::arm_cortex_a15()]
+fn platforms() -> Vec<Architecture> {
+    let mut all =
+        vec![presets::intel_i7_5930k(), presets::intel_i7_6700(), presets::arm_cortex_a15()];
+    all.extend(presets::zoo());
+    all
+}
+
+/// One architecture per `PrefetcherConfig` variant, installed at both L1
+/// and L2 of the i7-6700 geometry so each [`palo::cachesim::Prefetcher`]
+/// implementation (and each legacy placement mapping) gets exercised by
+/// the differential gate.
+fn strategy_zoo() -> Vec<(&'static str, Architecture)> {
+    let variants: [(&'static str, PrefetcherConfig); 6] = [
+        ("none", PrefetcherConfig::None),
+        ("next-line", PrefetcherConfig::NextLine),
+        ("adjacent-pair", PrefetcherConfig::AdjacentPair),
+        ("stride", PrefetcherConfig::Stride { degree: 2, max_distance: 20 }),
+        (
+            "confident-stride",
+            PrefetcherConfig::ConfidentStride {
+                degree: 2,
+                max_distance: 12,
+                min_confidence: 3,
+            },
+        ),
+        ("stream", PrefetcherConfig::Stream { degree: 4, max_distance: 16, confirm: 2 }),
+    ];
+    variants
+        .into_iter()
+        .map(|(name, pf)| {
+            let mut arch = presets::intel_i7_6700();
+            arch.caches[0].prefetcher = pf;
+            arch.caches[1].prefetcher = pf;
+            arch.name = format!("6700/{name}");
+            (name, arch)
+        })
+        .collect()
 }
 
 /// Traces `schedule` over `nest` through both engines and demands
@@ -65,8 +104,50 @@ fn suite_nests_compressed_equals_scalar_on_all_platforms() {
             }
         }
     }
-    // 12 benchmarks, threemm contributing three nests → 14 per platform.
-    assert_eq!(checked, 3 * 14, "suite shape changed; update the gate");
+    // 12 benchmarks, threemm contributing three nests → 14 per platform,
+    // on the three Table-3 presets plus the three zoo presets.
+    assert_eq!(checked, 6 * 14, "suite shape changed; update the gate");
+}
+
+/// Every `PrefetcherConfig` variant at both L1 and L2: the run-compressed
+/// engine must stay bit-identical to the scalar reference for every
+/// [`palo::cachesim::Prefetcher`] implementation, including the
+/// conservative no-skip fallbacks.
+#[test]
+fn every_prefetcher_strategy_compressed_equals_scalar() {
+    for (name, arch) in &strategy_zoo() {
+        for b in Benchmark::all() {
+            let nests = b.build(16).unwrap_or_else(|e| panic!("{}: {e}", b.name()));
+            for nest in &nests {
+                assert_engines_agree(nest, &Schedule::new(), arch);
+                let decision = Optimizer::new(arch)
+                    .try_optimize(nest)
+                    .unwrap_or_else(|e| panic!("{} ({name}): {e}", nest.name()));
+                assert_engines_agree(nest, decision.schedule(), arch);
+            }
+        }
+    }
+}
+
+/// Replaying the same trace twice through the same engine must produce
+/// the same bits, for every strategy and both engines — no hidden global
+/// state in any prefetcher implementation.
+#[test]
+fn every_prefetcher_strategy_replays_deterministically() {
+    let nest = matmul_nest(48, 48, 48);
+    let schedule = Schedule::new();
+    for (name, arch) in &strategy_zoo() {
+        let lowered = schedule.lower(&nest).expect("program order lowers");
+        for run_compressed in [false, true] {
+            let opts = TraceOptions { run_compressed, ..TraceOptions::default() };
+            let a = estimate_time_with(&nest, &lowered, arch, &opts)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            let b = estimate_time_with(&nest, &lowered, arch, &opts)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
+            assert_eq!(a.stats, b.stats, "{name} compressed={run_compressed}");
+            assert_eq!(a.ms.to_bits(), b.ms.to_bits(), "{name} compressed={run_compressed}");
+        }
+    }
 }
 
 fn matmul_nest(ni: usize, nj: usize, nk: usize) -> LoopNest {
